@@ -1,0 +1,5 @@
+//! Ablation studies of BEAR's design choices (see DESIGN.md §4).
+
+fn main() {
+    bear_bench::experiments::ablations::run(&bear_bench::RunPlan::from_env());
+}

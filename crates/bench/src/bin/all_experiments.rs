@@ -1,0 +1,36 @@
+//! Runs the complete experiment campaign: every table and figure of the
+//! paper's evaluation, in order. Honors BEAR_QUICK / BEAR_CYCLES /
+//! BEAR_WARMUP / BEAR_SCALE.
+
+use bear_bench::experiments as ex;
+use bear_bench::RunPlan;
+use std::time::Instant;
+
+/// One experiment step: display name plus its entry point.
+type Step = (&'static str, fn(&RunPlan));
+
+fn main() {
+    let plan = RunPlan::from_env();
+    let t0 = Instant::now();
+    let steps: [Step; 14] = [
+        ("fig03", ex::fig03_designs::run),
+        ("fig04", ex::fig04_breakdown::run),
+        ("fig05", ex::fig05_prob_bypass::run),
+        ("fig07", ex::fig07_bab::run),
+        ("fig09", ex::fig09_dcp::run),
+        ("fig11", ex::fig11_ntc::run),
+        ("fig12", ex::fig12_bear::run),
+        ("table4", ex::table4_latency::run),
+        ("fig13", ex::fig13_bloat::run),
+        ("fig14", ex::fig14_sensitivity::run),
+        ("fig15", ex::fig15_banks::run),
+        ("fig16", ex::fig16_sram_tags::run),
+        ("fig17", ex::fig17_alternatives::run),
+        ("table5", ex::table5_overhead::run),
+    ];
+    for (name, f) in steps {
+        let t = Instant::now();
+        f(&plan);
+        println!("[{name} done in {:.1}s, total {:.1}s]\n", t.elapsed().as_secs_f64(), t0.elapsed().as_secs_f64());
+    }
+}

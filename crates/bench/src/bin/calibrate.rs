@@ -1,0 +1,47 @@
+//! Calibration probe: runs a handful of workloads on the key designs and
+//! prints the headline shape metrics (bloat factor, hit rate, latencies,
+//! speedup vs Alloy) plus wall-clock throughput of the simulator itself.
+
+use bear_bench::{config_for, f3, run_one, speedup, RunPlan};
+use bear_core::config::{BearFeatures, DesignKind};
+use bear_workloads::{rate_workloads, Workload};
+use std::time::Instant;
+
+fn main() {
+    let plan = RunPlan::from_env();
+    println!("plan: {plan:?}");
+    let names = ["libquantum", "mcf", "gcc", "GemsFDTD", "zeusmp"];
+    let workloads: Vec<Workload> = rate_workloads()
+        .into_iter()
+        .filter(|w| names.iter().any(|n| w.name == format!("rate:{n}")))
+        .collect();
+
+    for w in &workloads {
+        let t0 = Instant::now();
+        let alloy = run_one(&config_for(DesignKind::Alloy, BearFeatures::none(), &plan), w);
+        let secs = t0.elapsed().as_secs_f64();
+        let bear = run_one(&config_for(DesignKind::Alloy, BearFeatures::full(), &plan), w);
+        let opt = run_one(&config_for(DesignKind::BwOpt, BearFeatures::none(), &plan), w);
+        let lh = run_one(&config_for(DesignKind::LohHill, BearFeatures::none(), &plan), w);
+        println!("\n== {} (alloy run {:.1}s, {:.0} kcyc/s) ==", w.name, secs,
+                 (plan.warmup + plan.measure) as f64 / secs / 1e3);
+        for (name, s) in [("Alloy", &alloy), ("BEAR", &bear), ("BW-Opt", &opt), ("LH", &lh)] {
+            println!(
+                "{name:<8} bloat {:>7} hit% {:>6} hitlat {:>7} misslat {:>7} ipc {:>6} spd {:>6} l3hit% {:>5}",
+                f3(s.bloat.factor()),
+                f3(s.l4.hit_rate * 100.0),
+                f3(s.l4.hit_latency),
+                f3(s.l4.miss_latency),
+                f3(s.total_ipc()),
+                f3(speedup(w, s, &alloy)),
+                f3(s.l3_hit_rate * 100.0),
+            );
+            println!(
+                "         lookups {} hits {} fills {} byps {} wbhit% {:.1} mpa {} wpa {} sq {}",
+                s.l4.read_lookups, s.l4.read_hits, s.l4.fills, s.l4.bypasses,
+                s.l4.wb_hit_rate * 100.0,
+                s.l4.miss_probes_avoided, s.l4.wb_probes_avoided, s.l4.parallel_squashed,
+            );
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig03 result. See DESIGN.md §4.
+
+fn main() {
+    bear_bench::experiments::fig03_designs::run(&bear_bench::RunPlan::from_env());
+}

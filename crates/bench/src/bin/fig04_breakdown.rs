@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig04 result. See DESIGN.md §4.
+
+fn main() {
+    bear_bench::experiments::fig04_breakdown::run(&bear_bench::RunPlan::from_env());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig05 result. See DESIGN.md §4.
+
+fn main() {
+    bear_bench::experiments::fig05_prob_bypass::run(&bear_bench::RunPlan::from_env());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig07 result. See DESIGN.md §4.
+
+fn main() {
+    bear_bench::experiments::fig07_bab::run(&bear_bench::RunPlan::from_env());
+}

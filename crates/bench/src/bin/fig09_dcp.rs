@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig09 result. See DESIGN.md §4.
+
+fn main() {
+    bear_bench::experiments::fig09_dcp::run(&bear_bench::RunPlan::from_env());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig11 result. See DESIGN.md §4.
+
+fn main() {
+    bear_bench::experiments::fig11_ntc::run(&bear_bench::RunPlan::from_env());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig12 result. See DESIGN.md §4.
+
+fn main() {
+    bear_bench::experiments::fig12_bear::run(&bear_bench::RunPlan::from_env());
+}

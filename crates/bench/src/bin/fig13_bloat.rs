@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig13 result. See DESIGN.md §4.
+
+fn main() {
+    bear_bench::experiments::fig13_bloat::run(&bear_bench::RunPlan::from_env());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig14 result. See DESIGN.md §4.
+
+fn main() {
+    bear_bench::experiments::fig14_sensitivity::run(&bear_bench::RunPlan::from_env());
+}

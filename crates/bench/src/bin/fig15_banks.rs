@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig15 result. See DESIGN.md §4.
+
+fn main() {
+    bear_bench::experiments::fig15_banks::run(&bear_bench::RunPlan::from_env());
+}

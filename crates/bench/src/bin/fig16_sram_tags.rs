@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig16 result. See DESIGN.md §4.
+
+fn main() {
+    bear_bench::experiments::fig16_sram_tags::run(&bear_bench::RunPlan::from_env());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig17 result. See DESIGN.md §4.
+
+fn main() {
+    bear_bench::experiments::fig17_alternatives::run(&bear_bench::RunPlan::from_env());
+}

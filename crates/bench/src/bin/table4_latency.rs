@@ -1,0 +1,5 @@
+//! Regenerates the paper's table4 result. See DESIGN.md §4.
+
+fn main() {
+    bear_bench::experiments::table4_latency::run(&bear_bench::RunPlan::from_env());
+}

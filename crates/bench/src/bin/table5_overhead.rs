@@ -1,0 +1,5 @@
+//! Regenerates the paper's table5 result. See DESIGN.md §4.
+
+fn main() {
+    bear_bench::experiments::table5_overhead::run(&bear_bench::RunPlan::from_env());
+}

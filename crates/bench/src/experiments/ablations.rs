@@ -1,0 +1,87 @@
+//! Ablation studies of BEAR's design choices (extending the paper's
+//! Section 4.2 sensitivity discussion):
+//!
+//! 1. **Bypass probability**: the paper picked P = 90 % for BAB; we sweep
+//!    P ∈ {25, 50, 75, 90, 100} %.
+//! 2. **Duel slack Δ**: the paper found Δ = 1/16 best; we sweep
+//!    Δ ∈ {1/4, 1/8, 1/16, 1/32, 1/64}.
+//! 3. **Writeback allocation**: write-allocate (the baseline) vs
+//!    no-allocate (writeback misses go straight to memory).
+//! 4. **Temporal NTC** (§9.4): the paper suggests combining the spatial
+//!    neighbor-tag cache with a temporal tag cache; we measure the combo.
+//! 5. **Predictor organization**: MAP-I (PC-indexed, the baseline) vs the
+//!    cheaper global MAP-G.
+
+use crate::experiments::{rate_mix_all, run_suite, speedups};
+use crate::{banner, config_for, f3, print_row, suite_sensitivity, RunPlan};
+use bear_core::config::{BearFeatures, DesignKind, FillPolicy};
+
+/// Runs and prints all three ablations.
+pub fn run(plan: &RunPlan) {
+    let suite = suite_sensitivity();
+    let base = run_suite(
+        &config_for(DesignKind::Alloy, BearFeatures::none(), plan),
+        &suite,
+    );
+
+    banner("Ablation 1", "BAB bypass probability", plan);
+    print_row("P", ["speedup(R)", "(M)", "(ALL)"].map(String::from).as_ref());
+    for p in [0.25, 0.5, 0.75, 0.9, 1.0] {
+        let bear = BearFeatures {
+            fill_policy: FillPolicy::BandwidthAware(p),
+            ..BearFeatures::none()
+        };
+        let stats = run_suite(&config_for(DesignKind::Alloy, bear, plan), &suite);
+        let spd = speedups(&suite, &stats, &base);
+        let (r, m, a) = rate_mix_all(&suite, &spd);
+        print_row(&format!("{:.0}%", p * 100.0), &[f3(r), f3(m), f3(a)]);
+    }
+
+    banner("Ablation 2", "BAB duel slack Δ", plan);
+    print_row("delta", ["speedup(R)", "(M)", "(ALL)"].map(String::from).as_ref());
+    for shift in [2u32, 3, 4, 5, 6] {
+        let mut cfg = config_for(DesignKind::Alloy, BearFeatures::bab(), plan);
+        cfg.bab_delta_shift = shift;
+        let stats = run_suite(&cfg, &suite);
+        let spd = speedups(&suite, &stats, &base);
+        let (r, m, a) = rate_mix_all(&suite, &spd);
+        print_row(&format!("1/{}", 1u32 << shift), &[f3(r), f3(m), f3(a)]);
+    }
+
+    banner("Ablation 3", "Writeback allocation policy", plan);
+    print_row("policy", ["speedup(R)", "(M)", "(ALL)"].map(String::from).as_ref());
+    for (label, allocate) in [("allocate", true), ("no-allocate", false)] {
+        let mut cfg = config_for(DesignKind::Alloy, BearFeatures::none(), plan);
+        cfg.writeback_allocate = allocate;
+        let stats = run_suite(&cfg, &suite);
+        let spd = speedups(&suite, &stats, &base);
+        let (r, m, a) = rate_mix_all(&suite, &spd);
+        print_row(label, &[f3(r), f3(m), f3(a)]);
+    }
+
+    banner("Ablation 5", "MAP-I vs MAP-G predictor", plan);
+    print_row("predictor", ["speedup(R)", "(M)", "(ALL)"].map(String::from).as_ref());
+    for (label, kind) in [
+        ("MAP-I", bear_core::predictor::PredictorKind::MapI),
+        ("MAP-G", bear_core::predictor::PredictorKind::MapG),
+    ] {
+        let mut cfg = config_for(DesignKind::Alloy, BearFeatures::none(), plan);
+        cfg.predictor = kind;
+        let stats = run_suite(&cfg, &suite);
+        let spd = speedups(&suite, &stats, &base);
+        let (r, m, a) = rate_mix_all(&suite, &spd);
+        print_row(label, &[f3(r), f3(m), f3(a)]);
+    }
+
+    banner("Ablation 4", "Temporal NTC extension (§9.4)", plan);
+    print_row("ntc mode", ["speedup(R)", "(M)", "(ALL)"].map(String::from).as_ref());
+    for (label, bear) in [
+        ("spatial", BearFeatures::full()),
+        ("spatial+temporal", BearFeatures::full_with_temporal_ntc()),
+    ] {
+        let stats = run_suite(&config_for(DesignKind::Alloy, bear, plan), &suite);
+        let spd = speedups(&suite, &stats, &base);
+        let (r, m, a) = rate_mix_all(&suite, &spd);
+        print_row(label, &[f3(r), f3(m), f3(a)]);
+    }
+}

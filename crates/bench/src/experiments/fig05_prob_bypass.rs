@@ -1,0 +1,55 @@
+//! Figure 5: naive Probabilistic Bypass at P = 50 % and P = 90 % — hit
+//! latency reduction, hit-rate change, and speedup per rate workload.
+
+use crate::experiments::run_suite;
+use crate::{banner, config_for, f3, print_row, speedup, suite_rate, RunPlan};
+use bear_core::config::{BearFeatures, DesignKind, FillPolicy};
+
+/// Runs and prints the Figure 5 study.
+pub fn run(plan: &RunPlan) {
+    banner("Fig 5", "Probabilistic Bypass P=50% / P=90%", plan);
+    let suite = suite_rate();
+    let base = run_suite(
+        &config_for(DesignKind::Alloy, BearFeatures::none(), plan),
+        &suite,
+    );
+    let mut variants = Vec::new();
+    for p in [0.5, 0.9] {
+        let bear = BearFeatures {
+            fill_policy: FillPolicy::Probabilistic(p),
+            ..BearFeatures::none()
+        };
+        variants.push(run_suite(&config_for(DesignKind::Alloy, bear, plan), &suite));
+    }
+
+    print_row(
+        "workload",
+        ["dLat50%", "dLat90%", "dHit50", "dHit90", "spd50", "spd90"]
+            .map(String::from).as_ref(),
+    );
+    let mut spd = [Vec::new(), Vec::new()];
+    for (i, w) in suite.iter().enumerate() {
+        let b = &base[i];
+        let cells: Vec<String> = (0..2)
+            .map(|v| {
+                let s = &variants[v][i];
+                f3(1.0 - s.l4.hit_latency / b.l4.hit_latency.max(1e-9))
+            })
+            .chain((0..2).map(|v| {
+                let s = &variants[v][i];
+                f3(s.l4.hit_rate - b.l4.hit_rate)
+            }))
+            .chain((0..2).map(|v| {
+                let s = speedup(w, &variants[v][i], b);
+                spd[v].push(s);
+                f3(s)
+            }))
+            .collect();
+        print_row(&w.name, &cells);
+    }
+    println!(
+        "gmean speedups: P=50% {:.3}, P=90% {:.3}",
+        crate::gmean(&spd[0]),
+        crate::gmean(&spd[1]),
+    );
+}

@@ -1,0 +1,50 @@
+//! Figure 11: the Neighboring Tag Cache on top of BAB+DCP.
+
+use crate::experiments::{rate_mix_all, run_suite, speedups};
+use crate::{banner, config_for, f3, print_row, suite_all, RunPlan};
+use bear_core::config::{BearFeatures, DesignKind};
+
+/// Runs and prints the Figure 11 study.
+pub fn run(plan: &RunPlan) {
+    banner("Fig 11", "NTC over BAB+DCP", plan);
+    let suite = suite_all();
+    let base = run_suite(
+        &config_for(DesignKind::Alloy, BearFeatures::none(), plan),
+        &suite,
+    );
+    let variants = [
+        ("BAB", BearFeatures::bab()),
+        ("BAB+DCP", BearFeatures::bab_dcp()),
+        ("BEAR", BearFeatures::full()),
+    ];
+    let mut all_spd = Vec::new();
+    let mut runs = Vec::new();
+    for (_, bear) in variants {
+        let stats = run_suite(&config_for(DesignKind::Alloy, bear, plan), &suite);
+        all_spd.push(speedups(&suite, &stats, &base));
+        runs.push(stats);
+    }
+    print_row(
+        "workload",
+        ["BAB", "BAB+DCP", "+NTC", "probesAvoid", "squashed"]
+            .map(String::from).as_ref(),
+    );
+    for (i, w) in suite.iter().enumerate() {
+        if w.is_rate {
+            print_row(
+                &w.name,
+                &[
+                    f3(all_spd[0][i]),
+                    f3(all_spd[1][i]),
+                    f3(all_spd[2][i]),
+                    format!("{}", runs[2][i].l4.miss_probes_avoided),
+                    format!("{}", runs[2][i].l4.parallel_squashed),
+                ],
+            );
+        }
+    }
+    for ((label, _), spd) in variants.iter().zip(&all_spd) {
+        let (r, m, a) = rate_mix_all(&suite, spd);
+        println!("gmean {label:<8} RATE {r:.3}  MIX {m:.3}  ALL {a:.3}");
+    }
+}

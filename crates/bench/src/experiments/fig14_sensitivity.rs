@@ -1,0 +1,41 @@
+//! Figure 14: sensitivity of BEAR's gain to (a) DRAM-cache bandwidth
+//! (4×/8×/16× of commodity memory) and (b) capacity (512 MB / 1 GB / 2 GB
+//! at full scale). Speedups are normalized to Alloy *at each
+//! configuration*, as in the paper.
+
+use crate::experiments::{rate_mix_all, run_suite, speedups};
+use crate::{banner, config_for, f3, print_row, suite_sensitivity, RunPlan};
+use bear_core::config::{BearFeatures, DesignKind};
+use bear_dram::config::DramConfig;
+
+/// Runs and prints both Figure 14 sweeps.
+pub fn run(plan: &RunPlan) {
+    banner("Fig 14a", "Sensitivity to DRAM cache bandwidth", plan);
+    let suite = suite_sensitivity();
+    print_row("bandwidth", ["BEAR/Alloy(R)", "(M)", "(ALL)"].map(String::from).as_ref());
+    for factor in [4u32, 8, 16] {
+        let mut base_cfg = config_for(DesignKind::Alloy, BearFeatures::none(), plan);
+        base_cfg.cache_dram = DramConfig::stacked_cache_bandwidth(factor);
+        let mut bear_cfg = config_for(DesignKind::Alloy, BearFeatures::full(), plan);
+        bear_cfg.cache_dram = DramConfig::stacked_cache_bandwidth(factor);
+        let base = run_suite(&base_cfg, &suite);
+        let bear = run_suite(&bear_cfg, &suite);
+        let spd = speedups(&suite, &bear, &base);
+        let (r, m, a) = rate_mix_all(&suite, &spd);
+        print_row(&format!("{factor}x"), &[f3(r), f3(m), f3(a)]);
+    }
+
+    banner("Fig 14b", "Sensitivity to DRAM cache capacity", plan);
+    print_row("capacity", ["BEAR/Alloy(R)", "(M)", "(ALL)"].map(String::from).as_ref());
+    for (label, full_bytes) in [("0.5GB", 1u64 << 29), ("1GB", 1 << 30), ("2GB", 1 << 31)] {
+        let mut base_cfg = config_for(DesignKind::Alloy, BearFeatures::none(), plan);
+        base_cfg.l4_capacity_full = full_bytes;
+        let mut bear_cfg = config_for(DesignKind::Alloy, BearFeatures::full(), plan);
+        bear_cfg.l4_capacity_full = full_bytes;
+        let base = run_suite(&base_cfg, &suite);
+        let bear = run_suite(&bear_cfg, &suite);
+        let spd = speedups(&suite, &bear, &base);
+        let (r, m, a) = rate_mix_all(&suite, &spd);
+        print_row(label, &[f3(r), f3(m), f3(a)]);
+    }
+}

@@ -1,0 +1,25 @@
+//! Figure 15: sensitivity to the number of DRAM-cache banks (64 → 2048),
+//! separating bank-conflict relief from bus contention.
+
+use crate::experiments::{rate_mix_all, run_suite, speedups};
+use crate::{banner, config_for, f3, print_row, suite_sensitivity, RunPlan};
+use bear_core::config::{BearFeatures, DesignKind};
+
+/// Runs and prints the Figure 15 sweep.
+pub fn run(plan: &RunPlan) {
+    banner("Fig 15", "Sensitivity to DRAM cache banks", plan);
+    let suite = suite_sensitivity();
+    print_row("banks", ["BEAR/Alloy(R)", "(M)", "(ALL)"].map(String::from).as_ref());
+    for total_banks in [64u32, 128, 256, 512, 1024, 2048] {
+        let banks_per_rank = total_banks / 4; // 4 channels, 1 rank
+        let mut base_cfg = config_for(DesignKind::Alloy, BearFeatures::none(), plan);
+        base_cfg.cache_dram.topology.banks_per_rank = banks_per_rank;
+        let mut bear_cfg = config_for(DesignKind::Alloy, BearFeatures::full(), plan);
+        bear_cfg.cache_dram.topology.banks_per_rank = banks_per_rank;
+        let base = run_suite(&base_cfg, &suite);
+        let bear = run_suite(&bear_cfg, &suite);
+        let spd = speedups(&suite, &bear, &base);
+        let (r, m, a) = rate_mix_all(&suite, &spd);
+        print_row(&format!("{total_banks}"), &[f3(r), f3(m), f3(a)]);
+    }
+}

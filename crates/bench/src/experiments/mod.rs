@@ -1,0 +1,62 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! Every module exposes `run(plan: &RunPlan)` which simulates the required
+//! configurations and prints rows/series shaped like the paper's. The
+//! binaries in `src/bin/` are thin wrappers; `bin/all_experiments` runs the
+//! whole campaign.
+
+pub mod ablations;
+pub mod fig03_designs;
+pub mod fig04_breakdown;
+pub mod fig05_prob_bypass;
+pub mod fig07_bab;
+pub mod fig09_dcp;
+pub mod fig11_ntc;
+pub mod fig12_bear;
+pub mod fig13_bloat;
+pub mod fig14_sensitivity;
+pub mod fig15_banks;
+pub mod fig16_sram_tags;
+pub mod fig17_alternatives;
+pub mod table4_latency;
+pub mod table5_overhead;
+
+use crate::{run_one, speedup};
+use bear_core::config::SystemConfig;
+use bear_core::metrics::RunStats;
+use bear_workloads::Workload;
+
+/// Runs `cfg` over `workloads`, returning per-workload stats.
+pub fn run_suite(cfg: &SystemConfig, workloads: &[Workload]) -> Vec<RunStats> {
+    workloads.iter().map(|w| run_one(cfg, w)).collect()
+}
+
+/// Per-workload speedups of `sys` over `base` (same workload order).
+pub fn speedups(workloads: &[Workload], sys: &[RunStats], base: &[RunStats]) -> Vec<f64> {
+    workloads
+        .iter()
+        .zip(sys.iter().zip(base))
+        .map(|(w, (s, b))| speedup(w, s, b))
+        .collect()
+}
+
+/// Splits per-workload values into (rate gmean, mix gmean, all gmean).
+pub fn rate_mix_all(workloads: &[Workload], values: &[f64]) -> (f64, f64, f64) {
+    let rate: Vec<f64> = workloads
+        .iter()
+        .zip(values)
+        .filter(|(w, _)| w.is_rate)
+        .map(|(_, &v)| v)
+        .collect();
+    let mix: Vec<f64> = workloads
+        .iter()
+        .zip(values)
+        .filter(|(w, _)| !w.is_rate)
+        .map(|(_, &v)| v)
+        .collect();
+    (
+        crate::gmean(&rate),
+        crate::gmean(&mix),
+        crate::gmean(values),
+    )
+}

@@ -1,0 +1,42 @@
+//! Table 4: DRAM-cache hit rate and latency (hit / miss / average) for
+//! Alloy vs BEAR, aggregated over the full suite.
+
+use crate::experiments::run_suite;
+use crate::{banner, config_for, f3, print_row, suite_all, RunPlan};
+use bear_core::config::{BearFeatures, DesignKind};
+use bear_core::metrics::RunStats;
+
+fn aggregate(stats: &[RunStats]) -> (f64, f64, f64, f64) {
+    let (mut hits, mut lookups) = (0.0, 0.0);
+    let (mut hl, mut hn, mut ml, mut mn) = (0.0, 0.0, 0.0, 0.0);
+    for s in stats {
+        hits += s.l4.read_hits as f64;
+        lookups += s.l4.read_lookups as f64;
+        hl += s.l4.hit_latency * s.l4.read_hits as f64;
+        hn += s.l4.read_hits as f64;
+        let misses = (s.l4.read_lookups - s.l4.read_hits) as f64;
+        ml += s.l4.miss_latency * misses;
+        mn += misses;
+    }
+    let hit_rate = hits / lookups.max(1.0);
+    let hit_lat = hl / hn.max(1.0);
+    let miss_lat = ml / mn.max(1.0);
+    let avg = (hl + ml) / (hn + mn).max(1.0);
+    (hit_rate, hit_lat, miss_lat, avg)
+}
+
+/// Runs and prints Table 4.
+pub fn run(plan: &RunPlan) {
+    banner("Table 4", "DRAM cache hit-rate and latency", plan);
+    let suite = suite_all();
+    print_row(
+        "design",
+        ["hit_rate%", "hit_lat", "miss_lat", "avg_lat"]
+            .map(String::from).as_ref(),
+    );
+    for (label, bear) in [("Alloy", BearFeatures::none()), ("BEAR", BearFeatures::full())] {
+        let stats = run_suite(&config_for(DesignKind::Alloy, bear, plan), &suite);
+        let (hr, hl, ml, avg) = aggregate(&stats);
+        print_row(label, &[f3(hr * 100.0), f3(hl), f3(ml), f3(avg)]);
+    }
+}

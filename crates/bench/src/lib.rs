@@ -1,0 +1,236 @@
+#![warn(missing_docs)]
+
+//! Experiment harness for the BEAR reproduction.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §4 for the index). This library holds the shared runner:
+//! configuration presets, suite selection, normalized-speedup computation,
+//! and plain-text table formatting.
+//!
+//! Environment knobs (all optional):
+//! - `BEAR_QUICK=1` — shrink the suite (first 4 rate + 2 mixes) and halve
+//!   the simulated windows; useful for smoke-testing every binary.
+//! - `BEAR_WARMUP` / `BEAR_CYCLES` — override warmup/measure cycles.
+//! - `BEAR_SCALE` — override the joint capacity scale shift.
+
+use bear_core::config::{BearFeatures, DesignKind, SystemConfig};
+use bear_core::metrics::RunStats;
+use bear_core::system::System;
+use bear_cpu::metrics::{normalized_weighted_speedup, rate_mode_speedup};
+use bear_sim::stats::geometric_mean;
+use bear_workloads::{mix_workloads, named_mixes, rate_workloads, Workload};
+
+pub mod experiments;
+
+/// Cycle/scale parameters for one experiment campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct RunPlan {
+    /// Warmup cycles before statistics reset.
+    pub warmup: u64,
+    /// Measured cycles.
+    pub measure: u64,
+    /// Joint capacity scale shift (see DESIGN.md §2).
+    pub scale_shift: u32,
+}
+
+impl RunPlan {
+    /// The default experiment plan, honoring the environment knobs.
+    pub fn from_env() -> Self {
+        let quick = quick_mode();
+        let mut plan = RunPlan {
+            warmup: if quick { 400_000 } else { 1_500_000 },
+            measure: if quick { 300_000 } else { 1_000_000 },
+            scale_shift: 9,
+        };
+        if let Ok(v) = std::env::var("BEAR_WARMUP") {
+            plan.warmup = v.parse().expect("BEAR_WARMUP must be an integer");
+        }
+        if let Ok(v) = std::env::var("BEAR_CYCLES") {
+            plan.measure = v.parse().expect("BEAR_CYCLES must be an integer");
+        }
+        if let Ok(v) = std::env::var("BEAR_SCALE") {
+            plan.scale_shift = v.parse().expect("BEAR_SCALE must be an integer");
+        }
+        plan
+    }
+
+    /// Applies the plan to a configuration.
+    pub fn configure(&self, mut cfg: SystemConfig) -> SystemConfig {
+        cfg.scale_shift = self.scale_shift;
+        cfg.warmup_cycles = self.warmup;
+        cfg.measure_cycles = self.measure;
+        cfg
+    }
+}
+
+/// Whether `BEAR_QUICK` is set.
+pub fn quick_mode() -> bool {
+    std::env::var("BEAR_QUICK").is_ok_and(|v| v != "0")
+}
+
+/// The rate-mode suite (possibly truncated in quick mode).
+pub fn suite_rate() -> Vec<Workload> {
+    let mut v = rate_workloads();
+    if quick_mode() {
+        v.truncate(4);
+    }
+    v
+}
+
+/// The mix suite (possibly truncated in quick mode).
+pub fn suite_mix() -> Vec<Workload> {
+    let mut v = mix_workloads();
+    if quick_mode() {
+        v.truncate(2);
+    }
+    v
+}
+
+/// The full evaluation suite.
+pub fn suite_all() -> Vec<Workload> {
+    let mut v = suite_rate();
+    v.extend(suite_mix());
+    v
+}
+
+/// Reduced suite for multi-configuration sensitivity sweeps (the paper
+/// reports only aggregate bars for these): 16 rate + 8 named mixes.
+pub fn suite_sensitivity() -> Vec<Workload> {
+    let mut v = suite_rate();
+    let mut m = named_mixes();
+    if quick_mode() {
+        m.truncate(2);
+    }
+    v.extend(m);
+    v
+}
+
+/// Builds a configuration for `design` with `bear` features under `plan`.
+pub fn config_for(design: DesignKind, bear: BearFeatures, plan: &RunPlan) -> SystemConfig {
+    let mut cfg = plan.configure(SystemConfig::paper_baseline(design));
+    if matches!(design, DesignKind::Alloy) {
+        cfg.bear = bear;
+    }
+    cfg
+}
+
+/// Runs one workload under one configuration.
+pub fn run_one(cfg: &SystemConfig, workload: &Workload) -> RunStats {
+    let mut sys = System::build(cfg, workload);
+    let mut stats = sys.run(cfg.warmup_cycles, cfg.measure_cycles);
+    stats.workload = workload.name.clone();
+    stats
+}
+
+/// Normalized speedup of `sys` over `base` for `workload` (rate mode uses
+/// throughput, mixes use weighted speedup — Section 3.3).
+pub fn speedup(workload: &Workload, sys: &RunStats, base: &RunStats) -> f64 {
+    if workload.is_rate {
+        rate_mode_speedup(&sys.ipc_per_core, &base.ipc_per_core)
+    } else {
+        normalized_weighted_speedup(&sys.ipc_per_core, &base.ipc_per_core)
+    }
+}
+
+/// Geometric mean helper re-exported for the binaries.
+pub fn gmean(values: &[f64]) -> f64 {
+    geometric_mean(values)
+}
+
+/// Prints a row of fixed-width cells.
+pub fn print_row(label: &str, cells: &[String]) {
+    print!("{label:<16}");
+    for c in cells {
+        print!(" {c:>10}");
+    }
+    println!();
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a float with 1 decimal.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Prints the standard experiment header.
+pub fn banner(id: &str, title: &str, plan: &RunPlan) {
+    println!("=== {id}: {title} ===");
+    println!(
+        "(scale 1/{}, warmup {}, measure {} cycles{})",
+        1u64 << plan.scale_shift,
+        plan.warmup,
+        plan.measure,
+        if quick_mode() { ", QUICK mode" } else { "" }
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_configures_config() {
+        let plan = RunPlan {
+            warmup: 10,
+            measure: 20,
+            scale_shift: 9,
+        };
+        let cfg = plan.configure(SystemConfig::paper_baseline(DesignKind::Alloy));
+        assert_eq!(cfg.warmup_cycles, 10);
+        assert_eq!(cfg.measure_cycles, 20);
+        assert_eq!(cfg.scale_shift, 9);
+    }
+
+    #[test]
+    fn config_for_applies_bear_only_to_alloy() {
+        let plan = RunPlan {
+            warmup: 1,
+            measure: 1,
+            scale_shift: 9,
+        };
+        let bear = config_for(DesignKind::Alloy, BearFeatures::full(), &plan);
+        assert!(bear.bear.ntc);
+        let lh = config_for(DesignKind::LohHill, BearFeatures::full(), &plan);
+        assert!(!lh.bear.ntc, "non-Alloy designs ignore BEAR features");
+    }
+
+    #[test]
+    fn speedup_dispatches_on_mode() {
+        let rate = Workload::rate(bear_workloads::BenchmarkProfile::by_name("mcf").unwrap());
+        let a = RunStats {
+            ipc_per_core: vec![1.0, 1.0],
+            ..Default::default()
+        };
+        let b = RunStats {
+            ipc_per_core: vec![2.0, 0.5],
+            ..Default::default()
+        };
+        // Rate: throughput ratio (2.5/2); weighted: (2 + 0.5)/2 = 1.25.
+        assert!((speedup(&rate, &b, &a) - 1.25).abs() < 1e-12);
+        let mix = Workload::mix(
+            "m",
+            ["mcf", "lbm", "mcf", "lbm", "mcf", "lbm", "mcf", "lbm"],
+        );
+        let a8 = RunStats {
+            ipc_per_core: vec![1.0; 8],
+            ..Default::default()
+        };
+        let mut b8 = RunStats {
+            ipc_per_core: vec![1.0; 8],
+            ..Default::default()
+        };
+        b8.ipc_per_core[0] = 3.0;
+        assert!((speedup(&mix, &b8, &a8) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f1(1.26), "1.3");
+        assert!((gmean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests: the set-associative cache against a reference model.
+
+use bear_cache::{CacheGeometry, MissMap, ReplacementPolicy, SetAssocCache};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+proptest! {
+    /// Contents always agree with a naive map model (ignoring replacement
+    /// choice): a line reported present was filled and not displaced, and
+    /// the number of valid lines per set never exceeds the associativity.
+    #[test]
+    fn set_assoc_contents_sound(
+        addrs in prop::collection::vec(0u64..4096, 1..300),
+        writes in prop::collection::vec(any::<bool>(), 1..300),
+    ) {
+        let geom = CacheGeometry::new(2048, 2, 64); // 16 sets × 2 ways
+        let mut cache: SetAssocCache<()> = SetAssocCache::new(geom, ReplacementPolicy::Lru);
+        let mut resident: HashSet<u64> = HashSet::new();
+        for (i, &a) in addrs.iter().enumerate() {
+            let addr = a * 64;
+            let w = writes[i % writes.len()];
+            let hit = cache.access(addr, w).is_some();
+            prop_assert_eq!(hit, resident.contains(&addr), "addr {}", addr);
+            if !hit {
+                if let Some(v) = cache.fill(addr, false, ()) {
+                    prop_assert!(resident.remove(&v.addr), "victim {:x} unknown", v.addr);
+                }
+                resident.insert(addr);
+            }
+            prop_assert!(resident.len() as u64 <= geom.lines());
+        }
+        prop_assert_eq!(cache.occupancy(), resident.len() as u64);
+    }
+
+    /// Dirty state round-trips: a line written is dirty at eviction unless
+    /// marked clean in between.
+    #[test]
+    fn dirty_bits_tracked(ops in prop::collection::vec((0u64..64, any::<bool>()), 1..200)) {
+        let geom = CacheGeometry::new(1024, 2, 64); // 8 sets × 2 ways
+        let mut cache: SetAssocCache<()> = SetAssocCache::new(geom, ReplacementPolicy::Lru);
+        let mut dirty: HashMap<u64, bool> = HashMap::new();
+        for &(a, w) in &ops {
+            let addr = a * 64;
+            if cache.access(addr, w).is_some() {
+                if w {
+                    dirty.insert(addr, true);
+                }
+            } else {
+                if let Some(v) = cache.fill(addr, w, ()) {
+                    let expect = dirty.remove(&v.addr).unwrap_or(false);
+                    prop_assert_eq!(v.dirty, expect, "victim {:x}", v.addr);
+                }
+                dirty.insert(addr, w);
+            }
+        }
+    }
+
+    /// The MissMap is an exact set.
+    #[test]
+    fn missmap_is_a_set(ops in prop::collection::vec((0u64..1024, any::<bool>()), 1..300)) {
+        let mut m = MissMap::new();
+        let mut model: HashSet<u64> = HashSet::new();
+        for &(line, insert) in &ops {
+            let addr = line * 64;
+            if insert {
+                m.insert(addr);
+                model.insert(line);
+            } else {
+                m.remove(addr);
+                model.remove(&line);
+            }
+            prop_assert_eq!(m.contains(addr), model.contains(&line));
+        }
+        prop_assert_eq!(m.len(), model.len() as u64);
+    }
+
+    /// Geometry decompose/recompose is a bijection on line addresses.
+    #[test]
+    fn geometry_roundtrip(addr in 0u64..(1 << 40)) {
+        let geom = CacheGeometry::new(8 << 20, 16, 64);
+        let aligned = addr & !63;
+        let (set, tag) = geom.decompose(aligned);
+        prop_assert!(set < geom.sets());
+        prop_assert_eq!(geom.recompose(set, tag), aligned);
+    }
+}

@@ -1,0 +1,395 @@
+//! Functional content models for tags-in-DRAM caches.
+//!
+//! The DRAM-cache *timing* is produced by `bear-dram`; these structures
+//! model what the in-DRAM tag store would say — which line occupies each
+//! set/way and whether it is dirty. [`DirectStore`] backs the Alloy family
+//! (one TAD per set); [`AssocStore`] backs the 29-way Loh-Hill row
+//! organization.
+
+/// Occupant of a direct-mapped set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Occupant {
+    /// Tag (line address divided by set count).
+    pub tag: u64,
+    /// Dirty bit.
+    pub dirty: bool,
+}
+
+/// Direct-mapped tag/dirty store (the Alloy Cache's contents).
+#[derive(Debug, Clone)]
+pub struct DirectStore {
+    /// Per-set packed entry: `tag << 2 | dirty << 1 | valid`.
+    slots: Vec<u64>,
+    sets: u64,
+}
+
+impl DirectStore {
+    /// Creates an empty store with `sets` sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is zero.
+    pub fn new(sets: u64) -> Self {
+        assert!(sets > 0);
+        DirectStore {
+            slots: vec![0; sets as usize],
+            sets,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.sets
+    }
+
+    /// Splits a line address into (set, tag).
+    #[inline]
+    pub fn decompose(&self, line: u64) -> (u64, u64) {
+        (line % self.sets, line / self.sets)
+    }
+
+    /// Reconstructs a line address.
+    #[inline]
+    pub fn recompose(&self, set: u64, tag: u64) -> u64 {
+        tag * self.sets + set
+    }
+
+    /// Current occupant of `set`.
+    #[inline]
+    pub fn occupant(&self, set: u64) -> Option<Occupant> {
+        let e = self.slots[set as usize];
+        if e & 1 == 0 {
+            None
+        } else {
+            Some(Occupant {
+                tag: e >> 2,
+                dirty: e & 2 != 0,
+            })
+        }
+    }
+
+    /// Whether `line` is present.
+    pub fn contains(&self, line: u64) -> bool {
+        let (set, tag) = self.decompose(line);
+        matches!(self.occupant(set), Some(o) if o.tag == tag)
+    }
+
+    /// Installs `line`, returning the displaced line address and dirty
+    /// state, if the set held a *different* line.
+    pub fn install(&mut self, line: u64, dirty: bool) -> Option<(u64, bool)> {
+        let (set, tag) = self.decompose(line);
+        let prev = self.occupant(set);
+        self.slots[set as usize] = (tag << 2) | ((dirty as u64) << 1) | 1;
+        match prev {
+            Some(o) if o.tag != tag => Some((self.recompose(set, o.tag), o.dirty)),
+            _ => None,
+        }
+    }
+
+    /// Marks `line` dirty if present; returns whether it was present.
+    pub fn mark_dirty(&mut self, line: u64) -> bool {
+        let (set, tag) = self.decompose(line);
+        match self.occupant(set) {
+            Some(o) if o.tag == tag => {
+                self.slots[set as usize] |= 2;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Removes `line` if present; returns whether it was present.
+    pub fn remove(&mut self, line: u64) -> bool {
+        let (set, tag) = self.decompose(line);
+        match self.occupant(set) {
+            Some(o) if o.tag == tag => {
+                self.slots[set as usize] = 0;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of valid sets (O(n); diagnostics).
+    pub fn occupancy(&self) -> u64 {
+        self.slots.iter().filter(|&&e| e & 1 != 0).count() as u64
+    }
+}
+
+/// One way of an associative set.
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    valid: bool,
+    tag: u64,
+    dirty: bool,
+    lru: u32,
+}
+
+/// Result of an associative install.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AssocVictim {
+    /// Displaced line address.
+    pub line: u64,
+    /// Whether the victim was dirty.
+    pub dirty: bool,
+}
+
+/// Set-associative tag/dirty store with LRU (the Loh-Hill row organization:
+/// 29 ways per 2 KB row).
+#[derive(Debug, Clone)]
+pub struct AssocStore {
+    ways: u32,
+    sets: u64,
+    slots: Vec<Way>,
+    clock: u32,
+}
+
+impl AssocStore {
+    /// Creates an empty store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(sets: u64, ways: u32) -> Self {
+        assert!(sets > 0 && ways > 0);
+        AssocStore {
+            ways,
+            sets,
+            slots: vec![Way::default(); (sets * ways as u64) as usize],
+            clock: 0,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    /// Splits a line address into (set, tag).
+    #[inline]
+    pub fn decompose(&self, line: u64) -> (u64, u64) {
+        (line % self.sets, line / self.sets)
+    }
+
+    fn range(&self, set: u64) -> std::ops::Range<usize> {
+        let s = (set * self.ways as u64) as usize;
+        s..s + self.ways as usize
+    }
+
+    fn find(&self, line: u64) -> Option<usize> {
+        let (set, tag) = self.decompose(line);
+        let r = self.range(set);
+        self.slots[r.clone()]
+            .iter()
+            .position(|w| w.valid && w.tag == tag)
+            .map(|i| r.start + i)
+    }
+
+    /// Whether `line` is present; touches LRU when `touch` is set.
+    pub fn probe(&mut self, line: u64, touch: bool) -> bool {
+        match self.find(line) {
+            Some(i) => {
+                if touch {
+                    self.clock += 1;
+                    self.slots[i].lru = self.clock;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Presence check without LRU update.
+    pub fn contains(&self, line: u64) -> bool {
+        self.find(line).is_some()
+    }
+
+    /// Dirty state of `line` if present.
+    pub fn is_dirty(&self, line: u64) -> Option<bool> {
+        self.find(line).map(|i| self.slots[i].dirty)
+    }
+
+    /// Installs `line`, evicting LRU if the set is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the line is already present.
+    pub fn install(&mut self, line: u64, dirty: bool) -> Option<AssocVictim> {
+        debug_assert!(self.find(line).is_none(), "install of present line");
+        let (set, tag) = self.decompose(line);
+        let r = self.range(set);
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(i) = self.slots[r.clone()].iter().position(|w| !w.valid) {
+            let w = &mut self.slots[r.start + i];
+            *w = Way {
+                valid: true,
+                tag,
+                dirty,
+                lru: clock,
+            };
+            return None;
+        }
+        let i = self.slots[r.clone()]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| w.lru)
+            .map(|(i, _)| r.start + i)
+            .expect("ways non-empty");
+        let victim = AssocVictim {
+            line: self.slots[i].tag * self.sets + set,
+            dirty: self.slots[i].dirty,
+        };
+        self.slots[i] = Way {
+            valid: true,
+            tag,
+            dirty,
+            lru: clock,
+        };
+        Some(victim)
+    }
+
+    /// Marks `line` dirty; returns whether it was present.
+    pub fn mark_dirty(&mut self, line: u64) -> bool {
+        match self.find(line) {
+            Some(i) => {
+                self.slots[i].dirty = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes `line`; returns whether it was present.
+    pub fn remove(&mut self, line: u64) -> bool {
+        match self.find(line) {
+            Some(i) => {
+                self.slots[i].valid = false;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_install_and_lookup() {
+        let mut s = DirectStore::new(16);
+        assert!(!s.contains(5));
+        assert_eq!(s.install(5, false), None);
+        assert!(s.contains(5));
+        assert!(!s.contains(5 + 16), "same set, different tag");
+        assert_eq!(s.occupancy(), 1);
+    }
+
+    #[test]
+    fn direct_conflict_reports_victim() {
+        let mut s = DirectStore::new(16);
+        s.install(5, true);
+        let v = s.install(5 + 16, false);
+        assert_eq!(v, Some((5, true)));
+        assert!(s.contains(5 + 16));
+        assert!(!s.contains(5));
+    }
+
+    #[test]
+    fn direct_reinstall_same_line_no_victim() {
+        let mut s = DirectStore::new(16);
+        s.install(5, false);
+        assert_eq!(s.install(5, true), None);
+        assert_eq!(
+            s.occupant(5),
+            Some(Occupant { tag: 0, dirty: true })
+        );
+    }
+
+    #[test]
+    fn direct_dirty_and_remove() {
+        let mut s = DirectStore::new(16);
+        s.install(7, false);
+        assert!(s.mark_dirty(7));
+        assert!(!s.mark_dirty(7 + 16));
+        assert_eq!(s.occupant(7).map(|o| o.dirty), Some(true));
+        assert!(s.remove(7));
+        assert!(!s.remove(7));
+        assert_eq!(s.occupancy(), 0);
+    }
+
+    #[test]
+    fn direct_decompose_recompose() {
+        let s = DirectStore::new(1024);
+        let line = 0x0DEA_DBEE;
+        let (set, tag) = s.decompose(line);
+        assert_eq!(s.recompose(set, tag), line);
+    }
+
+    #[test]
+    fn assoc_fills_all_ways_before_evicting() {
+        let mut s = AssocStore::new(4, 3);
+        assert_eq!(s.install(0, false), None); // set 0
+        assert_eq!(s.install(4, false), None);
+        assert_eq!(s.install(8, false), None);
+        assert!(s.contains(0) && s.contains(4) && s.contains(8));
+        let v = s.install(12, false).expect("set full");
+        assert_eq!(v.line, 0);
+    }
+
+    #[test]
+    fn assoc_lru_respects_touches() {
+        let mut s = AssocStore::new(4, 2);
+        s.install(0, false);
+        s.install(4, false);
+        assert!(s.probe(0, true)); // 0 becomes MRU
+        let v = s.install(8, false).unwrap();
+        assert_eq!(v.line, 4);
+    }
+
+    #[test]
+    fn assoc_probe_without_touch_keeps_order() {
+        let mut s = AssocStore::new(4, 2);
+        s.install(0, false);
+        s.install(4, false);
+        assert!(s.probe(0, false));
+        let v = s.install(8, false).unwrap();
+        assert_eq!(v.line, 0, "untouched probe must not promote");
+    }
+
+    #[test]
+    fn assoc_dirty_propagates_to_victim() {
+        let mut s = AssocStore::new(2, 2);
+        s.install(0, false);
+        s.mark_dirty(0);
+        assert_eq!(s.is_dirty(0), Some(true));
+        s.install(2, false);
+        let v = s.install(4, false).unwrap();
+        assert!(v.dirty);
+        assert_eq!(v.line, 0);
+    }
+
+    #[test]
+    fn assoc_remove_frees_way() {
+        let mut s = AssocStore::new(2, 2);
+        s.install(0, false);
+        s.install(2, false);
+        assert!(s.remove(0));
+        assert_eq!(s.install(4, false), None, "freed way reused");
+        assert!(!s.remove(0));
+    }
+
+    #[test]
+    fn assoc_shape_accessors() {
+        let s = AssocStore::new(8, 29);
+        assert_eq!(s.sets(), 8);
+        assert_eq!(s.ways(), 29);
+        assert_eq!(s.is_dirty(0), None);
+    }
+}

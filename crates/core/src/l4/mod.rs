@@ -1,0 +1,225 @@
+//! DRAM-cache (L4) controllers.
+//!
+//! Every organization the paper evaluates implements [`L4Cache`]: the
+//! baseline Alloy family with the BEAR techniques ([`alloy`]), the Loh-Hill
+//! and Mostly-Clean row-associative designs ([`loh_hill`]), the
+//! Tags-in-SRAM and Sector Cache comparison points ([`sram_tags`]), and the
+//! no-DRAM-cache pass-through ([`no_cache`]). [`placement`] maps cache sets
+//! onto DRAM rows/banks/channels.
+
+pub mod alloy;
+pub mod loh_hill;
+pub mod no_cache;
+pub mod placement;
+pub mod sram_tags;
+
+use crate::config::{DesignKind, SystemConfig};
+use crate::harness::DeviceHarness;
+use bear_sim::stats::RunningMean;
+use bear_sim::time::Cycle;
+
+/// A demand line returning to the L3/core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Line address (byte address / 64).
+    pub line: u64,
+    /// Whether the line was serviced from the DRAM cache.
+    pub l4_hit: bool,
+    /// Whether the line resides in the DRAM cache after this transaction
+    /// (sets the L3's DRAM-Cache-Presence bit).
+    pub in_l4: bool,
+}
+
+/// Per-tick outputs of an L4 controller.
+#[derive(Debug, Default)]
+pub struct L4Outputs {
+    /// Demand lines completing this tick.
+    pub deliveries: Vec<Delivery>,
+    /// Lines evicted from the DRAM cache this tick (drives DCP clearing and
+    /// inclusive back-invalidation).
+    pub evictions: Vec<u64>,
+}
+
+impl L4Outputs {
+    /// Clears both lists for reuse across ticks.
+    pub fn clear(&mut self) {
+        self.deliveries.clear();
+        self.evictions.clear();
+    }
+}
+
+/// Statistics common to every L4 organization.
+#[derive(Debug, Clone, Default)]
+pub struct L4Stats {
+    /// Demand reads submitted.
+    pub read_lookups: u64,
+    /// Demand reads serviced by the DRAM cache.
+    pub read_hits: u64,
+    /// Writebacks submitted.
+    pub wb_lookups: u64,
+    /// Writebacks that found their line present.
+    pub wb_hits: u64,
+    /// Demand-hit latency (submit → data), CPU cycles.
+    pub hit_latency: RunningMean,
+    /// Demand-miss latency (submit → data), CPU cycles.
+    pub miss_latency: RunningMean,
+    /// Lines delivered to the processor from the DRAM cache (the Bloat
+    /// Factor denominator).
+    pub useful_lines: u64,
+    /// Miss fills performed.
+    pub fills: u64,
+    /// Miss fills bypassed.
+    pub bypasses: u64,
+    /// Miss Probes avoided by the NTC.
+    pub miss_probes_avoided: u64,
+    /// Writeback Probes avoided by DCP.
+    pub wb_probes_avoided: u64,
+    /// Parallel memory accesses squashed by the NTC.
+    pub parallel_squashed: u64,
+    /// Parallel memory accesses that proved wasteful (probe hit anyway).
+    pub wasted_parallel: u64,
+    /// Lines evicted from the DRAM cache.
+    pub evictions: u64,
+}
+
+impl L4Stats {
+    /// Demand-read hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        if self.read_lookups == 0 {
+            0.0
+        } else {
+            self.read_hits as f64 / self.read_lookups as f64
+        }
+    }
+
+    /// Writeback hit rate.
+    pub fn wb_hit_rate(&self) -> f64 {
+        if self.wb_lookups == 0 {
+            0.0
+        } else {
+            self.wb_hits as f64 / self.wb_lookups as f64
+        }
+    }
+
+    /// Mean demand latency across hits and misses.
+    pub fn avg_latency(&self) -> f64 {
+        let n = self.hit_latency.count() + self.miss_latency.count();
+        if n == 0 {
+            0.0
+        } else {
+            (self.hit_latency.sum() + self.miss_latency.sum()) / n as f64
+        }
+    }
+
+    /// Resets all counters and latency accumulators.
+    pub fn reset(&mut self) {
+        *self = L4Stats::default();
+    }
+}
+
+/// Interface every DRAM-cache organization implements.
+///
+/// The controller owns both DRAM devices (stacked cache and commodity
+/// memory); all memory-system traffic flows through it.
+pub trait L4Cache {
+    /// Submits a demand read for `line` (64 B line address) issued by
+    /// instruction `pc` on `core`.
+    fn submit_read(&mut self, line: u64, pc: u64, core: u32, now: Cycle);
+
+    /// Submits a writeback of a dirty line evicted from the L3.
+    ///
+    /// `dcp_hint` carries the L3's DRAM-Cache-Presence bit when the DCP
+    /// technique is active (`None` otherwise).
+    fn submit_writeback(&mut self, line: u64, dcp_hint: Option<bool>, now: Cycle);
+
+    /// Writes `line` directly to main memory (inclusive back-invalidation
+    /// of a dirty L3 line, or writebacks in the no-cache design).
+    fn submit_direct_mem_write(&mut self, line: u64, now: Cycle);
+
+    /// Advances one CPU cycle: progresses DRAM devices and transaction
+    /// state machines, appending results to `out`.
+    fn tick(&mut self, now: Cycle, out: &mut L4Outputs);
+
+    /// Statistics view.
+    fn stats(&self) -> &L4Stats;
+
+    /// Resets statistics (including device byte counters).
+    fn reset_stats(&mut self);
+
+    /// Device harness (byte accounting lives on the devices).
+    fn harness(&self) -> &DeviceHarness;
+
+    /// Outstanding transactions (for drain checks in tests).
+    fn pending_txns(&self) -> usize;
+}
+
+/// Builds the controller for `cfg.design`.
+pub fn build_controller(cfg: &SystemConfig) -> Box<dyn L4Cache> {
+    match cfg.design {
+        DesignKind::NoCache => Box::new(no_cache::NoCacheController::new(cfg)),
+        DesignKind::Alloy | DesignKind::InclusiveAlloy | DesignKind::BwOpt => {
+            Box::new(alloy::AlloyController::new(cfg))
+        }
+        DesignKind::LohHill | DesignKind::MostlyClean => {
+            Box::new(loh_hill::LohHillController::new(cfg))
+        }
+        DesignKind::TagsInSram => Box::new(sram_tags::TisController::new(cfg)),
+        DesignKind::SectorCache => Box::new(sram_tags::SectorController::new(cfg)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_rates() {
+        let mut s = L4Stats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.wb_hit_rate(), 0.0);
+        assert_eq!(s.avg_latency(), 0.0);
+        s.read_lookups = 10;
+        s.read_hits = 6;
+        s.wb_lookups = 4;
+        s.wb_hits = 3;
+        s.hit_latency.record(100.0);
+        s.miss_latency.record(300.0);
+        assert!((s.hit_rate() - 0.6).abs() < 1e-12);
+        assert!((s.wb_hit_rate() - 0.75).abs() < 1e-12);
+        assert!((s.avg_latency() - 200.0).abs() < 1e-12);
+        s.reset();
+        assert_eq!(s.read_lookups, 0);
+    }
+
+    #[test]
+    fn outputs_clear() {
+        let mut o = L4Outputs::default();
+        o.deliveries.push(Delivery {
+            line: 1,
+            l4_hit: true,
+            in_l4: true,
+        });
+        o.evictions.push(9);
+        o.clear();
+        assert!(o.deliveries.is_empty() && o.evictions.is_empty());
+    }
+
+    #[test]
+    fn build_controller_covers_every_design() {
+        use crate::config::SystemConfig;
+        for design in [
+            DesignKind::NoCache,
+            DesignKind::Alloy,
+            DesignKind::InclusiveAlloy,
+            DesignKind::BwOpt,
+            DesignKind::LohHill,
+            DesignKind::MostlyClean,
+            DesignKind::TagsInSram,
+            DesignKind::SectorCache,
+        ] {
+            let cfg = SystemConfig::paper_baseline(design);
+            let ctrl = build_controller(&cfg);
+            assert_eq!(ctrl.pending_txns(), 0, "{design:?} starts idle");
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! No-DRAM-cache pass-through controller.
+//!
+//! Figure 17 normalizes every DRAM-cache design against a system without
+//! one: all LLC misses fetch from commodity memory and all dirty LLC
+//! evictions write back to it.
+
+use crate::config::SystemConfig;
+use crate::harness::{DeviceHarness, Leg, RoutedCompletion};
+use crate::l4::{Delivery, L4Cache, L4Outputs, L4Stats};
+use crate::traffic::MemTraffic;
+use bear_sim::time::Cycle;
+use std::collections::HashMap;
+
+/// Pass-through "controller": memory only.
+#[derive(Debug)]
+pub struct NoCacheController {
+    harness: DeviceHarness,
+    reads: HashMap<u64, (u64, Cycle)>,
+    next_txn: u64,
+    stats: L4Stats,
+    completions: Vec<RoutedCompletion>,
+}
+
+impl NoCacheController {
+    /// Builds the pass-through controller.
+    pub fn new(cfg: &SystemConfig) -> Self {
+        NoCacheController {
+            harness: DeviceHarness::new(cfg.cache_dram, cfg.mem_dram),
+            reads: HashMap::new(),
+            next_txn: 0,
+            stats: L4Stats::default(),
+            completions: Vec::new(),
+        }
+    }
+}
+
+impl L4Cache for NoCacheController {
+    fn submit_read(&mut self, line: u64, _pc: u64, _core: u32, now: Cycle) {
+        self.stats.read_lookups += 1;
+        self.next_txn += 1;
+        self.reads.insert(self.next_txn, (line, now));
+        self.harness
+            .mem_read(self.next_txn, line, MemTraffic::DemandRead.class(), now);
+    }
+
+    fn submit_writeback(&mut self, line: u64, _dcp_hint: Option<bool>, now: Cycle) {
+        self.stats.wb_lookups += 1;
+        self.submit_direct_mem_write(line, now);
+    }
+
+    fn submit_direct_mem_write(&mut self, line: u64, now: Cycle) {
+        self.next_txn += 1;
+        self.harness
+            .mem_write(self.next_txn, line, MemTraffic::Writeback.class(), now);
+    }
+
+    fn tick(&mut self, now: Cycle, out: &mut L4Outputs) {
+        let mut completions = std::mem::take(&mut self.completions);
+        completions.clear();
+        self.harness.tick(now, &mut completions);
+        for c in &completions {
+            if c.leg == Leg::MemRead {
+                if let Some((line, arrival)) = self.reads.remove(&c.txn) {
+                    self.stats.miss_latency.record((c.finish - arrival) as f64);
+                    out.deliveries.push(Delivery {
+                        line,
+                        l4_hit: false,
+                        in_l4: false,
+                    });
+                }
+            }
+        }
+        self.completions = completions;
+    }
+
+    fn stats(&self) -> &L4Stats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+        self.harness.cache.reset_stats();
+        self.harness.mem.reset_stats();
+    }
+
+    fn harness(&self) -> &DeviceHarness {
+        &self.harness
+    }
+
+    fn pending_txns(&self) -> usize {
+        self.reads.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DesignKind, SystemConfig};
+
+    #[test]
+    fn reads_come_from_memory_only() {
+        let cfg = SystemConfig::paper_baseline(DesignKind::NoCache);
+        let mut ctrl = NoCacheController::new(&cfg);
+        let mut out = L4Outputs::default();
+        ctrl.submit_read(0x10, 0, 0, Cycle(0));
+        let mut t = 0u64;
+        while ctrl.pending_txns() > 0 {
+            ctrl.tick(Cycle(t), &mut out);
+            t += 1;
+            assert!(t < 100_000);
+        }
+        assert_eq!(out.deliveries.len(), 1);
+        assert!(!out.deliveries[0].l4_hit);
+        assert!(!out.deliveries[0].in_l4);
+        assert_eq!(ctrl.harness.cache.total_bytes(), 0, "cache device unused");
+        assert_eq!(
+            ctrl.harness.mem.bytes_in_class(MemTraffic::DemandRead.class()),
+            64
+        );
+        assert_eq!(ctrl.stats().hit_rate(), 0.0);
+        assert!(ctrl.stats().miss_latency.mean() > 0.0);
+    }
+
+    #[test]
+    fn writebacks_go_to_memory() {
+        let cfg = SystemConfig::paper_baseline(DesignKind::NoCache);
+        let mut ctrl = NoCacheController::new(&cfg);
+        let mut out = L4Outputs::default();
+        ctrl.submit_writeback(0x20, None, Cycle(0));
+        for t in 0..50_000u64 {
+            ctrl.tick(Cycle(t), &mut out);
+        }
+        assert_eq!(
+            ctrl.harness.mem.bytes_in_class(MemTraffic::Writeback.class()),
+            64
+        );
+        assert_eq!(ctrl.stats().wb_lookups, 1);
+    }
+}

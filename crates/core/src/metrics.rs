@@ -1,0 +1,223 @@
+//! Run-level metrics: the Bloat Factor (Equation 1), its per-category
+//! breakdown (Figures 4 and 13), cache latencies (Table 4), and per-core
+//! throughput used for speedups.
+
+use crate::l4::L4Stats;
+use crate::traffic::BloatCategory;
+use bear_dram::device::DramDevice;
+
+/// Per-category DRAM-cache byte accounting normalized to useful bytes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BloatBreakdown {
+    /// Bytes per category, in [`BloatCategory::ALL`] order.
+    pub bytes: [u64; BloatCategory::ALL.len()],
+    /// Lines delivered to the processor from the DRAM cache.
+    pub useful_lines: u64,
+}
+
+impl BloatBreakdown {
+    /// Collects the breakdown from a cache device and controller stats.
+    pub fn collect(cache_device: &DramDevice, stats: &L4Stats) -> Self {
+        let mut bytes = [0u64; BloatCategory::ALL.len()];
+        for (i, cat) in BloatCategory::ALL.iter().enumerate() {
+            bytes[i] = cache_device.bytes_in_class(cat.class());
+        }
+        BloatBreakdown {
+            bytes,
+            useful_lines: stats.useful_lines,
+        }
+    }
+
+    /// Useful bytes: lines delivered × 64 (the Equation 1 denominator).
+    pub fn useful_bytes(&self) -> u64 {
+        self.useful_lines * 64
+    }
+
+    /// Total bytes moved on the DRAM-cache bus.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// The Bloat Factor (Equation 1). Returns 0 when no useful bytes moved
+    /// (e.g. the no-cache design).
+    pub fn factor(&self) -> f64 {
+        if self.useful_lines == 0 {
+            0.0
+        } else {
+            self.total_bytes() as f64 / self.useful_bytes() as f64
+        }
+    }
+
+    /// Contribution of one category to the Bloat Factor.
+    pub fn component(&self, cat: BloatCategory) -> f64 {
+        if self.useful_lines == 0 {
+            0.0
+        } else {
+            self.bytes[cat as usize] as f64 / self.useful_bytes() as f64
+        }
+    }
+
+    /// Merges another breakdown (for suite-level aggregation).
+    pub fn merge(&mut self, other: &BloatBreakdown) {
+        for (a, b) in self.bytes.iter_mut().zip(other.bytes) {
+            *a += b;
+        }
+        self.useful_lines += other.useful_lines;
+    }
+}
+
+/// Everything a single simulation run reports.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Workload name.
+    pub workload: String,
+    /// Design label.
+    pub design: String,
+    /// Measured cycles.
+    pub cycles: u64,
+    /// Per-core instructions retired during measurement.
+    pub insts_per_core: Vec<u64>,
+    /// Per-core IPC during measurement.
+    pub ipc_per_core: Vec<f64>,
+    /// DRAM-cache (L4) statistics.
+    pub l4: L4StatsSnapshot,
+    /// Bloat accounting.
+    pub bloat: BloatBreakdown,
+    /// L3 demand hit rate.
+    pub l3_hit_rate: f64,
+    /// Mean queueing latency of cache-device reads (diagnostics).
+    pub cache_read_queue_latency: f64,
+    /// Total bytes moved on the memory device (diagnostics).
+    pub mem_bytes: u64,
+}
+
+/// Copyable snapshot of the controller statistics.
+#[derive(Debug, Clone, Default)]
+pub struct L4StatsSnapshot {
+    /// Demand reads submitted.
+    pub read_lookups: u64,
+    /// Demand reads that hit.
+    pub read_hits: u64,
+    /// Demand hit rate.
+    pub hit_rate: f64,
+    /// Writeback hit rate.
+    pub wb_hit_rate: f64,
+    /// Mean demand-hit latency in cycles.
+    pub hit_latency: f64,
+    /// Mean demand-miss latency in cycles.
+    pub miss_latency: f64,
+    /// Mean demand latency in cycles.
+    pub avg_latency: f64,
+    /// Fills performed / bypassed.
+    pub fills: u64,
+    /// Miss fills bypassed.
+    pub bypasses: u64,
+    /// Miss Probes avoided (NTC).
+    pub miss_probes_avoided: u64,
+    /// Writeback Probes avoided (DCP/inclusion).
+    pub wb_probes_avoided: u64,
+    /// Parallel memory accesses squashed (NTC).
+    pub parallel_squashed: u64,
+}
+
+impl L4StatsSnapshot {
+    /// Snapshots live controller statistics.
+    pub fn from_stats(s: &L4Stats) -> Self {
+        L4StatsSnapshot {
+            read_lookups: s.read_lookups,
+            read_hits: s.read_hits,
+            hit_rate: s.hit_rate(),
+            wb_hit_rate: s.wb_hit_rate(),
+            hit_latency: s.hit_latency.mean(),
+            miss_latency: s.miss_latency.mean(),
+            avg_latency: s.avg_latency(),
+            fills: s.fills,
+            bypasses: s.bypasses,
+            miss_probes_avoided: s.miss_probes_avoided,
+            wb_probes_avoided: s.wb_probes_avoided,
+            parallel_squashed: s.parallel_squashed,
+        }
+    }
+}
+
+impl RunStats {
+    /// Aggregate throughput (sum of per-core IPCs).
+    pub fn total_ipc(&self) -> f64 {
+        self.ipc_per_core.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breakdown(hit: u64, probe: u64, useful: u64) -> BloatBreakdown {
+        let mut b = BloatBreakdown {
+            useful_lines: useful,
+            ..Default::default()
+        };
+        b.bytes[BloatCategory::Hit as usize] = hit;
+        b.bytes[BloatCategory::MissProbe as usize] = probe;
+        b
+    }
+
+    #[test]
+    fn alloy_hit_component_is_1_25() {
+        // 80 bytes moved per 64 useful: component 1.25 (Section 2.3).
+        let b = breakdown(80 * 100, 0, 100);
+        assert!((b.factor() - 1.25).abs() < 1e-12);
+        assert!((b.component(BloatCategory::Hit) - 1.25).abs() < 1e-12);
+        assert_eq!(b.component(BloatCategory::MissProbe), 0.0);
+    }
+
+    #[test]
+    fn factor_sums_components() {
+        let b = breakdown(80 * 100, 80 * 50, 100);
+        let total: f64 = BloatCategory::ALL.iter().map(|&c| b.component(c)).sum();
+        assert!((b.factor() - total).abs() < 1e-12);
+        assert!((b.factor() - (8000.0 + 4000.0) / 6400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_useful_is_guarded() {
+        let b = breakdown(100, 0, 0);
+        assert_eq!(b.factor(), 0.0);
+        assert_eq!(b.component(BloatCategory::Hit), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = breakdown(640, 0, 10);
+        let b = breakdown(640, 640, 10);
+        a.merge(&b);
+        assert_eq!(a.useful_lines, 20);
+        assert_eq!(a.total_bytes(), 640 * 3);
+        assert!((a.factor() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_copies_rates() {
+        let mut s = L4Stats {
+            read_lookups: 4,
+            read_hits: 3,
+            wb_lookups: 2,
+            wb_hits: 1,
+            ..Default::default()
+        };
+        s.hit_latency.record(100.0);
+        s.miss_latency.record(200.0);
+        let snap = L4StatsSnapshot::from_stats(&s);
+        assert!((snap.hit_rate - 0.75).abs() < 1e-12);
+        assert!((snap.wb_hit_rate - 0.5).abs() < 1e-12);
+        assert!((snap.avg_latency - 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_ipc_sums_cores() {
+        let r = RunStats {
+            ipc_per_core: vec![0.5; 8],
+            ..Default::default()
+        };
+        assert!((r.total_ipc() - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,101 @@
+//! Storage-overhead accounting (Table 5 and Section 8's comparisons).
+//!
+//! BEAR's whole point is that its three techniques need ~20 KB of SRAM
+//! where the alternatives need megabytes: a full tag store is 64 MB, a
+//! sector-cache tag store ~6 MB.
+
+use crate::config::{FillPolicy, SystemConfig};
+
+/// Storage overhead of one configuration, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageOverhead {
+    /// Bandwidth-Aware Bypass: dueling counters + mode bit, per thread.
+    pub bab_bytes: u64,
+    /// DRAM-Cache Presence: one bit per L3 line.
+    pub dcp_bytes: u64,
+    /// Neighboring Tag Cache: 8 entries per bank.
+    pub ntc_bytes: u64,
+}
+
+impl StorageOverhead {
+    /// Computes the Table 5 overheads for `cfg` **at full scale** (the
+    /// paper's 8 MB L3 / 64-bank cache), independent of `scale_shift`.
+    pub fn of(cfg: &SystemConfig) -> Self {
+        let bab_bytes = match cfg.bear.fill_policy {
+            FillPolicy::BandwidthAware(_) => 8 * 8, // 8 bytes per thread × 8
+            _ => 0,
+        };
+        let dcp_bytes = if cfg.bear.dcp {
+            // One bit per L3 line: 8 MB / 64 B = 128 K lines = 16 KB.
+            (cfg.l3_capacity_full / 64).div_ceil(8)
+        } else {
+            0
+        };
+        let ntc_bytes = if cfg.bear.ntc {
+            // 44 bytes per bank (8 entries of ~5.5 B).
+            44 * cfg.cache_dram.topology.total_banks() as u64
+        } else {
+            0
+        };
+        StorageOverhead {
+            bab_bytes,
+            dcp_bytes,
+            ntc_bytes,
+        }
+    }
+
+    /// Total bytes.
+    pub fn total(&self) -> u64 {
+        self.bab_bytes + self.dcp_bytes + self.ntc_bytes
+    }
+}
+
+/// SRAM bytes a full tags-in-SRAM store needs at `l4_capacity` (4 B per
+/// line, Section 1).
+pub fn tis_tag_store_bytes(l4_capacity: u64) -> u64 {
+    (l4_capacity / 64) * 4
+}
+
+/// SRAM bytes a sector-cache tag store needs (per-sector tag + valid/dirty
+/// masks ≈ 24 B per 4 KB sector).
+pub fn sector_tag_store_bytes(l4_capacity: u64) -> u64 {
+    (l4_capacity / 4096) * 24
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BearFeatures, DesignKind};
+
+    #[test]
+    fn table5_totals() {
+        let mut cfg = SystemConfig::paper_baseline(DesignKind::Alloy);
+        cfg.bear = BearFeatures::full();
+        let o = StorageOverhead::of(&cfg);
+        assert_eq!(o.bab_bytes, 64, "8 bytes per thread, 8 threads");
+        assert_eq!(o.dcp_bytes, 16 << 10, "one bit per L3 line = 16 KB");
+        assert_eq!(o.ntc_bytes, 44 * 64, "44 B per bank × 64 banks ≈ 2.8 KB");
+        // Paper: 19.2 KB total.
+        let total_kb = o.total() as f64 / 1024.0;
+        assert!((18.0..=20.0).contains(&total_kb), "total {total_kb} KB");
+    }
+
+    #[test]
+    fn disabled_features_cost_nothing() {
+        let cfg = SystemConfig::paper_baseline(DesignKind::Alloy);
+        let o = StorageOverhead::of(&cfg);
+        assert_eq!(o.total(), 0);
+    }
+
+    #[test]
+    fn alternative_designs_cost_megabytes() {
+        // Section 1: 64 MB for TIS, ~6 MB for SC at 1 GB.
+        assert_eq!(tis_tag_store_bytes(1 << 30), 64 << 20);
+        let sc = sector_tag_store_bytes(1 << 30);
+        assert!((5 << 20..=7 << 20).contains(&sc), "SC store {sc}");
+        // BEAR is three orders of magnitude smaller.
+        let mut cfg = SystemConfig::paper_baseline(DesignKind::Alloy);
+        cfg.bear = BearFeatures::full();
+        assert!(StorageOverhead::of(&cfg).total() * 1000 < tis_tag_store_bytes(1 << 30));
+    }
+}

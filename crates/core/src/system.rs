@@ -1,0 +1,461 @@
+//! The full-system simulator: cores → L3 → L4 controller → DRAM devices.
+//!
+//! [`System`] wires eight trace-driven cores to the shared L3, routes L3
+//! misses and dirty evictions to the configured DRAM-cache controller, and
+//! plumbs the BEAR notifications back (DCP bit set on fill, cleared on L4
+//! eviction; inclusive back-invalidations). The run loop is a single
+//! CPU-cycle tick with a delay wheel for latency-staged events.
+
+use crate::config::{DesignKind, SystemConfig};
+use crate::l3::{L3Cache, L3Result};
+use crate::l4::{build_controller, L4Cache, L4Outputs};
+use crate::metrics::{BloatBreakdown, L4StatsSnapshot, RunStats};
+use bear_cpu::{Core, LoadToken};
+use bear_sim::time::Cycle;
+use bear_workloads::{TraceGenerator, Workload};
+use std::collections::{BTreeMap, HashMap};
+
+/// Address-space stride separating per-core footprints (mirrors the
+/// paper's virtual-memory guarantee that mixes never collide).
+const CORE_ADDR_STRIDE: u64 = 1 << 40;
+
+/// Page-space width of the modeled physical address space.
+const PAGE_BITS: u64 = 52;
+
+/// Virtual-to-physical translation: a deterministic page-granular
+/// permutation built from bijective steps on the 52-bit page domain
+/// (xorshift, then multiply by an odd constant, then xorshift). The
+/// xorshift stages fold the high page bits — which differ between cores —
+/// into the low bits that select DRAM-cache sets, so distinct programs
+/// scatter across the physical space rather than aliasing; the paper's
+/// virtual memory system provides the same property. Spatial locality
+/// within each 4 KB page is preserved.
+#[inline]
+fn translate(addr: u64) -> u64 {
+    const MASK: u64 = (1 << PAGE_BITS) - 1;
+    let mut page = (addr >> 12) & MASK;
+    let offset = addr & 0xFFF;
+    page ^= page >> 26;
+    page = page.wrapping_mul(0x9E37_79B9_7F4A_7C15) & MASK;
+    page ^= page >> 26;
+    (page << 12) | offset
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Staged {
+    /// A core load/store completes (L3 hit or fill finished).
+    Complete { core: u32, token: LoadToken },
+    /// An L3 miss reaches the L4 controller after the L3 lookup latency.
+    SubmitRead { line: u64, pc: u64, core: u32 },
+    /// A dirty L3 eviction reaches the L4 controller.
+    SubmitWriteback { line: u64, dcp: bool },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Waiter {
+    core: u32,
+    token: LoadToken,
+    is_store: bool,
+}
+
+/// The assembled system.
+pub struct System {
+    cfg: SystemConfig,
+    cores: Vec<Core>,
+    l3: L3Cache,
+    l4: Box<dyn L4Cache>,
+    /// Delay wheel keyed by due cycle.
+    wheel: BTreeMap<u64, Vec<Staged>>,
+    /// MSHR-style merge table: line → waiters of the in-flight fetch.
+    pending_lines: HashMap<u64, Vec<Waiter>>,
+    clock: Cycle,
+    outputs: L4Outputs,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("design", &self.cfg.design)
+            .field("clock", &self.clock)
+            .field("pending_lines", &self.pending_lines.len())
+            .finish()
+    }
+}
+
+impl System {
+    /// Builds the system for `cfg` running `workload`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation.
+    pub fn build(cfg: &SystemConfig, workload: &Workload) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid system configuration: {e}");
+        }
+        let cores = workload
+            .benchmarks
+            .iter()
+            .enumerate()
+            .map(|(i, profile)| {
+                let trace = TraceGenerator::new(
+                    *profile,
+                    i as u64 * CORE_ADDR_STRIDE,
+                    cfg.scale_shift,
+                    cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                Core::new(i as u32, Box::new(trace), cfg.core)
+            })
+            .collect();
+        System {
+            cores,
+            l3: L3Cache::new(cfg.l3_capacity(), cfg.l3_ways),
+            l4: build_controller(cfg),
+            wheel: BTreeMap::new(),
+            pending_lines: HashMap::new(),
+            clock: Cycle::ZERO,
+            outputs: L4Outputs::default(),
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// Convenience constructor with a rate-mode single-benchmark workload.
+    pub fn build_rate(cfg: &SystemConfig, benchmark: &str) -> Self {
+        let profile = bear_workloads::BenchmarkProfile::by_name(benchmark)
+            .unwrap_or_else(|| panic!("unknown benchmark {benchmark}"));
+        Self::build(cfg, &Workload::rate(profile))
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycle {
+        self.clock
+    }
+
+    /// L4 controller statistics (live view).
+    pub fn l4_stats(&self) -> &crate::l4::L4Stats {
+        self.l4.stats()
+    }
+
+    /// L3 view (for DCP assertions in tests).
+    pub fn l3(&self) -> &L3Cache {
+        &self.l3
+    }
+
+    fn schedule(&mut self, at: Cycle, ev: Staged) {
+        self.wheel.entry(at.0).or_default().push(ev);
+    }
+
+    /// Routes one core request through the L3.
+    fn l3_access(&mut self, core: u32, token: LoadToken, addr: u64, is_store: bool, pc: u64) {
+        let line = translate(addr) / 64;
+        let lat = self.cfg.l3_latency;
+        match self.l3.access(line, is_store) {
+            L3Result::Hit => {
+                self.schedule(self.clock + lat, Staged::Complete { core, token });
+            }
+            L3Result::Miss => {
+                let waiter = Waiter {
+                    core,
+                    token,
+                    is_store,
+                };
+                match self.pending_lines.get_mut(&line) {
+                    Some(waiters) => waiters.push(waiter),
+                    None => {
+                        self.pending_lines.insert(line, vec![waiter]);
+                        self.schedule(
+                            self.clock + lat,
+                            Staged::SubmitRead { line, pc, core },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies one delivery from the L4: fill the L3, wake waiters, emit
+    /// the displaced writeback.
+    fn apply_delivery(&mut self, delivery: crate::l4::Delivery) {
+        let waiters = self.pending_lines.remove(&delivery.line).unwrap_or_default();
+        let any_store = waiters.iter().any(|w| w.is_store);
+        let dcp_bit = delivery.in_l4;
+        if !self.l3.contains(delivery.line) {
+            if let Some(wb) = self.l3.fill(delivery.line, any_store, dcp_bit) {
+                let hint = wb.dcp;
+                self.schedule(
+                    self.clock + 1,
+                    Staged::SubmitWriteback {
+                        line: wb.line,
+                        dcp: hint,
+                    },
+                );
+            }
+        }
+        for w in waiters {
+            self.cores[w.core as usize].complete_load(w.token);
+        }
+    }
+
+    /// Applies one L4 eviction notification.
+    fn apply_eviction(&mut self, line: u64) {
+        match self.cfg.design {
+            DesignKind::InclusiveAlloy => {
+                if let Some(wb) = self.l3.back_invalidate(line) {
+                    // The dirty on-chip copy can no longer write back into
+                    // the DRAM cache: it goes straight to memory.
+                    self.l4.submit_direct_mem_write(wb.line, self.clock);
+                }
+            }
+            _ => {
+                if self.cfg.bear.dcp {
+                    self.l3.clear_dcp(line);
+                }
+            }
+        }
+    }
+
+    /// Advances the system by one CPU cycle.
+    pub fn tick(&mut self) {
+        let now = self.clock;
+
+        // 1. Cores issue at most one memory access each.
+        for i in 0..self.cores.len() {
+            if let Some(req) = self.cores[i].tick(now) {
+                self.l3_access(req.core, req.token, req.addr, req.is_store, req.pc);
+            }
+        }
+
+        // 2. Delay-wheel events due now.
+        if let Some(events) = self.wheel.remove(&now.0) {
+            for ev in events {
+                match ev {
+                    Staged::Complete { core, token } => {
+                        self.cores[core as usize].complete_load(token);
+                    }
+                    Staged::SubmitRead { line, pc, core } => {
+                        self.l4.submit_read(line, pc, core, now);
+                    }
+                    Staged::SubmitWriteback { line, dcp } => {
+                        let hint = self.cfg.bear.dcp.then_some(dcp);
+                        self.l4.submit_writeback(line, hint, now);
+                    }
+                }
+            }
+        }
+
+        // 3. Memory system.
+        let mut outputs = std::mem::take(&mut self.outputs);
+        outputs.clear();
+        self.l4.tick(now, &mut outputs);
+        for d in outputs.deliveries.drain(..) {
+            self.apply_delivery(d);
+        }
+        for line in outputs.evictions.drain(..) {
+            self.apply_eviction(line);
+        }
+        self.outputs = outputs;
+
+        self.clock += 1;
+    }
+
+    /// Runs `warmup` cycles, resets statistics, runs `measure` cycles, and
+    /// reports.
+    pub fn run(&mut self, warmup: u64, measure: u64) -> RunStats {
+        for _ in 0..warmup {
+            self.tick();
+        }
+        self.reset_stats();
+        let inst_base: Vec<u64> = self.cores.iter().map(|c| c.retired_insts()).collect();
+        let start = self.clock;
+        for _ in 0..measure {
+            self.tick();
+        }
+        let elapsed = self.clock - start;
+        let insts_per_core: Vec<u64> = self
+            .cores
+            .iter()
+            .zip(&inst_base)
+            .map(|(c, base)| c.retired_insts() - base)
+            .collect();
+        let ipc_per_core = insts_per_core
+            .iter()
+            .map(|&i| i as f64 / elapsed as f64)
+            .collect();
+
+        let l4_stats = self.l4.stats();
+        RunStats {
+            workload: self
+                .cores
+                .first()
+                .map(|c| c.workload_name().to_string())
+                .unwrap_or_default(),
+            design: self.cfg.design.label().to_string(),
+            cycles: elapsed,
+            insts_per_core,
+            ipc_per_core,
+            l4: L4StatsSnapshot::from_stats(l4_stats),
+            bloat: BloatBreakdown::collect(&self.l4.harness().cache, l4_stats),
+            l3_hit_rate: self.l3.hit_rate(),
+            cache_read_queue_latency: self.l4.harness().cache.mean_read_queue_latency(),
+            mem_bytes: self.l4.harness().mem.total_bytes(),
+        }
+    }
+
+    /// Resets measurement statistics while preserving all architectural
+    /// state (cache contents, predictor training, duel counters).
+    pub fn reset_stats(&mut self) {
+        self.l4.reset_stats();
+        self.l3.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BearFeatures;
+    use bear_workloads::rate_workloads;
+
+    fn quick_cfg(design: DesignKind) -> SystemConfig {
+        let mut cfg = SystemConfig::paper_baseline(design);
+        // Tiny fast configuration for unit tests: footprints bottom out at
+        // the 1024-line floor (sphinx3 and friends), so the 1 MB L4 can
+        // warm within the window.
+        cfg.scale_shift = 14;
+        cfg.warmup_cycles = 120_000;
+        cfg.measure_cycles = 80_000;
+        cfg
+    }
+
+    fn run_quick(design: DesignKind, bear: BearFeatures, bench: &str) -> RunStats {
+        let mut cfg = quick_cfg(design);
+        if matches!(design, DesignKind::Alloy) {
+            cfg.bear = bear;
+        }
+        let mut sys = System::build_rate(&cfg, bench);
+        sys.run(cfg.warmup_cycles, cfg.measure_cycles)
+    }
+
+    #[test]
+    fn alloy_system_makes_progress_and_hits() {
+        let stats = run_quick(DesignKind::Alloy, BearFeatures::none(), "sphinx3");
+        assert!(stats.total_ipc() > 0.1, "ipc {}", stats.total_ipc());
+        assert!(stats.l4.read_lookups > 100);
+        assert!(stats.l4.hit_rate > 0.05, "hit rate {}", stats.l4.hit_rate);
+        assert!(stats.bloat.factor() > 1.0, "bloat {}", stats.bloat.factor());
+        assert_eq!(stats.design, "Alloy");
+        assert_eq!(stats.workload, "sphinx3");
+    }
+
+    #[test]
+    fn bwopt_bloat_is_one() {
+        let stats = run_quick(DesignKind::BwOpt, BearFeatures::none(), "sphinx3");
+        // Transfers in flight across the stats-reset boundary can skew the
+        // ratio by a fraction of one transfer; 1 % tolerance.
+        assert!(
+            (stats.bloat.factor() - 1.0).abs() < 0.01,
+            "BW-Opt bloat must be ~1, got {}",
+            stats.bloat.factor()
+        );
+    }
+
+    #[test]
+    fn alloy_bloat_exceeds_bwopt_and_hit_latency_ordering() {
+        let alloy = run_quick(DesignKind::Alloy, BearFeatures::none(), "gcc");
+        let opt = run_quick(DesignKind::BwOpt, BearFeatures::none(), "gcc");
+        assert!(alloy.bloat.factor() > 1.5);
+        assert!(
+            alloy.l4.hit_latency > opt.l4.hit_latency,
+            "alloy {} vs opt {}",
+            alloy.l4.hit_latency,
+            opt.l4.hit_latency
+        );
+    }
+
+    #[test]
+    fn no_cache_design_runs() {
+        let stats = run_quick(DesignKind::NoCache, BearFeatures::none(), "sphinx3");
+        assert!(stats.total_ipc() > 0.01);
+        assert_eq!(stats.l4.read_hits, 0);
+        assert_eq!(stats.bloat.total_bytes(), 0);
+    }
+
+    #[test]
+    fn bear_reduces_bloat_vs_alloy() {
+        let alloy = run_quick(DesignKind::Alloy, BearFeatures::none(), "gcc");
+        let bear = run_quick(DesignKind::Alloy, BearFeatures::full(), "gcc");
+        assert!(
+            bear.bloat.factor() < alloy.bloat.factor(),
+            "bear {} vs alloy {}",
+            bear.bloat.factor(),
+            alloy.bloat.factor()
+        );
+    }
+
+    #[test]
+    fn dcp_avoids_writeback_probes() {
+        let bear = run_quick(DesignKind::Alloy, BearFeatures::bab_dcp(), "omnetpp");
+        assert!(
+            bear.l4.wb_probes_avoided > 0,
+            "DCP should skip some writeback probes"
+        );
+    }
+
+    #[test]
+    fn ntc_avoids_miss_probes_or_squashes() {
+        let bear = run_quick(DesignKind::Alloy, BearFeatures::full(), "mcf");
+        assert!(
+            bear.l4.miss_probes_avoided + bear.l4.parallel_squashed > 0,
+            "NTC should contribute on a miss-heavy workload"
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = run_quick(DesignKind::Alloy, BearFeatures::none(), "wrf");
+        let b = run_quick(DesignKind::Alloy, BearFeatures::none(), "wrf");
+        assert_eq!(a.insts_per_core, b.insts_per_core);
+        assert_eq!(a.bloat.total_bytes(), b.bloat.total_bytes());
+        assert_eq!(a.l4.read_lookups, b.l4.read_lookups);
+    }
+
+    #[test]
+    fn inclusive_design_runs_and_avoids_wb_probes() {
+        let stats = run_quick(DesignKind::InclusiveAlloy, BearFeatures::none(), "gcc");
+        assert!(stats.total_ipc() > 0.05);
+        assert!(stats.l4.wb_probes_avoided > 0);
+    }
+
+    #[test]
+    fn all_designs_run_on_a_mix() {
+        let workloads = bear_workloads::mix_workloads();
+        let mix = &workloads[0];
+        for design in [
+            DesignKind::Alloy,
+            DesignKind::LohHill,
+            DesignKind::MostlyClean,
+            DesignKind::TagsInSram,
+            DesignKind::SectorCache,
+        ] {
+            let cfg = quick_cfg(design);
+            let mut sys = System::build(&cfg, mix);
+            let stats = sys.run(10_000, 20_000);
+            assert!(
+                stats.total_ipc() > 0.01,
+                "{design:?} made no progress: {stats:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rate_workload_names_flow_through() {
+        let w = &rate_workloads()[0];
+        let cfg = quick_cfg(DesignKind::Alloy);
+        let sys = System::build(&cfg, w);
+        assert_eq!(sys.config().design, DesignKind::Alloy);
+        assert!(format!("{sys:?}").contains("System"));
+    }
+}

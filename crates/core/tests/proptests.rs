@@ -1,0 +1,111 @@
+//! Property tests for the BEAR core structures.
+
+use bear_core::bab::{BypassPolicy, SetGroup};
+use bear_core::contents::{AssocStore, DirectStore};
+use bear_core::ntc::{NeighboringTagCache, NtcAnswer};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    /// DirectStore agrees with a HashMap model of (set → (tag, dirty)).
+    #[test]
+    fn direct_store_matches_model(
+        ops in prop::collection::vec((0u64..512, 0u8..3), 1..300),
+    ) {
+        let sets = 32;
+        let mut store = DirectStore::new(sets);
+        let mut model: HashMap<u64, (u64, bool)> = HashMap::new();
+        for &(line, op) in &ops {
+            let (set, tag) = store.decompose(line);
+            match op {
+                0 => {
+                    let victim = store.install(line, false);
+                    let prev = model.insert(set, (tag, false));
+                    let expect = match prev {
+                        Some((ptag, pdirty)) if ptag != tag => {
+                            Some((store.recompose(set, ptag), pdirty))
+                        }
+                        _ => None,
+                    };
+                    prop_assert_eq!(victim, expect);
+                }
+                1 => {
+                    let marked = store.mark_dirty(line);
+                    let expect = matches!(model.get(&set), Some((t, _)) if *t == tag);
+                    prop_assert_eq!(marked, expect);
+                    if marked {
+                        model.insert(set, (tag, true));
+                    }
+                }
+                _ => {
+                    let present = store.contains(line);
+                    let expect = matches!(model.get(&set), Some((t, _)) if *t == tag);
+                    prop_assert_eq!(present, expect);
+                }
+            }
+        }
+    }
+
+    /// AssocStore never exceeds its associativity and never loses a line
+    /// without reporting a victim.
+    #[test]
+    fn assoc_store_conservation(lines in prop::collection::vec(0u64..256, 1..200)) {
+        let mut store = AssocStore::new(8, 4);
+        let mut resident: Vec<u64> = Vec::new();
+        for &line in &lines {
+            if store.contains(line) {
+                continue;
+            }
+            let victim = store.install(line, false);
+            if let Some(v) = victim {
+                let pos = resident.iter().position(|&l| l == v.line);
+                prop_assert!(pos.is_some(), "victim {} unknown", v.line);
+                resident.remove(pos.unwrap());
+            }
+            resident.push(line);
+            prop_assert!(resident.len() <= 8 * 4);
+            for &l in &resident {
+                prop_assert!(store.contains(l), "line {} lost", l);
+            }
+        }
+    }
+
+    /// NTC answers are always consistent with the last recorded state.
+    #[test]
+    fn ntc_consistent_with_records(
+        records in prop::collection::vec((0u64..64, prop::option::of(0u64..8), any::<bool>()), 1..100),
+        query_set in 0u64..64,
+        query_tag in 0u64..8,
+    ) {
+        let mut ntc = NeighboringTagCache::new(1, 128); // roomy: no replacement
+        let mut model: HashMap<u64, (Option<u64>, bool)> = HashMap::new();
+        for &(set, tag, dirty) in &records {
+            ntc.record(0, set, tag, dirty);
+            // Recording an empty set forces clean state (an invalid entry
+            // never needs a correctness probe).
+            model.insert(set, (tag, dirty && tag.is_some()));
+        }
+        let answer = ntc.lookup(0, query_set, query_tag);
+        let expect = match model.get(&query_set) {
+            None => NtcAnswer::Unknown,
+            Some((Some(t), _)) if *t == query_tag => NtcAnswer::Present,
+            Some((_, true)) => NtcAnswer::AbsentDirty,
+            Some((_, false)) => NtcAnswer::AbsentClean,
+        };
+        prop_assert_eq!(answer, expect);
+    }
+
+    /// BAB group assignment is stable and monitors are rare.
+    #[test]
+    fn bab_groups_stable(set in 0u64..(1 << 24)) {
+        let p = BypassPolicy::paper_bab();
+        prop_assert_eq!(p.group(set), p.group(set));
+        // Baseline monitor sets never bypass.
+        let mut p2 = BypassPolicy::paper_bab();
+        if p.group(set) == SetGroup::BaselineMonitor {
+            for _ in 0..8 {
+                prop_assert!(!p2.should_bypass(set));
+            }
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Per-bank row-buffer state machine.
+//!
+//! Each bank enforces the DRAM core timing windows: ACT→CAS (tRCD),
+//! CAS→data (tCAS), ACT→PRE (tRAS), and PRE→ACT (tRP). The controller uses
+//! an open-page policy: a row stays open after an access until a conflicting
+//! request forces a precharge.
+
+use crate::config::DramTimings;
+use bear_sim::time::Cycle;
+
+/// What a bank can do for a given row at a given time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BankAction {
+    /// Row already open: a CAS may issue at (or after) the given time.
+    Cas(Cycle),
+    /// Bank is closed: an ACT may issue at (or after) the given time.
+    Act(Cycle),
+    /// A different row is open: a PRE may issue at (or after) the given time.
+    Pre(Cycle),
+}
+
+/// Row-buffer state machine for one DRAM bank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bank {
+    open_row: Option<u64>,
+    /// Earliest time the next ACT may issue (enforces tRP).
+    ready_act: Cycle,
+    /// Earliest time the next CAS may issue (enforces tRCD).
+    ready_cas: Cycle,
+    /// Earliest time the next PRE may issue (enforces tRAS and CAS drain).
+    ready_pre: Cycle,
+    /// Statistics: row-buffer hits and misses (ACT count), precharges.
+    pub row_hits: u64,
+    /// Number of row activations performed.
+    pub activations: u64,
+    /// Number of precharges performed.
+    pub precharges: u64,
+}
+
+impl Bank {
+    /// Creates a closed, idle bank.
+    pub fn new() -> Self {
+        Bank {
+            open_row: None,
+            ready_act: Cycle::ZERO,
+            ready_cas: Cycle::NEVER,
+            ready_pre: Cycle::ZERO,
+            row_hits: 0,
+            activations: 0,
+            precharges: 0,
+        }
+    }
+
+    /// Currently open row, if any.
+    pub fn open_row(&self) -> Option<u64> {
+        self.open_row
+    }
+
+    /// Determines the next command required to service `row`, and the
+    /// earliest time it can issue.
+    pub fn next_action(&self, row: u64) -> BankAction {
+        match self.open_row {
+            Some(open) if open == row => BankAction::Cas(self.ready_cas),
+            Some(_) => BankAction::Pre(self.ready_pre),
+            None => BankAction::Act(self.ready_act),
+        }
+    }
+
+    /// Issues an ACT for `row` at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the bank is not closed or `now` violates tRP.
+    pub fn activate(&mut self, row: u64, now: Cycle, t: &DramTimings) {
+        debug_assert!(self.open_row.is_none(), "ACT on open bank");
+        debug_assert!(now >= self.ready_act, "ACT violates tRP window");
+        self.open_row = Some(row);
+        self.ready_cas = now + t.t_rcd;
+        self.ready_pre = now + t.t_ras;
+        self.activations += 1;
+    }
+
+    /// Issues a CAS (read or write) at `now` for the open row; returns the
+    /// time the first data beat appears on the bus (`now + tCAS`).
+    ///
+    /// `burst_cycles` is the bus occupancy of the transfer; the bank cannot
+    /// be precharged until the burst has drained.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if no row is open or `now` violates tRCD.
+    pub fn cas(&mut self, now: Cycle, burst_cycles: u64, t: &DramTimings) -> Cycle {
+        debug_assert!(self.open_row.is_some(), "CAS on closed bank");
+        debug_assert!(now >= self.ready_cas, "CAS violates tRCD window");
+        let data_start = now + t.t_cas;
+        // The row must stay open until the burst completes.
+        self.ready_pre = self.ready_pre.max(data_start + burst_cycles);
+        self.row_hits += 1;
+        data_start
+    }
+
+    /// Forcibly closes the bank for a refresh ending at `ready`: any open
+    /// row is lost and no command may issue before `ready`.
+    pub fn refresh_until(&mut self, ready: Cycle) {
+        self.open_row = None;
+        self.ready_act = self.ready_act.max(ready);
+        self.ready_cas = Cycle::NEVER;
+        self.ready_pre = Cycle::ZERO;
+    }
+
+    /// Issues a PRE at `now`, closing the open row.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the bank is closed or `now` violates tRAS.
+    pub fn precharge(&mut self, now: Cycle, t: &DramTimings) {
+        debug_assert!(self.open_row.is_some(), "PRE on closed bank");
+        debug_assert!(now >= self.ready_pre, "PRE violates tRAS window");
+        self.open_row = None;
+        self.ready_act = now + t.t_rp;
+        self.ready_cas = Cycle::NEVER;
+        self.precharges += 1;
+    }
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> DramTimings {
+        DramTimings::table1()
+    }
+
+    #[test]
+    fn closed_bank_wants_act() {
+        let b = Bank::new();
+        assert_eq!(b.next_action(5), BankAction::Act(Cycle::ZERO));
+        assert_eq!(b.open_row(), None);
+    }
+
+    #[test]
+    fn act_then_cas_respects_trcd_tcas() {
+        let mut b = Bank::new();
+        b.activate(5, Cycle(100), &t());
+        assert_eq!(b.open_row(), Some(5));
+        match b.next_action(5) {
+            BankAction::Cas(ready) => assert_eq!(ready, Cycle(136)), // +tRCD
+            other => panic!("expected CAS, got {other:?}"),
+        }
+        let data = b.cas(Cycle(136), 5, &t());
+        assert_eq!(data, Cycle(172)); // +tCAS
+    }
+
+    #[test]
+    fn conflicting_row_wants_pre_after_tras() {
+        let mut b = Bank::new();
+        b.activate(5, Cycle(0), &t());
+        match b.next_action(9) {
+            BankAction::Pre(ready) => assert_eq!(ready, Cycle(144)), // tRAS
+            other => panic!("expected PRE, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pre_then_act_respects_trp() {
+        let mut b = Bank::new();
+        b.activate(1, Cycle(0), &t());
+        b.cas(Cycle(36), 4, &t());
+        b.precharge(Cycle(144), &t());
+        assert_eq!(b.open_row(), None);
+        match b.next_action(2) {
+            BankAction::Act(ready) => assert_eq!(ready, Cycle(180)), // +tRP
+            other => panic!("expected ACT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cas_extends_pre_window_past_burst() {
+        let mut b = Bank::new();
+        b.activate(1, Cycle(0), &t());
+        // CAS late enough that data drain (not tRAS) limits the precharge.
+        let data = b.cas(Cycle(200), 10, &t());
+        assert_eq!(data, Cycle(236));
+        match b.next_action(2) {
+            BankAction::Pre(ready) => assert_eq!(ready, Cycle(246)),
+            other => panic!("expected PRE, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_count_commands() {
+        let mut b = Bank::new();
+        b.activate(1, Cycle(0), &t());
+        b.cas(Cycle(36), 4, &t());
+        b.cas(Cycle(80), 4, &t());
+        b.precharge(Cycle(144), &t());
+        assert_eq!(b.activations, 1);
+        assert_eq!(b.row_hits, 2);
+        assert_eq!(b.precharges, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "CAS on closed bank")]
+    #[cfg(debug_assertions)]
+    fn cas_on_closed_bank_panics() {
+        let mut b = Bank::new();
+        b.cas(Cycle(0), 4, &t());
+    }
+
+    #[test]
+    #[should_panic(expected = "ACT on open bank")]
+    #[cfg(debug_assertions)]
+    fn act_on_open_bank_panics() {
+        let mut b = Bank::new();
+        b.activate(1, Cycle(0), &t());
+        b.activate(2, Cycle(500), &t());
+    }
+}

@@ -1,0 +1,283 @@
+//! Multi-channel DRAM device.
+//!
+//! [`DramDevice`] bundles the per-channel controllers behind one
+//! enqueue/tick interface and aggregates statistics. The two instances used
+//! by `bear-core` (stacked cache and commodity memory) differ only in their
+//! [`crate::config::DramConfig`].
+
+use crate::channel::{Channel, ChannelCompletion, ChannelStats};
+use crate::config::DramConfig;
+use crate::request::{DramRequest, TrafficClass};
+use bear_sim::time::Cycle;
+
+/// A completed DRAM transaction.
+#[derive(Debug, Clone, Copy)]
+pub struct Completion {
+    /// The original request.
+    pub request: DramRequest,
+    /// CPU cycle at which the last data beat transferred.
+    pub finish: Cycle,
+}
+
+/// A complete DRAM device: several independent channels.
+#[derive(Debug)]
+pub struct DramDevice {
+    cfg: DramConfig,
+    channels: Vec<Channel>,
+    scratch: Vec<ChannelCompletion>,
+}
+
+impl DramDevice {
+    /// Creates an idle device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`DramConfig::validate`].
+    pub fn new(cfg: DramConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid DRAM configuration: {e}");
+        }
+        let channels = (0..cfg.topology.channels).map(|_| Channel::new(cfg)).collect();
+        DramDevice {
+            cfg,
+            channels,
+            scratch: Vec::with_capacity(16),
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Whether the target channel can accept a request in the given
+    /// direction right now.
+    pub fn can_accept(&self, channel: u32, is_write: bool) -> bool {
+        self.channels[channel as usize].can_accept(is_write)
+    }
+
+    /// Attempts to enqueue; hands the request back if its channel queue is
+    /// full (the caller must retry later — this is the backpressure that
+    /// turns bandwidth bloat into stalls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request's channel index is out of range.
+    pub fn try_enqueue(&mut self, req: DramRequest) -> Result<(), DramRequest> {
+        let ch = req.location.channel as usize;
+        assert!(
+            ch < self.channels.len(),
+            "channel {ch} out of range ({} channels)",
+            self.channels.len()
+        );
+        self.channels[ch].try_enqueue(req)
+    }
+
+    /// Advances all channels to `now`, appending finished transactions to
+    /// `completions`.
+    pub fn tick(&mut self, now: Cycle, completions: &mut Vec<Completion>) {
+        for ch in &mut self.channels {
+            self.scratch.clear();
+            ch.tick(now, &mut self.scratch);
+            completions.extend(self.scratch.iter().map(|c| Completion {
+                request: c.request,
+                finish: c.finish,
+            }));
+        }
+    }
+
+    /// Total requests somewhere in the device (queued or in flight).
+    pub fn pending(&self) -> usize {
+        self.channels.iter().map(|c| c.pending()).sum()
+    }
+
+    /// Earliest time any channel might make progress ([`Cycle::NEVER`] when
+    /// idle); drivers may fast-forward to this.
+    pub fn next_event_hint(&self, now: Cycle) -> Cycle {
+        self.channels
+            .iter()
+            .map(|c| c.next_event_hint(now))
+            .min()
+            .unwrap_or(Cycle::NEVER)
+    }
+
+    /// Per-channel statistics.
+    pub fn channel_stats(&self) -> impl Iterator<Item = &ChannelStats> {
+        self.channels.iter().map(|c| &c.stats)
+    }
+
+    /// Bytes transferred in `class`, summed over channels.
+    pub fn bytes_in_class(&self, class: TrafficClass) -> u64 {
+        let idx = (class.0 as usize).min(TrafficClass::COUNT - 1);
+        self.channels.iter().map(|c| c.stats.bytes_by_class[idx]).sum()
+    }
+
+    /// Total bytes transferred across all classes and channels.
+    pub fn total_bytes(&self) -> u64 {
+        self.channels.iter().map(|c| c.stats.total_bytes()).sum()
+    }
+
+    /// Total data-bus busy cycles summed over channels.
+    pub fn bus_busy_cycles(&self) -> u64 {
+        self.channels.iter().map(|c| c.stats.bus_busy_cycles).sum()
+    }
+
+    /// Aggregate row-buffer hit count (diagnostics).
+    pub fn row_hits(&self) -> u64 {
+        self.channels.iter().map(|c| c.row_hits()).sum()
+    }
+
+    /// Resets all channel statistics (warmup/measurement boundary).
+    /// In-flight requests and bank state are preserved.
+    pub fn reset_stats(&mut self) {
+        for ch in &mut self.channels {
+            ch.stats.reset();
+        }
+    }
+
+    /// Mean read queue latency (arrival to first data beat), in CPU cycles.
+    pub fn mean_read_queue_latency(&self) -> f64 {
+        let (sum, n) = self.channels.iter().fold((0u64, 0u64), |(s, n), c| {
+            (s + c.stats.read_queue_latency_sum, n + c.stats.reads_completed)
+        });
+        if n == 0 {
+            0.0
+        } else {
+            sum as f64 / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::DramLocation;
+
+    fn drive(dev: &mut DramDevice, want: usize, max: u64) -> Vec<Completion> {
+        let mut done = Vec::new();
+        let mut t = Cycle(0);
+        while done.len() < want && t.0 < max {
+            dev.tick(t, &mut done);
+            t += 1;
+        }
+        done
+    }
+
+    #[test]
+    fn channels_work_independently() {
+        let mut dev = DramDevice::new(DramConfig::stacked_cache_8x());
+        for ch in 0..4 {
+            dev.try_enqueue(DramRequest::read(
+                ch as u64,
+                DramLocation {
+                    channel: ch,
+                    rank: 0,
+                    bank: 0,
+                    row: 1,
+                },
+                5,
+                TrafficClass(0),
+                Cycle(0),
+            ))
+            .unwrap();
+        }
+        let done = drive(&mut dev, 4, 1_000);
+        assert_eq!(done.len(), 4);
+        // All four finish at the same time: no cross-channel contention.
+        let finishes: Vec<_> = done.iter().map(|c| c.finish).collect();
+        assert!(finishes.iter().all(|&f| f == finishes[0]));
+        assert_eq!(dev.pending(), 0);
+    }
+
+    #[test]
+    fn byte_accounting_by_class() {
+        let mut dev = DramDevice::new(DramConfig::stacked_cache_8x());
+        let loc = DramLocation {
+            channel: 0,
+            rank: 0,
+            bank: 0,
+            row: 1,
+        };
+        dev.try_enqueue(DramRequest::read(1, loc, 5, TrafficClass(2), Cycle(0)))
+            .unwrap();
+        dev.try_enqueue(DramRequest::write(2, loc, 4, TrafficClass(3), Cycle(0)))
+            .unwrap();
+        drive(&mut dev, 2, 100_000);
+        assert_eq!(dev.bytes_in_class(TrafficClass(2)), 80);
+        assert_eq!(dev.bytes_in_class(TrafficClass(3)), 64);
+        assert_eq!(dev.total_bytes(), 144);
+    }
+
+    #[test]
+    fn mean_read_latency_nonzero() {
+        let mut dev = DramDevice::new(DramConfig::commodity_memory());
+        let loc = DramLocation {
+            channel: 1,
+            rank: 0,
+            bank: 2,
+            row: 7,
+        };
+        dev.try_enqueue(DramRequest::read(1, loc, 8, TrafficClass(0), Cycle(0)))
+            .unwrap();
+        drive(&mut dev, 1, 100_000);
+        assert!(dev.mean_read_queue_latency() >= 72.0);
+        assert_eq!(DramDevice::new(DramConfig::default()).mean_read_queue_latency(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel")]
+    fn out_of_range_channel_panics() {
+        let mut dev = DramDevice::new(DramConfig::commodity_memory());
+        let loc = DramLocation {
+            channel: 99,
+            rank: 0,
+            bank: 0,
+            row: 0,
+        };
+        let _ = dev.try_enqueue(DramRequest::read(1, loc, 8, TrafficClass(0), Cycle(0)));
+    }
+
+    #[test]
+    fn next_event_hint_aggregates() {
+        let mut dev = DramDevice::new(DramConfig::stacked_cache_8x());
+        assert_eq!(dev.next_event_hint(Cycle(10)), Cycle::NEVER);
+        dev.try_enqueue(DramRequest::read(
+            1,
+            DramLocation {
+                channel: 2,
+                rank: 0,
+                bank: 0,
+                row: 0,
+            },
+            5,
+            TrafficClass(0),
+            Cycle(0),
+        ))
+        .unwrap();
+        assert_eq!(dev.next_event_hint(Cycle(10)), Cycle(11));
+    }
+
+    #[test]
+    fn commodity_read_is_slower_than_stacked() {
+        // Identical single-read experiment on both devices: same core
+        // latency, but the 64B burst takes 16 cycles vs 4 on the wide bus.
+        let mut cache = DramDevice::new(DramConfig::stacked_cache_8x());
+        let mut mem = DramDevice::new(DramConfig::commodity_memory());
+        let loc = DramLocation {
+            channel: 0,
+            rank: 0,
+            bank: 0,
+            row: 1,
+        };
+        cache
+            .try_enqueue(DramRequest::read(1, loc, 4, TrafficClass(0), Cycle(0)))
+            .unwrap();
+        mem.try_enqueue(DramRequest::read(1, loc, 8, TrafficClass(0), Cycle(0)))
+            .unwrap();
+        let c = drive(&mut cache, 1, 10_000)[0].finish;
+        let m = drive(&mut mem, 1, 10_000)[0].finish;
+        assert!(m > c, "commodity {m} should exceed stacked {c}");
+        assert_eq!(c, Cycle(76)); // 72 + 4 beats
+        assert_eq!(m, Cycle(88)); // 72 + 16
+    }
+}

@@ -1,0 +1,151 @@
+//! Physical-address to DRAM-location interleaving.
+//!
+//! Main memory receives ordinary physical addresses, so it needs a mapping
+//! policy. The DRAM *cache* computes locations directly from set indices
+//! (each organization in `bear-core` does its own placement), so this module
+//! is used only for the commodity-memory device and for tests.
+
+use crate::config::DramTopology;
+use crate::request::DramLocation;
+
+/// Interleaving order for splitting a physical address into DRAM
+/// coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Interleave {
+    /// Row : Bank : Rank : Channel : Column — consecutive lines rotate
+    /// across channels first (maximizes channel parallelism for streams).
+    /// This is the common high-performance default.
+    #[default]
+    ChannelFirst,
+    /// Row : Channel : Rank : Bank : Column — consecutive lines rotate
+    /// across banks within a channel first.
+    BankFirst,
+}
+
+/// Maps line-aligned physical addresses onto a [`DramTopology`].
+#[derive(Debug, Clone, Copy)]
+pub struct AddressMapper {
+    topology: DramTopology,
+    interleave: Interleave,
+    line_bytes: u64,
+}
+
+impl AddressMapper {
+    /// Creates a mapper for `topology` with 64 B lines.
+    pub fn new(topology: DramTopology, interleave: Interleave) -> Self {
+        AddressMapper {
+            topology,
+            interleave,
+            line_bytes: 64,
+        }
+    }
+
+    /// Lines per row buffer.
+    fn lines_per_row(&self) -> u64 {
+        (self.topology.row_bytes / self.line_bytes).max(1)
+    }
+
+    /// Maps a byte address to its DRAM location.
+    pub fn map(&self, addr: u64) -> DramLocation {
+        let line = addr / self.line_bytes;
+        let channels = self.topology.channels as u64;
+        let ranks = self.topology.ranks_per_channel as u64;
+        let banks = self.topology.banks_per_rank as u64;
+        let cols = self.lines_per_row();
+
+        match self.interleave {
+            Interleave::ChannelFirst => {
+                // line = (((row * banks + bank) * ranks + rank) * channels + channel) * cols + col
+                let col_stripe = line / cols;
+                let channel = col_stripe % channels;
+                let rest = col_stripe / channels;
+                let rank = rest % ranks;
+                let rest = rest / ranks;
+                let bank = rest % banks;
+                let row = rest / banks;
+                DramLocation {
+                    channel: channel as u32,
+                    rank: rank as u32,
+                    bank: bank as u32,
+                    row,
+                }
+            }
+            Interleave::BankFirst => {
+                let col_stripe = line / cols;
+                let bank = col_stripe % banks;
+                let rest = col_stripe / banks;
+                let rank = rest % ranks;
+                let rest = rest / ranks;
+                let channel = rest % channels;
+                let row = rest / channels;
+                DramLocation {
+                    channel: channel as u32,
+                    rank: rank as u32,
+                    bank: bank as u32,
+                    row,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DramConfig;
+
+    fn topo() -> DramTopology {
+        DramConfig::commodity_memory().topology
+    }
+
+    #[test]
+    fn consecutive_lines_share_a_row() {
+        let m = AddressMapper::new(topo(), Interleave::ChannelFirst);
+        let a = m.map(0);
+        let b = m.map(64);
+        // Lines within one column stripe map to the same (ch, bank, row).
+        assert_eq!(a, b);
+        let c = m.map(64 * 32); // next stripe
+        assert_ne!(a.channel, c.channel);
+    }
+
+    #[test]
+    fn channel_first_rotates_channels() {
+        let m = AddressMapper::new(topo(), Interleave::ChannelFirst);
+        let stripe = 64 * 32; // one row stripe
+        let locs: Vec<_> = (0..2).map(|i| m.map(i * stripe)).collect();
+        assert_eq!(locs[0].channel, 0);
+        assert_eq!(locs[1].channel, 1);
+        assert_eq!(locs[0].bank, locs[1].bank);
+    }
+
+    #[test]
+    fn bank_first_rotates_banks() {
+        let m = AddressMapper::new(topo(), Interleave::BankFirst);
+        let stripe = 64 * 32;
+        let locs: Vec<_> = (0..3).map(|i| m.map(i * stripe)).collect();
+        assert_eq!(locs[0].bank, 0);
+        assert_eq!(locs[1].bank, 1);
+        assert_eq!(locs[2].bank, 2);
+        assert_eq!(locs[0].channel, locs[1].channel);
+    }
+
+    #[test]
+    fn distinct_addresses_cover_all_channels() {
+        let m = AddressMapper::new(topo(), Interleave::ChannelFirst);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64u64 {
+            seen.insert(m.map(i * 64 * 32).channel);
+        }
+        assert_eq!(seen.len(), topo().channels as usize);
+    }
+
+    #[test]
+    fn rows_grow_with_address() {
+        let m = AddressMapper::new(topo(), Interleave::ChannelFirst);
+        let big = m.map(1 << 30);
+        assert!(big.row > 0);
+        assert!(big.bank < topo().banks_per_rank);
+        assert!(big.channel < topo().channels);
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Simulation substrate for the BEAR DRAM-cache reproduction.
+//!
+//! This crate provides the low-level building blocks shared by every other
+//! crate in the workspace:
+//!
+//! - [`time`]: the global cycle clock ([`time::Cycle`]) and derived-clock
+//!   dividers for buses running slower than the CPU clock.
+//! - [`stats`]: counters, running means, histograms, and byte accounting.
+//! - [`rng`]: a small deterministic pseudo-random number generator so that
+//!   every simulation is exactly reproducible from its seed.
+//! - [`queue`]: bounded FIFO queues used between pipeline stages.
+//!
+//! # Example
+//!
+//! ```
+//! use bear_sim::time::Cycle;
+//! use bear_sim::rng::SimRng;
+//!
+//! let mut rng = SimRng::new(42);
+//! let t = Cycle(100) + 36;
+//! assert_eq!(t, Cycle(136));
+//! let p: f64 = rng.next_f64();
+//! assert!((0.0..1.0).contains(&p));
+//! ```
+
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use queue::BoundedQueue;
+pub use rng::SimRng;
+pub use stats::{Counter, Histogram, RunningMean};
+pub use time::{Cycle, DerivedClock};

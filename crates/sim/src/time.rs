@@ -1,0 +1,221 @@
+//! Global simulation time.
+//!
+//! The entire simulation runs on a single global clock measured in **CPU
+//! cycles** (the paper's processor runs at 3.2 GHz). Slower clock domains —
+//! the 1.6 GHz DDR bus of the stacked DRAM cache and the 800 MHz DDR bus of
+//! main memory — are expressed through [`DerivedClock`], which converts
+//! between CPU cycles and bus cycles.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in time (or a duration) measured in CPU cycles.
+///
+/// `Cycle` is a thin newtype over `u64`; arithmetic with plain `u64` cycle
+/// counts is provided for convenience.
+///
+/// # Example
+///
+/// ```
+/// use bear_sim::time::Cycle;
+/// let start = Cycle(10);
+/// let end = start + 5;
+/// assert_eq!(end - start, 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// The zero point of simulated time.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Largest representable time; used as "never" in schedulers.
+    pub const NEVER: Cycle = Cycle(u64::MAX);
+
+    /// Returns the later of `self` and `other`.
+    #[inline]
+    pub fn max(self, other: Cycle) -> Cycle {
+        Cycle(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of `self` and `other`.
+    #[inline]
+    pub fn min(self, other: Cycle) -> Cycle {
+        Cycle(self.0.min(other.0))
+    }
+
+    /// Saturating subtraction: returns `0` instead of underflowing.
+    #[inline]
+    pub fn saturating_sub(self, other: Cycle) -> u64 {
+        self.0.saturating_sub(other.0)
+    }
+
+    /// Raw cycle count.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: Cycle) -> u64 {
+        debug_assert!(self.0 >= rhs.0, "time went backwards: {self:?} - {rhs:?}");
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(v: u64) -> Self {
+        Cycle(v)
+    }
+}
+
+/// A clock domain slower than (or equal to) the CPU clock by an integer
+/// divisor.
+///
+/// DRAM command and data-bus timing is naturally expressed in bus cycles; the
+/// simulator keeps all bookkeeping in CPU cycles, so `DerivedClock` provides
+/// the conversions. For example the paper's DRAM-cache bus runs at 1.6 GHz
+/// with a 3.2 GHz CPU clock, a divisor of 2.
+///
+/// # Example
+///
+/// ```
+/// use bear_sim::time::{Cycle, DerivedClock};
+/// let bus = DerivedClock::new(2); // 1.6 GHz bus under a 3.2 GHz CPU
+/// assert_eq!(bus.to_cpu_cycles(5), 10);
+/// // The first bus edge at or after CPU cycle 3 is at CPU cycle 4.
+/// assert_eq!(bus.next_edge(Cycle(3)), Cycle(4));
+/// assert_eq!(bus.next_edge(Cycle(4)), Cycle(4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DerivedClock {
+    divisor: u64,
+}
+
+impl DerivedClock {
+    /// Creates a clock running `divisor`× slower than the CPU clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn new(divisor: u64) -> Self {
+        assert!(divisor > 0, "clock divisor must be non-zero");
+        DerivedClock { divisor }
+    }
+
+    /// The integer divisor relative to the CPU clock.
+    #[inline]
+    pub fn divisor(self) -> u64 {
+        self.divisor
+    }
+
+    /// Converts a duration in bus cycles to CPU cycles.
+    #[inline]
+    pub fn to_cpu_cycles(self, bus_cycles: u64) -> u64 {
+        bus_cycles * self.divisor
+    }
+
+    /// First CPU cycle at or after `t` that is aligned to a bus clock edge.
+    #[inline]
+    pub fn next_edge(self, t: Cycle) -> Cycle {
+        let rem = t.0 % self.divisor;
+        if rem == 0 {
+            t
+        } else {
+            Cycle(t.0 + (self.divisor - rem))
+        }
+    }
+}
+
+impl Default for DerivedClock {
+    /// A pass-through clock with divisor 1.
+    fn default() -> Self {
+        DerivedClock::new(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_arithmetic() {
+        let a = Cycle(100);
+        assert_eq!(a + 44, Cycle(144));
+        assert_eq!(Cycle(144) - a, 44);
+        assert_eq!(a.max(Cycle(10)), a);
+        assert_eq!(a.min(Cycle(10)), Cycle(10));
+    }
+
+    #[test]
+    fn cycle_saturating_sub() {
+        assert_eq!(Cycle(5).saturating_sub(Cycle(10)), 0);
+        assert_eq!(Cycle(10).saturating_sub(Cycle(5)), 5);
+    }
+
+    #[test]
+    fn cycle_display_and_from() {
+        assert_eq!(Cycle::from(7u64), Cycle(7));
+        assert_eq!(format!("{}", Cycle(9)), "9cy");
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    #[cfg(debug_assertions)]
+    fn cycle_sub_underflow_panics_in_debug() {
+        let _ = Cycle(1) - Cycle(2);
+    }
+
+    #[test]
+    fn derived_clock_conversion() {
+        let c = DerivedClock::new(4);
+        assert_eq!(c.to_cpu_cycles(3), 12);
+        assert_eq!(c.divisor(), 4);
+    }
+
+    #[test]
+    fn derived_clock_edges() {
+        let c = DerivedClock::new(4);
+        assert_eq!(c.next_edge(Cycle(0)), Cycle(0));
+        assert_eq!(c.next_edge(Cycle(1)), Cycle(4));
+        assert_eq!(c.next_edge(Cycle(4)), Cycle(4));
+        assert_eq!(c.next_edge(Cycle(7)), Cycle(8));
+    }
+
+    #[test]
+    fn derived_clock_default_is_passthrough() {
+        let c = DerivedClock::default();
+        assert_eq!(c.to_cpu_cycles(11), 11);
+        assert_eq!(c.next_edge(Cycle(13)), Cycle(13));
+    }
+
+    #[test]
+    #[should_panic(expected = "divisor must be non-zero")]
+    fn derived_clock_zero_divisor_panics() {
+        let _ = DerivedClock::new(0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the simulation substrate.
+
+use bear_sim::queue::BoundedQueue;
+use bear_sim::rng::SimRng;
+use bear_sim::stats::{geometric_mean, Histogram};
+use bear_sim::time::{Cycle, DerivedClock};
+use proptest::prelude::*;
+
+proptest! {
+    /// A bounded queue behaves exactly like a VecDeque with a length cap.
+    #[test]
+    fn queue_matches_model(ops in prop::collection::vec(0u8..3, 1..200), cap in 1usize..16) {
+        let mut q = BoundedQueue::new(cap);
+        let mut model = std::collections::VecDeque::new();
+        let mut next = 0u32;
+        for op in ops {
+            match op {
+                0 => {
+                    let accepted = q.try_push(next).is_ok();
+                    prop_assert_eq!(accepted, model.len() < cap);
+                    if accepted {
+                        model.push_back(next);
+                    }
+                    next += 1;
+                }
+                1 => prop_assert_eq!(q.pop(), model.pop_front()),
+                _ => prop_assert_eq!(q.front(), model.front()),
+            }
+            prop_assert_eq!(q.len(), model.len());
+            prop_assert_eq!(q.is_full(), model.len() == cap);
+        }
+    }
+
+    /// Out-of-order removal preserves the remaining order.
+    #[test]
+    fn queue_remove_preserves_order(n in 2usize..12, idx in 0usize..12) {
+        let mut q = BoundedQueue::new(16);
+        for i in 0..n {
+            q.try_push(i).unwrap();
+        }
+        let removed = q.remove(idx);
+        prop_assert_eq!(removed.is_some(), idx < n);
+        let rest: Vec<_> = q.iter().copied().collect();
+        let mut expect: Vec<_> = (0..n).collect();
+        if idx < n {
+            expect.remove(idx);
+        }
+        prop_assert_eq!(rest, expect);
+    }
+
+    /// Rng bounds are respected for any bound.
+    #[test]
+    fn rng_next_below_in_range(seed: u64, bound in 1u64..1_000_000) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+
+    /// Clock edge alignment: the next edge is aligned and never in the past.
+    #[test]
+    fn clock_edges_align(divisor in 1u64..64, t in 0u64..1_000_000) {
+        let c = DerivedClock::new(divisor);
+        let edge = c.next_edge(Cycle(t));
+        prop_assert!(edge.raw() >= t);
+        prop_assert_eq!(edge.raw() % divisor, 0);
+        prop_assert!(edge.raw() - t < divisor);
+    }
+
+    /// Histogram totals equal samples recorded; percentile is monotone.
+    #[test]
+    fn histogram_invariants(values in prop::collection::vec(0u64..100_000, 1..200)) {
+        let mut h = Histogram::new(16, 12);
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.total(), values.len() as u64);
+        prop_assert_eq!(h.buckets().iter().sum::<u64>(), values.len() as u64);
+        prop_assert!(h.percentile(0.25) <= h.percentile(0.75));
+    }
+
+    /// Geometric mean lies between min and max.
+    #[test]
+    fn geomean_bounded(values in prop::collection::vec(0.01f64..100.0, 1..50)) {
+        let g = geometric_mean(&values);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(g >= min * 0.999 && g <= max * 1.001);
+    }
+}

@@ -1,0 +1,187 @@
+//! Workload suites: 16 rate-mode runs, 8 named mixes (Table 3), and 30
+//! generated mixes, for the paper's 54-workload evaluation.
+
+use crate::profile::{BenchmarkProfile, IntensityClass, TABLE2};
+use bear_sim::rng::SimRng;
+
+/// Number of cores (the paper's system; Table 1).
+pub const CORES: usize = 8;
+
+/// One multi-programmed workload: a name plus one benchmark per core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Workload name (`rate:mcf`, `MIX3`, `GENMIX12`, ...).
+    pub name: String,
+    /// Benchmark running on each of the 8 cores.
+    pub benchmarks: [BenchmarkProfile; CORES],
+    /// Whether this is a rate-mode run (8 copies of one benchmark).
+    pub is_rate: bool,
+}
+
+impl Workload {
+    /// Rate-mode workload: eight copies of `profile`.
+    pub fn rate(profile: BenchmarkProfile) -> Self {
+        Workload {
+            name: format!("rate:{}", profile.name),
+            benchmarks: [profile; CORES],
+            is_rate: true,
+        }
+    }
+
+    /// Mixed workload from eight named benchmarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any name is unknown.
+    pub fn mix(name: &str, benchmarks: [&str; CORES]) -> Self {
+        let profiles = benchmarks.map(|n| {
+            BenchmarkProfile::by_name(n)
+                .unwrap_or_else(|| panic!("unknown benchmark {n} in {name}"))
+        });
+        Workload {
+            name: name.to_string(),
+            benchmarks: profiles,
+            is_rate: false,
+        }
+    }
+
+    /// Counts of (high, medium) intensity benchmarks, e.g. `(6, 2)` for a
+    /// "6H+2M" mix.
+    pub fn intensity_split(&self) -> (usize, usize) {
+        let high = self
+            .benchmarks
+            .iter()
+            .filter(|b| b.class == IntensityClass::High)
+            .count();
+        (high, CORES - high)
+    }
+}
+
+/// The 16 rate-mode workloads (Table 2).
+pub fn rate_workloads() -> Vec<Workload> {
+    TABLE2.iter().copied().map(Workload::rate).collect()
+}
+
+/// The eight named mixes of Table 3.
+pub fn named_mixes() -> Vec<Workload> {
+    vec![
+        Workload::mix(
+            "MIX1",
+            ["libq", "mcf", "soplex", "milc", "bwaves", "lbm", "omnetp", "gcc"],
+        ),
+        Workload::mix(
+            "MIX2",
+            ["libq", "mcf", "soplex", "milc", "lbm", "omnetp", "Gems", "sphinx"],
+        ),
+        Workload::mix(
+            "MIX3",
+            ["mcf", "soplex", "milc", "bwave", "gcc", "lbm", "leslie", "cactus"],
+        ),
+        Workload::mix(
+            "MIX4",
+            ["libq", "mcf", "soplex", "milc", "Gems", "leslie", "wrf", "zeusmp"],
+        ),
+        Workload::mix(
+            "MIX5",
+            ["bwave", "lbm", "omnetp", "gcc", "cactus", "xalanc", "bzip", "sphinx"],
+        ),
+        Workload::mix(
+            "MIX6",
+            ["libq", "gcc", "Gems", "leslie", "wrf", "zeusmp", "cactus", "xalanc"],
+        ),
+        Workload::mix(
+            "MIX7",
+            ["mcf", "omnetp", "Gems", "leslie", "wrf", "xalanc", "bzip", "sphinx"],
+        ),
+        Workload::mix(
+            "MIX8",
+            ["Gems", "leslie", "wrf", "zeusmp", "cactus", "xalanc", "bzip", "sphinx"],
+        ),
+    ]
+}
+
+/// Thirty additional mixes generated deterministically from the Table 2
+/// pool, completing the paper's 38-mix suite.
+pub fn generated_mixes() -> Vec<Workload> {
+    let mut rng = SimRng::new(0x54_C0DE);
+    let mut out = Vec::with_capacity(30);
+    for i in 0..30 {
+        let mut benchmarks = [TABLE2[0]; CORES];
+        for slot in benchmarks.iter_mut() {
+            *slot = TABLE2[rng.next_below(TABLE2.len() as u64) as usize];
+        }
+        out.push(Workload {
+            name: format!("GENMIX{:02}", i + 1),
+            benchmarks,
+            is_rate: false,
+        });
+    }
+    out
+}
+
+/// All 38 mixed workloads (8 named + 30 generated).
+pub fn mix_workloads() -> Vec<Workload> {
+    let mut v = named_mixes();
+    v.extend(generated_mixes());
+    v
+}
+
+/// The full 54-workload suite: 16 rate + 38 mixes.
+pub fn all_workloads() -> Vec<Workload> {
+    let mut v = rate_workloads();
+    v.extend(mix_workloads());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_sizes_match_paper() {
+        assert_eq!(rate_workloads().len(), 16);
+        assert_eq!(named_mixes().len(), 8);
+        assert_eq!(mix_workloads().len(), 38);
+        assert_eq!(all_workloads().len(), 54);
+    }
+
+    #[test]
+    fn rate_mode_runs_eight_copies() {
+        let w = Workload::rate(BenchmarkProfile::by_name("mcf").unwrap());
+        assert!(w.is_rate);
+        assert!(w.benchmarks.iter().all(|b| b.name == "mcf"));
+        assert_eq!(w.name, "rate:mcf");
+    }
+
+    #[test]
+    fn table3_intensity_splits() {
+        let mixes = named_mixes();
+        let expected = [(8, 0), (6, 2), (6, 2), (4, 4), (4, 4), (2, 6), (2, 6), (0, 8)];
+        for (mix, want) in mixes.iter().zip(expected) {
+            assert_eq!(mix.intensity_split(), want, "{}", mix.name);
+        }
+    }
+
+    #[test]
+    fn generated_mixes_are_deterministic() {
+        let a = generated_mixes();
+        let b = generated_mixes();
+        assert_eq!(a, b);
+        let names: std::collections::HashSet<_> =
+            a.iter().map(|w| w.name.clone()).collect();
+        assert_eq!(names.len(), 30);
+    }
+
+    #[test]
+    fn all_names_unique() {
+        let all = all_workloads();
+        let names: std::collections::HashSet<_> = all.iter().map(|w| &w.name).collect();
+        assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn unknown_mix_member_panics() {
+        Workload::mix("BAD", ["mcf", "nope", "mcf", "mcf", "mcf", "mcf", "mcf", "mcf"]);
+    }
+}

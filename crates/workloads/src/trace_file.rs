@@ -1,0 +1,254 @@
+//! Trace recording and replay.
+//!
+//! Research users often want to drive the simulator with *real* traces
+//! rather than the synthetic generators. This module defines a simple,
+//! line-oriented text format and a reader/writer pair:
+//!
+//! ```text
+//! # comment lines start with '#'
+//! <inst_gap> <hex addr> <L|S> <hex pc>
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use bear_workloads::trace_file::{parse_trace, TraceFile};
+//! use bear_workloads::{TraceEvent, TraceSource};
+//!
+//! let text = "# demo\n5 1000 L 400000\n3 1040 S 400004\n";
+//! let events = parse_trace(text).unwrap();
+//! let mut replay = TraceFile::new("demo", events);
+//! assert_eq!(replay.next_event().addr, 0x1000);
+//! assert!(replay.next_event().is_store);
+//! // Replay loops forever:
+//! assert_eq!(replay.next_event().addr, 0x1000);
+//! ```
+
+use crate::generator::{TraceEvent, TraceSource};
+use std::fmt;
+
+/// Error from [`parse_trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Parses the text trace format into events.
+///
+/// # Errors
+///
+/// Returns the first malformed line (wrong field count, bad number, bad
+/// access kind, or unaligned address).
+pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, ParseTraceError> {
+    let mut events = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |reason: &str| ParseTraceError {
+            line: i + 1,
+            reason: reason.to_string(),
+        };
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 4 {
+            return Err(err("expected 4 fields: <gap> <addr> <L|S> <pc>"));
+        }
+        let inst_gap: u32 = fields[0].parse().map_err(|_| err("bad instruction gap"))?;
+        let addr = u64::from_str_radix(fields[1], 16).map_err(|_| err("bad hex address"))?;
+        if addr % 64 != 0 {
+            return Err(err("address must be 64-byte aligned"));
+        }
+        let is_store = match fields[2] {
+            "L" | "l" => false,
+            "S" | "s" => true,
+            _ => return Err(err("access kind must be L or S")),
+        };
+        let pc = u64::from_str_radix(fields[3], 16).map_err(|_| err("bad hex pc"))?;
+        events.push(TraceEvent {
+            inst_gap: inst_gap.max(1),
+            addr,
+            is_store,
+            pc,
+        });
+    }
+    Ok(events)
+}
+
+/// Serializes events back to the text format (the inverse of
+/// [`parse_trace`]).
+pub fn format_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 24);
+    for e in events {
+        out.push_str(&format!(
+            "{} {:x} {} {:x}\n",
+            e.inst_gap,
+            e.addr,
+            if e.is_store { 'S' } else { 'L' },
+            e.pc
+        ));
+    }
+    out
+}
+
+/// A replayable trace: loops over a fixed event sequence forever (matching
+/// the infinite-stream contract of [`TraceSource`]).
+#[derive(Debug, Clone)]
+pub struct TraceFile {
+    name: String,
+    events: Vec<TraceEvent>,
+    at: usize,
+    /// Number of complete passes over the trace so far.
+    pub wraps: u64,
+}
+
+impl TraceFile {
+    /// Creates a replay source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `events` is empty (an empty trace cannot honor the
+    /// infinite-stream contract).
+    pub fn new(name: impl Into<String>, events: Vec<TraceEvent>) -> Self {
+        assert!(!events.is_empty(), "trace must contain at least one event");
+        TraceFile {
+            name: name.into(),
+            events,
+            at: 0,
+            wraps: 0,
+        }
+    }
+
+    /// Parses `text` and builds a replay source.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ParseTraceError`]; additionally errors on empty traces.
+    pub fn from_text(name: impl Into<String>, text: &str) -> Result<Self, ParseTraceError> {
+        let events = parse_trace(text)?;
+        if events.is_empty() {
+            return Err(ParseTraceError {
+                line: 0,
+                reason: "trace contains no events".into(),
+            });
+        }
+        Ok(Self::new(name, events))
+    }
+
+    /// Number of events in one pass.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Always false (construction forbids empty traces); provided for
+    /// idiomatic pairing with [`TraceFile::len`].
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl TraceSource for TraceFile {
+    fn next_event(&mut self) -> TraceEvent {
+        let ev = self.events[self.at];
+        self.at += 1;
+        if self.at == self.events.len() {
+            self.at = 0;
+            self.wraps += 1;
+        }
+        ev
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Records the first `n` events of any source into a replayable trace —
+/// useful for capturing a synthetic generator's stream into a file.
+pub fn record(source: &mut dyn TraceSource, n: usize) -> Vec<TraceEvent> {
+    (0..n).map(|_| source.next_event()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::BenchmarkProfile;
+    use crate::TraceGenerator;
+
+    #[test]
+    fn parse_roundtrip() {
+        let text = "5 1000 L 400000\n3 1040 S 400004\n";
+        let events = parse_trace(text).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(format_trace(&events), text);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let events = parse_trace("# header\n\n  \n1 0 L 0\n").unwrap();
+        assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = parse_trace("1 0 L 0\nbogus\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(format!("{err}").contains("line 2"));
+        assert!(parse_trace("1 0 X 0").is_err());
+        assert!(parse_trace("1 zz L 0").is_err());
+        assert!(parse_trace("1 0 L").is_err());
+        let unaligned = parse_trace("1 7 L 0").unwrap_err();
+        assert!(unaligned.reason.contains("aligned"));
+    }
+
+    #[test]
+    fn zero_gap_clamped_to_one() {
+        let events = parse_trace("0 0 L 0").unwrap();
+        assert_eq!(events[0].inst_gap, 1);
+    }
+
+    #[test]
+    fn replay_loops_and_counts_wraps() {
+        let mut t = TraceFile::from_text("t", "1 0 L 0\n2 40 S 4\n").unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        for _ in 0..5 {
+            t.next_event();
+        }
+        assert_eq!(t.wraps, 2);
+        assert_eq!(t.name(), "t");
+    }
+
+    #[test]
+    fn empty_trace_rejected() {
+        assert!(TraceFile::from_text("e", "# nothing\n").is_err());
+    }
+
+    #[test]
+    fn record_captures_generator_stream() {
+        let profile = BenchmarkProfile::by_name("gcc").unwrap();
+        let mut gen = TraceGenerator::new(profile, 0, 9, 7);
+        let events = record(&mut gen, 100);
+        assert_eq!(events.len(), 100);
+        // Round-trip through the text format.
+        let text = format_trace(&events);
+        let parsed = parse_trace(&text).unwrap();
+        assert_eq!(parsed, events);
+        // Replay equals the recording.
+        let mut replay = TraceFile::new("gcc-replay", events.clone());
+        for e in &events {
+            assert_eq!(replay.next_event(), *e);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Provisioning scenario: how much stacked-DRAM bandwidth does a package
+//! really need? Sweeps the cache bus from 4x to 16x commodity bandwidth
+//! and shows how BEAR's advantage shifts (the paper's Figure 14a).
+//!
+//! Run with: `cargo run --release --example bandwidth_sweep`
+
+use bear_core::config::{DesignKind, SystemConfig};
+use bear_core::system::System;
+use bear_dram::config::DramConfig;
+
+fn run(cfg: &SystemConfig, bench: &str) -> bear_core::metrics::RunStats {
+    System::build_rate(cfg, bench).run(cfg.warmup_cycles, cfg.measure_cycles)
+}
+
+fn main() {
+    let bench = "lbm"; // bandwidth-hungry streaming workload
+    println!("{:<6} {:>12} {:>12} {:>10}", "BW", "Alloy IPC", "BEAR IPC", "BEAR gain");
+    for factor in [4, 8, 16] {
+        let mut alloy = SystemConfig::paper_baseline(DesignKind::Alloy);
+        alloy.scale_shift = 9;
+        alloy.warmup_cycles = 400_000;
+        alloy.measure_cycles = 400_000;
+        alloy.cache_dram = DramConfig::stacked_cache_bandwidth(factor);
+        let mut bear = SystemConfig::bear();
+        bear.scale_shift = alloy.scale_shift;
+        bear.warmup_cycles = alloy.warmup_cycles;
+        bear.measure_cycles = alloy.measure_cycles;
+        bear.cache_dram = alloy.cache_dram;
+
+        let a = run(&alloy, bench);
+        let b = run(&bear, bench);
+        println!(
+            "{:<6} {:>12.3} {:>12.3} {:>9.1}%",
+            format!("{factor}x"),
+            a.total_ipc(),
+            b.total_ipc(),
+            (b.total_ipc() / a.total_ipc() - 1.0) * 100.0
+        );
+    }
+    println!("\nBandwidth-efficient caching matters most when the bus is scarce.");
+}

@@ -1,0 +1,53 @@
+//! Capacity-planning scenario: which DRAM-cache organization should a
+//! heterogeneous-memory system adopt? Runs a mixed workload (Table 3's
+//! MIX4) across every organization this crate implements and compares
+//! bloat, latency, and weighted speedup against no cache at all.
+//!
+//! Run with: `cargo run --release --example design_comparison`
+
+use bear_core::config::{DesignKind, SystemConfig};
+use bear_core::system::System;
+use bear_cpu::metrics::normalized_weighted_speedup;
+use bear_workloads::named_mixes;
+
+fn main() {
+    let mix = named_mixes().remove(3); // MIX4: 4 high + 4 medium intensity
+    println!("workload: {} ({:?} split)", mix.name, mix.intensity_split());
+
+    let mut configs = vec![
+        ("NoL4", SystemConfig::paper_baseline(DesignKind::NoCache)),
+        ("LH", SystemConfig::paper_baseline(DesignKind::LohHill)),
+        ("MC", SystemConfig::paper_baseline(DesignKind::MostlyClean)),
+        ("Alloy", SystemConfig::paper_baseline(DesignKind::Alloy)),
+        ("Incl-Alloy", SystemConfig::paper_baseline(DesignKind::InclusiveAlloy)),
+        ("TIS", SystemConfig::paper_baseline(DesignKind::TagsInSram)),
+        ("SC", SystemConfig::paper_baseline(DesignKind::SectorCache)),
+        ("BEAR", SystemConfig::bear()),
+        ("BW-Opt", SystemConfig::paper_baseline(DesignKind::BwOpt)),
+    ];
+    for (_, cfg) in configs.iter_mut() {
+        cfg.scale_shift = 9;
+        cfg.warmup_cycles = 400_000;
+        cfg.measure_cycles = 400_000;
+    }
+
+    let baseline = System::build(&configs[0].1, &mix)
+        .run(configs[0].1.warmup_cycles, configs[0].1.measure_cycles);
+
+    println!(
+        "{:<12} {:>7} {:>8} {:>8} {:>9}",
+        "design", "bloat", "hit%", "hit_lat", "speedup"
+    );
+    for (name, cfg) in &configs {
+        let s = System::build(cfg, &mix).run(cfg.warmup_cycles, cfg.measure_cycles);
+        let spd = normalized_weighted_speedup(&s.ipc_per_core, &baseline.ipc_per_core);
+        println!(
+            "{:<12} {:>7.2} {:>7.1}% {:>8.0} {:>9.3}",
+            name,
+            s.bloat.factor(),
+            s.l4.hit_rate * 100.0,
+            s.l4.hit_latency,
+            spd
+        );
+    }
+}

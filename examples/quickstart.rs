@@ -1,0 +1,53 @@
+//! Quickstart: simulate the BEAR DRAM cache on one workload and print the
+//! headline metrics.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use bear_core::config::{DesignKind, SystemConfig};
+use bear_core::system::System;
+use bear_core::traffic::BloatCategory;
+
+fn main() {
+    // The paper's baseline system (Table 1) around the Alloy Cache, scaled
+    // 1/512 for a fast demo, running 8 copies of gcc.
+    let mut cfg = SystemConfig::paper_baseline(DesignKind::Alloy);
+    cfg.scale_shift = 9;
+    cfg.warmup_cycles = 1_200_000;
+    cfg.measure_cycles = 800_000;
+
+    println!("-- baseline Alloy Cache --");
+    let alloy = System::build_rate(&cfg, "gcc").run(cfg.warmup_cycles, cfg.measure_cycles);
+    report(&alloy);
+
+    // Turn on all three BEAR techniques: Bandwidth-Aware Bypass, the
+    // DRAM-Cache-Presence bit, and the Neighboring Tag Cache.
+    let mut bear_cfg = SystemConfig::bear();
+    bear_cfg.scale_shift = cfg.scale_shift;
+    bear_cfg.warmup_cycles = cfg.warmup_cycles;
+    bear_cfg.measure_cycles = cfg.measure_cycles;
+    println!("\n-- BEAR (BAB + DCP + NTC) --");
+    let bear = System::build_rate(&bear_cfg, "gcc").run(cfg.warmup_cycles, cfg.measure_cycles);
+    report(&bear);
+
+    println!(
+        "\nBEAR cut the bloat factor by {:.0}% and hit latency by {:.0}%",
+        (1.0 - bear.bloat.factor() / alloy.bloat.factor()) * 100.0,
+        (1.0 - bear.l4.hit_latency / alloy.l4.hit_latency) * 100.0,
+    );
+}
+
+fn report(stats: &bear_core::metrics::RunStats) {
+    println!(
+        "bloat factor {:.2} | L4 hit rate {:.1}% | hit latency {:.0} cyc | IPC {:.2}",
+        stats.bloat.factor(),
+        stats.l4.hit_rate * 100.0,
+        stats.l4.hit_latency,
+        stats.total_ipc(),
+    );
+    for cat in BloatCategory::ALL {
+        let c = stats.bloat.component(cat);
+        if c > 0.01 {
+            println!("  {:<10} {:.2}x", cat.label(), c);
+        }
+    }
+}

@@ -1,0 +1,1 @@
+//! BEAR reproduction umbrella crate.

@@ -1,0 +1,79 @@
+//! Integration tests for the byte-level bloat accounting: every DRAM-cache
+//! byte must land in exactly one category, and Equation 1 must hold.
+
+use bear_core::config::{BearFeatures, DesignKind, SystemConfig};
+use bear_core::system::System;
+use bear_core::traffic::BloatCategory;
+
+fn run(design: DesignKind, bear: BearFeatures) -> bear_core::metrics::RunStats {
+    let mut cfg = SystemConfig::paper_baseline(design);
+    cfg.scale_shift = 12;
+    cfg.warmup_cycles = 100_000;
+    cfg.measure_cycles = 150_000;
+    cfg.bear = bear;
+    if design != DesignKind::Alloy {
+        cfg.bear = BearFeatures::none();
+    }
+    System::build_rate(&cfg, "gcc").run(cfg.warmup_cycles, cfg.measure_cycles)
+}
+
+#[test]
+fn components_sum_to_factor() {
+    for design in [DesignKind::Alloy, DesignKind::LohHill, DesignKind::TagsInSram] {
+        let stats = run(design, BearFeatures::none());
+        let total: f64 = BloatCategory::ALL
+            .iter()
+            .map(|&c| stats.bloat.component(c))
+            .sum();
+        assert!(
+            (stats.bloat.factor() - total).abs() < 1e-9,
+            "{design:?}: factor {} != sum {}",
+            stats.bloat.factor(),
+            total
+        );
+    }
+}
+
+#[test]
+fn hit_component_reflects_transfer_unit() {
+    // Alloy hits move 80 B per 64 useful → exactly 1.25 per hit.
+    let stats = run(DesignKind::Alloy, BearFeatures::none());
+    let hit = stats.bloat.component(BloatCategory::Hit);
+    assert!((hit - 1.25).abs() < 0.05, "hit component {hit}");
+    // TIS hits move 64 B → exactly 1.0.
+    let tis = run(DesignKind::TagsInSram, BearFeatures::none());
+    let hit = tis.bloat.component(BloatCategory::Hit);
+    assert!((hit - 1.0).abs() < 0.05, "TIS hit component {hit}");
+}
+
+#[test]
+fn bab_shifts_missfill_into_nothing() {
+    let base = run(DesignKind::Alloy, BearFeatures::none());
+    let bab = run(DesignKind::Alloy, BearFeatures::bab());
+    let fill_base = base.bloat.component(BloatCategory::MissFill);
+    let fill_bab = bab.bloat.component(BloatCategory::MissFill);
+    assert!(
+        fill_bab < fill_base,
+        "BAB must reduce Miss Fill: {fill_bab} vs {fill_base}"
+    );
+}
+
+#[test]
+fn dcp_shifts_wbprobe_into_updates() {
+    let base = run(DesignKind::Alloy, BearFeatures::bab());
+    let dcp = run(DesignKind::Alloy, BearFeatures::bab_dcp());
+    let probe_base = base.bloat.component(BloatCategory::WritebackProbe);
+    let probe_dcp = dcp.bloat.component(BloatCategory::WritebackProbe);
+    assert!(
+        probe_dcp < probe_base,
+        "DCP must reduce WB probes: {probe_dcp} vs {probe_base}"
+    );
+}
+
+#[test]
+fn no_cache_has_no_cache_bytes() {
+    let stats = run(DesignKind::NoCache, BearFeatures::none());
+    assert_eq!(stats.bloat.total_bytes(), 0);
+    assert_eq!(stats.bloat.factor(), 0.0);
+    assert!(stats.mem_bytes > 0);
+}
