@@ -1,9 +1,12 @@
-//! Criterion micro-benchmarks for the simulator itself: they quantify the
-//! cost of the building blocks (DRAM channel scheduling, cache probes, NTC
-//! and BAB decisions) and the end-to-end cycles-per-second of a small
-//! system, so regressions in simulation speed are caught alongside
-//! correctness.
+//! Micro-benchmarks for the simulator itself: they quantify the cost of
+//! the building blocks (DRAM channel scheduling, cache probes, NTC and
+//! BAB decisions) and the end-to-end cycles-per-second of a small system,
+//! so regressions in simulation speed are caught alongside correctness.
+//!
+//! Runs on the dependency-free [`bear_bench::microbench`] harness
+//! (`cargo bench` — honors BEAR_BENCH_SAMPLES / BEAR_BENCH_QUICK).
 
+use bear_bench::microbench::bench;
 use bear_cache::{CacheGeometry, ReplacementPolicy, SetAssocCache};
 use bear_core::bab::BypassPolicy;
 use bear_core::config::{DesignKind, SystemConfig};
@@ -14,111 +17,91 @@ use bear_dram::device::DramDevice;
 use bear_dram::request::{DramLocation, DramRequest, TrafficClass};
 use bear_sim::rng::SimRng;
 use bear_sim::time::Cycle;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
-fn bench_dram_channel(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dram");
-    group.throughput(Throughput::Elements(64));
-    group.bench_function("64_reads_through_device", |b| {
-        b.iter(|| {
-            let mut dev = DramDevice::new(DramConfig::stacked_cache_8x());
-            let mut rng = SimRng::new(7);
-            let mut issued = 0u64;
-            let mut done = Vec::new();
-            let mut t = Cycle(0);
-            while done.len() < 64 {
-                if issued < 64 {
-                    let loc = DramLocation {
-                        channel: (issued % 4) as u32,
-                        rank: 0,
-                        bank: rng.next_below(16) as u32,
-                        row: rng.next_below(64),
-                    };
-                    if dev
-                        .try_enqueue(DramRequest::read(issued, loc, 5, TrafficClass(0), t))
-                        .is_ok()
-                    {
-                        issued += 1;
-                    }
+fn bench_dram_channel() {
+    bench("dram/64_reads_through_device", 64, || {
+        let mut dev = DramDevice::new(DramConfig::stacked_cache_8x());
+        let mut rng = SimRng::new(7);
+        let mut issued = 0u64;
+        let mut done = Vec::new();
+        let mut t = Cycle(0);
+        while done.len() < 64 {
+            if issued < 64 {
+                let loc = DramLocation {
+                    channel: (issued % 4) as u32,
+                    rank: 0,
+                    bank: rng.next_below(16) as u32,
+                    row: rng.next_below(64),
+                };
+                if dev
+                    .try_enqueue(DramRequest::read(issued, loc, 5, TrafficClass(0), t))
+                    .is_ok()
+                {
+                    issued += 1;
                 }
-                dev.tick(t, &mut done);
-                t += 1;
             }
-            black_box(t)
-        });
+            dev.tick(t, &mut done);
+            t += 1;
+        }
+        black_box(t)
     });
-    group.finish();
 }
 
-fn bench_cache_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cache");
-    group.throughput(Throughput::Elements(1000));
-    group.bench_function("l3_probe_fill_1000", |b| {
-        let geom = CacheGeometry::new(256 << 10, 16, 64);
-        b.iter(|| {
-            let mut cache: SetAssocCache<bool> =
-                SetAssocCache::new(geom, ReplacementPolicy::Lru);
-            let mut rng = SimRng::new(3);
-            for _ in 0..1000 {
-                let addr = rng.next_below(1 << 20) * 64;
-                if cache.access(addr, false).is_none() {
-                    cache.fill(addr, false, false);
-                }
+fn bench_cache_ops() {
+    let geom = CacheGeometry::new(256 << 10, 16, 64);
+    bench("cache/l3_probe_fill_1000", 1000, || {
+        let mut cache: SetAssocCache<bool> = SetAssocCache::new(geom, ReplacementPolicy::Lru);
+        let mut rng = SimRng::new(3);
+        for _ in 0..1000 {
+            let addr = rng.next_below(1 << 20) * 64;
+            if cache.access(addr, false).is_none() {
+                cache.fill(addr, false, false);
             }
-            black_box(cache.occupancy())
-        });
+        }
+        black_box(cache.occupancy())
     });
-    group.finish();
 }
 
-fn bench_bear_structures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bear");
-    group.throughput(Throughput::Elements(1000));
-    group.bench_function("ntc_record_lookup_1000", |b| {
-        b.iter(|| {
-            let mut ntc = NeighboringTagCache::new(64, 8);
-            let mut rng = SimRng::new(11);
-            let mut hits = 0u64;
-            for i in 0..1000u64 {
-                let set = rng.next_below(1 << 15);
-                ntc.record((set % 64) as usize, set, Some(i % 8), i % 3 == 0);
-                if matches!(
-                    ntc.lookup((set % 64) as usize, set, i % 8),
-                    bear_core::ntc::NtcAnswer::Present
-                ) {
-                    hits += 1;
-                }
+fn bench_bear_structures() {
+    bench("bear/ntc_record_lookup_1000", 1000, || {
+        let mut ntc = NeighboringTagCache::new(64, 8);
+        let mut rng = SimRng::new(11);
+        let mut hits = 0u64;
+        for i in 0..1000u64 {
+            let set = rng.next_below(1 << 15);
+            ntc.record((set % 64) as usize, set, Some(i % 8), i % 3 == 0);
+            if matches!(
+                ntc.lookup((set % 64) as usize, set, i % 8),
+                bear_core::ntc::NtcAnswer::Present
+            ) {
+                hits += 1;
             }
-            black_box(hits)
-        });
+        }
+        black_box(hits)
     });
-    group.bench_function("bab_duel_1000", |b| {
-        b.iter(|| {
-            let mut bab = BypassPolicy::paper_bab();
-            let mut rng = SimRng::new(13);
-            let mut bypassed = 0u64;
-            for _ in 0..1000u64 {
-                let set = rng.next_below(1 << 15);
-                bab.record_access(set, rng.chance(0.6));
-                if bab.should_bypass(set) {
-                    bypassed += 1;
-                }
+    bench("bear/bab_duel_1000", 1000, || {
+        let mut bab = BypassPolicy::paper_bab();
+        let mut rng = SimRng::new(13);
+        let mut bypassed = 0u64;
+        for _ in 0..1000u64 {
+            let set = rng.next_below(1 << 15);
+            bab.record_access(set, rng.chance(0.6));
+            if bab.should_bypass(set) {
+                bypassed += 1;
             }
-            black_box(bypassed)
-        });
+        }
+        black_box(bypassed)
     });
-    group.finish();
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut group = c.benchmark_group("system");
-    group.sample_size(10);
+fn bench_end_to_end() {
     let kcycles = 50_000u64;
-    group.throughput(Throughput::Elements(kcycles));
     for design in [DesignKind::Alloy, DesignKind::LohHill] {
-        group.bench_function(format!("{}_50k_cycles", design.label()), |b| {
-            b.iter(|| {
+        bench(
+            &format!("system/{}_50k_cycles", design.label()),
+            kcycles,
+            || {
                 let mut cfg = SystemConfig::paper_baseline(design);
                 cfg.scale_shift = 12;
                 let mut sys = System::build_rate(&cfg, "gcc");
@@ -126,17 +109,14 @@ fn bench_end_to_end(c: &mut Criterion) {
                     sys.tick();
                 }
                 black_box(sys.now())
-            });
-        });
+            },
+        );
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_dram_channel,
-    bench_cache_ops,
-    bench_bear_structures,
-    bench_end_to_end
-);
-criterion_main!(benches);
+fn main() {
+    bench_dram_channel();
+    bench_cache_ops();
+    bench_bear_structures();
+    bench_end_to_end();
+}

@@ -1,5 +1,6 @@
 //! Ablation studies of BEAR's design choices (see DESIGN.md §4).
+//! Pass `--out DIR` to also write a JSON report.
 
 fn main() {
-    bear_bench::experiments::ablations::run(&bear_bench::RunPlan::from_env());
+    bear_bench::cli::run_single("ablations", bear_bench::experiments::ablations::run);
 }

@@ -1,15 +1,19 @@
 //! Runs the complete experiment campaign: every table and figure of the
 //! paper's evaluation, in order. Honors BEAR_QUICK / BEAR_CYCLES /
-//! BEAR_WARMUP / BEAR_SCALE.
+//! BEAR_WARMUP / BEAR_SCALE / BEAR_WORKERS, and `--out DIR` to write one
+//! JSON report per experiment into `DIR`.
 
+use bear_bench::cli;
 use bear_bench::experiments as ex;
+use bear_bench::report::Report;
 use bear_bench::RunPlan;
 use std::time::Instant;
 
-/// One experiment step: display name plus its entry point.
-type Step = (&'static str, fn(&RunPlan));
+/// One experiment step: report id plus its entry point.
+type Step = (&'static str, fn(&RunPlan, &mut Report));
 
 fn main() {
+    let out = cli::parse_out_dir(std::env::args().skip(1));
     let plan = RunPlan::from_env();
     let t0 = Instant::now();
     let steps: [Step; 14] = [
@@ -30,7 +34,13 @@ fn main() {
     ];
     for (name, f) in steps {
         let t = Instant::now();
-        f(&plan);
-        println!("[{name} done in {:.1}s, total {:.1}s]\n", t.elapsed().as_secs_f64(), t0.elapsed().as_secs_f64());
+        let mut report = Report::new(name);
+        f(&plan, &mut report);
+        cli::write_report(&report, out.as_deref(), &plan);
+        println!(
+            "[{name} done in {:.1}s, total {:.1}s]\n",
+            t.elapsed().as_secs_f64(),
+            t0.elapsed().as_secs_f64()
+        );
     }
 }

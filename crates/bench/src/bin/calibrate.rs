@@ -18,14 +18,35 @@ fn main() {
 
     for w in &workloads {
         let t0 = Instant::now();
-        let alloy = run_one(&config_for(DesignKind::Alloy, BearFeatures::none(), &plan), w);
+        let alloy = run_one(
+            &config_for(DesignKind::Alloy, BearFeatures::none(), &plan),
+            w,
+        );
         let secs = t0.elapsed().as_secs_f64();
-        let bear = run_one(&config_for(DesignKind::Alloy, BearFeatures::full(), &plan), w);
-        let opt = run_one(&config_for(DesignKind::BwOpt, BearFeatures::none(), &plan), w);
-        let lh = run_one(&config_for(DesignKind::LohHill, BearFeatures::none(), &plan), w);
-        println!("\n== {} (alloy run {:.1}s, {:.0} kcyc/s) ==", w.name, secs,
-                 (plan.warmup + plan.measure) as f64 / secs / 1e3);
-        for (name, s) in [("Alloy", &alloy), ("BEAR", &bear), ("BW-Opt", &opt), ("LH", &lh)] {
+        let bear = run_one(
+            &config_for(DesignKind::Alloy, BearFeatures::full(), &plan),
+            w,
+        );
+        let opt = run_one(
+            &config_for(DesignKind::BwOpt, BearFeatures::none(), &plan),
+            w,
+        );
+        let lh = run_one(
+            &config_for(DesignKind::LohHill, BearFeatures::none(), &plan),
+            w,
+        );
+        println!(
+            "\n== {} (alloy run {:.1}s, {:.0} kcyc/s) ==",
+            w.name,
+            secs,
+            (plan.warmup + plan.measure) as f64 / secs / 1e3
+        );
+        for (name, s) in [
+            ("Alloy", &alloy),
+            ("BEAR", &bear),
+            ("BW-Opt", &opt),
+            ("LH", &lh),
+        ] {
             println!(
                 "{name:<8} bloat {:>7} hit% {:>6} hitlat {:>7} misslat {:>7} ipc {:>6} spd {:>6} l3hit% {:>5}",
                 f3(s.bloat.factor()),
@@ -38,9 +59,14 @@ fn main() {
             );
             println!(
                 "         lookups {} hits {} fills {} byps {} wbhit% {:.1} mpa {} wpa {} sq {}",
-                s.l4.read_lookups, s.l4.read_hits, s.l4.fills, s.l4.bypasses,
+                s.l4.read_lookups,
+                s.l4.read_hits,
+                s.l4.fills,
+                s.l4.bypasses,
                 s.l4.wb_hit_rate * 100.0,
-                s.l4.miss_probes_avoided, s.l4.wb_probes_avoided, s.l4.parallel_squashed,
+                s.l4.miss_probes_avoided,
+                s.l4.wb_probes_avoided,
+                s.l4.parallel_squashed,
             );
         }
     }

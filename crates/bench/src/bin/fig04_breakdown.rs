@@ -1,5 +1,6 @@
 //! Regenerates the paper's fig04 result. See DESIGN.md §4.
+//! Pass `--out DIR` to also write a JSON report.
 
 fn main() {
-    bear_bench::experiments::fig04_breakdown::run(&bear_bench::RunPlan::from_env());
+    bear_bench::cli::run_single("fig04", bear_bench::experiments::fig04_breakdown::run);
 }

@@ -1,5 +1,6 @@
 //! Regenerates the paper's fig07 result. See DESIGN.md §4.
+//! Pass `--out DIR` to also write a JSON report.
 
 fn main() {
-    bear_bench::experiments::fig07_bab::run(&bear_bench::RunPlan::from_env());
+    bear_bench::cli::run_single("fig07", bear_bench::experiments::fig07_bab::run);
 }

@@ -1,5 +1,6 @@
 //! Regenerates the paper's fig11 result. See DESIGN.md §4.
+//! Pass `--out DIR` to also write a JSON report.
 
 fn main() {
-    bear_bench::experiments::fig11_ntc::run(&bear_bench::RunPlan::from_env());
+    bear_bench::cli::run_single("fig11", bear_bench::experiments::fig11_ntc::run);
 }

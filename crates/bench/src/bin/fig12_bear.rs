@@ -1,5 +1,6 @@
 //! Regenerates the paper's fig12 result. See DESIGN.md §4.
+//! Pass `--out DIR` to also write a JSON report.
 
 fn main() {
-    bear_bench::experiments::fig12_bear::run(&bear_bench::RunPlan::from_env());
+    bear_bench::cli::run_single("fig12", bear_bench::experiments::fig12_bear::run);
 }

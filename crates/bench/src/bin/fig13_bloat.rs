@@ -1,5 +1,6 @@
 //! Regenerates the paper's fig13 result. See DESIGN.md §4.
+//! Pass `--out DIR` to also write a JSON report.
 
 fn main() {
-    bear_bench::experiments::fig13_bloat::run(&bear_bench::RunPlan::from_env());
+    bear_bench::cli::run_single("fig13", bear_bench::experiments::fig13_bloat::run);
 }

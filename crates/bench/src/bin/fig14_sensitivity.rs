@@ -1,5 +1,6 @@
 //! Regenerates the paper's fig14 result. See DESIGN.md §4.
+//! Pass `--out DIR` to also write a JSON report.
 
 fn main() {
-    bear_bench::experiments::fig14_sensitivity::run(&bear_bench::RunPlan::from_env());
+    bear_bench::cli::run_single("fig14", bear_bench::experiments::fig14_sensitivity::run);
 }

@@ -1,5 +1,6 @@
 //! Regenerates the paper's fig15 result. See DESIGN.md §4.
+//! Pass `--out DIR` to also write a JSON report.
 
 fn main() {
-    bear_bench::experiments::fig15_banks::run(&bear_bench::RunPlan::from_env());
+    bear_bench::cli::run_single("fig15", bear_bench::experiments::fig15_banks::run);
 }

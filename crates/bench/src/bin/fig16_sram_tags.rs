@@ -1,5 +1,6 @@
 //! Regenerates the paper's fig16 result. See DESIGN.md §4.
+//! Pass `--out DIR` to also write a JSON report.
 
 fn main() {
-    bear_bench::experiments::fig16_sram_tags::run(&bear_bench::RunPlan::from_env());
+    bear_bench::cli::run_single("fig16", bear_bench::experiments::fig16_sram_tags::run);
 }

@@ -1,5 +1,6 @@
 //! Regenerates the paper's table5 result. See DESIGN.md §4.
+//! Pass `--out DIR` to also write a JSON report.
 
 fn main() {
-    bear_bench::experiments::table5_overhead::run(&bear_bench::RunPlan::from_env());
+    bear_bench::cli::run_single("table5", bear_bench::experiments::table5_overhead::run);
 }

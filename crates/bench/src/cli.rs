@@ -1,0 +1,97 @@
+//! Shared command-line plumbing for the experiment binaries.
+//!
+//! Every binary accepts the same flag:
+//!
+//! - `--out DIR` (or `--out=DIR`) — after printing its human-readable
+//!   tables, write the experiment's JSON [`Report`](crate::report::Report)
+//!   to `DIR/<experiment>.json`.
+//!
+//! Report-path notices go to **stderr** so stdout stays byte-identical
+//! with and without `--out` (experiment logs are diffed verbatim).
+
+use crate::report::Report;
+use crate::RunPlan;
+use std::path::PathBuf;
+
+/// Extracts `--out DIR` / `--out=DIR` from an argument list.
+///
+/// # Panics
+///
+/// Panics (with a usage message) on `--out` without a value or on any
+/// unrecognized argument, so typos fail loudly instead of silently
+/// dropping reports.
+///
+/// ```
+/// use bear_bench::cli::parse_out_dir;
+/// let out = parse_out_dir(["--out", "results"].iter().map(|s| s.to_string()));
+/// assert_eq!(out.unwrap().to_str(), Some("results"));
+/// assert_eq!(parse_out_dir(std::iter::empty()), None);
+/// ```
+pub fn parse_out_dir(args: impl Iterator<Item = String>) -> Option<PathBuf> {
+    let mut out = None;
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        if arg == "--out" {
+            let dir = args
+                .next()
+                .unwrap_or_else(|| panic!("--out requires a directory argument"));
+            out = Some(PathBuf::from(dir));
+        } else if let Some(dir) = arg.strip_prefix("--out=") {
+            out = Some(PathBuf::from(dir));
+        } else {
+            panic!("unrecognized argument `{arg}` (supported: --out DIR)");
+        }
+    }
+    out
+}
+
+/// Entry point for a single-experiment binary: builds the plan from the
+/// environment, runs `f`, and honors `--out DIR`.
+pub fn run_single(experiment: &str, f: fn(&RunPlan, &mut Report)) {
+    let out = parse_out_dir(std::env::args().skip(1));
+    let plan = RunPlan::from_env();
+    let mut report = Report::new(experiment);
+    f(&plan, &mut report);
+    write_report(&report, out.as_deref(), &plan);
+}
+
+/// Writes `report` to `out` (if any), logging the path to stderr.
+pub fn write_report(report: &Report, out: Option<&std::path::Path>, plan: &RunPlan) {
+    if let Some(dir) = out {
+        let path = report
+            .write(dir, plan)
+            .unwrap_or_else(|e| panic!("writing report to {}: {e}", dir.display()));
+        eprintln!("[report: {}]", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args<'a>(v: &'a [&'a str]) -> impl Iterator<Item = String> + 'a {
+        v.iter().map(|s| s.to_string())
+    }
+
+    #[test]
+    fn parses_both_out_forms() {
+        assert_eq!(
+            parse_out_dir(args(&["--out", "a/b"])),
+            Some(PathBuf::from("a/b"))
+        );
+        assert_eq!(parse_out_dir(args(&["--out=c"])), Some(PathBuf::from("c")));
+        assert_eq!(parse_out_dir(args(&[])), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "unrecognized argument")]
+    fn rejects_unknown_flags() {
+        parse_out_dir(args(&["--bogus"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "--out requires")]
+    fn rejects_dangling_out() {
+        parse_out_dir(args(&["--out"]));
+    }
+}

@@ -12,76 +12,108 @@
 //! 5. **Predictor organization**: MAP-I (PC-indexed, the baseline) vs the
 //!    cheaper global MAP-G.
 
-use crate::experiments::{rate_mix_all, run_suite, speedups};
-use crate::{banner, config_for, f3, print_row, suite_sensitivity, RunPlan};
+use crate::experiments::{rate_mix_all, run_matrix, speedups};
+use crate::report::Report;
+use crate::{config_for, f3, print_row, suite_sensitivity, RunPlan};
 use bear_core::config::{BearFeatures, DesignKind, FillPolicy};
 
-/// Runs and prints all three ablations.
-pub fn run(plan: &RunPlan) {
+/// Runs and prints all the ablations.
+pub fn run(plan: &RunPlan, report: &mut Report) {
     let suite = suite_sensitivity();
-    let base = run_suite(
-        &config_for(DesignKind::Alloy, BearFeatures::none(), plan),
-        &suite,
-    );
 
-    banner("Ablation 1", "BAB bypass probability", plan);
-    print_row("P", ["speedup(R)", "(M)", "(ALL)"].map(String::from).as_ref());
-    for p in [0.25, 0.5, 0.75, 0.9, 1.0] {
+    // Build every config up front so the whole grid runs as one
+    // parallel batch; printing below preserves the original order.
+    let mut cfgs = vec![config_for(DesignKind::Alloy, BearFeatures::none(), plan)];
+
+    let bypass_points = [0.25, 0.5, 0.75, 0.9, 1.0];
+    for p in bypass_points {
         let bear = BearFeatures {
             fill_policy: FillPolicy::BandwidthAware(p),
             ..BearFeatures::none()
         };
-        let stats = run_suite(&config_for(DesignKind::Alloy, bear, plan), &suite);
-        let spd = speedups(&suite, &stats, &base);
-        let (r, m, a) = rate_mix_all(&suite, &spd);
-        print_row(&format!("{:.0}%", p * 100.0), &[f3(r), f3(m), f3(a)]);
+        cfgs.push(config_for(DesignKind::Alloy, bear, plan));
     }
 
-    banner("Ablation 2", "BAB duel slack Δ", plan);
-    print_row("delta", ["speedup(R)", "(M)", "(ALL)"].map(String::from).as_ref());
-    for shift in [2u32, 3, 4, 5, 6] {
+    let delta_points = [2u32, 3, 4, 5, 6];
+    for shift in delta_points {
         let mut cfg = config_for(DesignKind::Alloy, BearFeatures::bab(), plan);
         cfg.bab_delta_shift = shift;
-        let stats = run_suite(&cfg, &suite);
-        let spd = speedups(&suite, &stats, &base);
-        let (r, m, a) = rate_mix_all(&suite, &spd);
-        print_row(&format!("1/{}", 1u32 << shift), &[f3(r), f3(m), f3(a)]);
+        cfgs.push(cfg);
     }
 
-    banner("Ablation 3", "Writeback allocation policy", plan);
-    print_row("policy", ["speedup(R)", "(M)", "(ALL)"].map(String::from).as_ref());
-    for (label, allocate) in [("allocate", true), ("no-allocate", false)] {
+    let wb_points = [("allocate", true), ("no-allocate", false)];
+    for (_, allocate) in wb_points {
         let mut cfg = config_for(DesignKind::Alloy, BearFeatures::none(), plan);
         cfg.writeback_allocate = allocate;
-        let stats = run_suite(&cfg, &suite);
-        let spd = speedups(&suite, &stats, &base);
-        let (r, m, a) = rate_mix_all(&suite, &spd);
-        print_row(label, &[f3(r), f3(m), f3(a)]);
+        cfgs.push(cfg);
     }
 
-    banner("Ablation 5", "MAP-I vs MAP-G predictor", plan);
-    print_row("predictor", ["speedup(R)", "(M)", "(ALL)"].map(String::from).as_ref());
-    for (label, kind) in [
+    let pred_points = [
         ("MAP-I", bear_core::predictor::PredictorKind::MapI),
         ("MAP-G", bear_core::predictor::PredictorKind::MapG),
-    ] {
+    ];
+    for (_, kind) in pred_points {
         let mut cfg = config_for(DesignKind::Alloy, BearFeatures::none(), plan);
         cfg.predictor = kind;
-        let stats = run_suite(&cfg, &suite);
-        let spd = speedups(&suite, &stats, &base);
-        let (r, m, a) = rate_mix_all(&suite, &spd);
-        print_row(label, &[f3(r), f3(m), f3(a)]);
+        cfgs.push(cfg);
     }
 
-    banner("Ablation 4", "Temporal NTC extension (§9.4)", plan);
-    print_row("ntc mode", ["speedup(R)", "(M)", "(ALL)"].map(String::from).as_ref());
-    for (label, bear) in [
+    let ntc_points = [
         ("spatial", BearFeatures::full()),
         ("spatial+temporal", BearFeatures::full_with_temporal_ntc()),
-    ] {
-        let stats = run_suite(&config_for(DesignKind::Alloy, bear, plan), &suite);
-        let spd = speedups(&suite, &stats, &base);
+    ];
+    for (_, bear) in ntc_points {
+        cfgs.push(config_for(DesignKind::Alloy, bear, plan));
+    }
+
+    let results = run_matrix(&cfgs, &suite);
+    let mut results = results.iter();
+    let base = results.next().expect("base run");
+    report.add_suite("Alloy", base, None);
+    let spd_header: Vec<String> = ["speedup(R)", "(M)", "(ALL)"].map(String::from).into();
+    let emit = |label: String, stats: &Vec<bear_core::metrics::RunStats>, report: &mut Report| {
+        let spd = speedups(&suite, stats, base);
         let (r, m, a) = rate_mix_all(&suite, &spd);
-        print_row(label, &[f3(r), f3(m), f3(a)]);
+        report.add_suite(&label, stats, Some(&spd));
+        report.add_scalar(&format!("{label}.gmean_all"), a);
+        print_row(&label, &[f3(r), f3(m), f3(a)]);
+    };
+
+    report.banner("Ablation 1", "BAB bypass probability", plan);
+    print_row("P", &spd_header);
+    for p in bypass_points {
+        emit(
+            format!("{:.0}%", p * 100.0),
+            results.next().expect("run"),
+            report,
+        );
+    }
+
+    report.banner("Ablation 2", "BAB duel slack Δ", plan);
+    print_row("delta", &spd_header);
+    for shift in delta_points {
+        emit(
+            format!("1/{}", 1u32 << shift),
+            results.next().expect("run"),
+            report,
+        );
+    }
+
+    report.banner("Ablation 3", "Writeback allocation policy", plan);
+    print_row("policy", &spd_header);
+    for (label, _) in wb_points {
+        emit(label.to_string(), results.next().expect("run"), report);
+    }
+
+    report.banner("Ablation 5", "MAP-I vs MAP-G predictor", plan);
+    print_row("predictor", &spd_header);
+    for (label, _) in pred_points {
+        emit(label.to_string(), results.next().expect("run"), report);
+    }
+
+    report.banner("Ablation 4", "Temporal NTC extension (§9.4)", plan);
+    print_row("ntc mode", &spd_header);
+    for (label, _) in ntc_points {
+        emit(label.to_string(), results.next().expect("run"), report);
     }
 }

@@ -1,31 +1,33 @@
 //! Figure 5: naive Probabilistic Bypass at P = 50 % and P = 90 % — hit
 //! latency reduction, hit-rate change, and speedup per rate workload.
 
-use crate::experiments::run_suite;
-use crate::{banner, config_for, f3, print_row, speedup, suite_rate, RunPlan};
+use crate::experiments::run_matrix;
+use crate::report::Report;
+use crate::{config_for, f3, print_row, speedup, suite_rate, RunPlan};
 use bear_core::config::{BearFeatures, DesignKind, FillPolicy};
 
 /// Runs and prints the Figure 5 study.
-pub fn run(plan: &RunPlan) {
-    banner("Fig 5", "Probabilistic Bypass P=50% / P=90%", plan);
+pub fn run(plan: &RunPlan, report: &mut Report) {
+    report.banner("Fig 5", "Probabilistic Bypass P=50% / P=90%", plan);
     let suite = suite_rate();
-    let base = run_suite(
-        &config_for(DesignKind::Alloy, BearFeatures::none(), plan),
-        &suite,
-    );
-    let mut variants = Vec::new();
+    let mut cfgs = vec![config_for(DesignKind::Alloy, BearFeatures::none(), plan)];
     for p in [0.5, 0.9] {
         let bear = BearFeatures {
             fill_policy: FillPolicy::Probabilistic(p),
             ..BearFeatures::none()
         };
-        variants.push(run_suite(&config_for(DesignKind::Alloy, bear, plan), &suite));
+        cfgs.push(config_for(DesignKind::Alloy, bear, plan));
     }
+    let mut results = run_matrix(&cfgs, &suite).into_iter();
+    let base = results.next().expect("base run");
+    let variants: Vec<_> = results.collect();
+    report.add_suite("Alloy", &base, None);
 
     print_row(
         "workload",
         ["dLat50%", "dLat90%", "dHit50", "dHit90", "spd50", "spd90"]
-            .map(String::from).as_ref(),
+            .map(String::from)
+            .as_ref(),
     );
     let mut spd = [Vec::new(), Vec::new()];
     for (i, w) in suite.iter().enumerate() {
@@ -46,6 +48,10 @@ pub fn run(plan: &RunPlan) {
             }))
             .collect();
         print_row(&w.name, &cells);
+    }
+    for (v, label) in [(0, "PB-50%"), (1, "PB-90%")] {
+        report.add_suite(label, &variants[v], Some(&spd[v]));
+        report.add_scalar(&format!("{label}.gmean"), crate::gmean(&spd[v]));
     }
     println!(
         "gmean speedups: P=50% {:.3}, P=90% {:.3}",

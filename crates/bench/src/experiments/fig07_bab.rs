@@ -1,23 +1,27 @@
 //! Figure 7: Bandwidth-Aware Bypass speedup over the Alloy baseline.
 
-use crate::experiments::{rate_mix_all, run_suite, speedups};
-use crate::{banner, config_for, f3, print_row, suite_all, RunPlan};
+use crate::experiments::{rate_mix_all, run_matrix, speedups};
+use crate::report::Report;
+use crate::{config_for, f3, print_row, suite_all, RunPlan};
 use bear_core::config::{BearFeatures, DesignKind};
 
 /// Runs and prints the Figure 7 study.
-pub fn run(plan: &RunPlan) {
-    banner("Fig 7", "Bandwidth-Aware Bypass speedup", plan);
+pub fn run(plan: &RunPlan, report: &mut Report) {
+    report.banner("Fig 7", "Bandwidth-Aware Bypass speedup", plan);
     let suite = suite_all();
-    let base = run_suite(
-        &config_for(DesignKind::Alloy, BearFeatures::none(), plan),
-        &suite,
+    let cfgs = [
+        config_for(DesignKind::Alloy, BearFeatures::none(), plan),
+        config_for(DesignKind::Alloy, BearFeatures::bab(), plan),
+    ];
+    let results = run_matrix(&cfgs, &suite);
+    let (base, bab) = (&results[0], &results[1]);
+    let spd = speedups(&suite, bab, base);
+    report.add_suite("Alloy", base, None);
+    report.add_suite("BAB", bab, Some(&spd));
+    print_row(
+        "workload",
+        ["speedup", "hit%b", "hit%BAB"].map(String::from).as_ref(),
     );
-    let bab = run_suite(
-        &config_for(DesignKind::Alloy, BearFeatures::bab(), plan),
-        &suite,
-    );
-    let spd = speedups(&suite, &bab, &base);
-    print_row("workload", ["speedup", "hit%b", "hit%BAB"].map(String::from).as_ref());
     for (i, w) in suite.iter().enumerate() {
         if w.is_rate {
             print_row(
@@ -31,8 +35,17 @@ pub fn run(plan: &RunPlan) {
         }
     }
     let (r, m, a) = rate_mix_all(&suite, &spd);
+    report.add_scalar("gmean_rate", r);
+    report.add_scalar("gmean_mix", m);
+    report.add_scalar("gmean_all", a);
     println!("gmean speedup: RATE {r:.3}  MIX {m:.3}  ALL {a:.3}");
     let hb: f64 = base.iter().map(|s| s.l4.hit_rate).sum::<f64>() / base.len() as f64;
     let hx: f64 = bab.iter().map(|s| s.l4.hit_rate).sum::<f64>() / bab.len() as f64;
-    println!("mean hit rate: baseline {:.1}%  BAB {:.1}%", hb * 100.0, hx * 100.0);
+    report.add_scalar("mean_hit_rate.Alloy", hb);
+    report.add_scalar("mean_hit_rate.BAB", hx);
+    println!(
+        "mean hit rate: baseline {:.1}%  BAB {:.1}%",
+        hb * 100.0,
+        hx * 100.0
+    );
 }

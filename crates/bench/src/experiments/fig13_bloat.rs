@@ -1,8 +1,9 @@
 //! Figure 13: Bloat Factor breakdown for (a) Alloy, (b) BAB, (c) BAB+DCP,
 //! (d) full BEAR, and (e) BW-Opt, aggregated over RATE / MIX / ALL.
 
-use crate::experiments::run_suite;
-use crate::{banner, config_for, f3, print_row, suite_all, RunPlan};
+use crate::experiments::run_matrix;
+use crate::report::Report;
+use crate::{config_for, f3, print_row, suite_all, RunPlan};
 use bear_core::config::{BearFeatures, DesignKind};
 use bear_core::metrics::BloatBreakdown;
 use bear_core::traffic::BloatCategory;
@@ -19,8 +20,8 @@ fn merged(stats: &[(bool, &BloatBreakdown)], rate: Option<bool>) -> BloatBreakdo
 }
 
 /// Runs and prints the Figure 13 breakdowns.
-pub fn run(plan: &RunPlan) {
-    banner("Fig 13", "Bloat Factor breakdown by scheme", plan);
+pub fn run(plan: &RunPlan, report: &mut Report) {
+    report.banner("Fig 13", "Bloat Factor breakdown by scheme", plan);
     let suite = suite_all();
     let schemes: [(&str, DesignKind, BearFeatures); 5] = [
         ("a:Alloy", DesignKind::Alloy, BearFeatures::none()),
@@ -29,6 +30,11 @@ pub fn run(plan: &RunPlan) {
         ("d:BEAR", DesignKind::Alloy, BearFeatures::full()),
         ("e:BW-Opt", DesignKind::BwOpt, BearFeatures::none()),
     ];
+    let cfgs: Vec<_> = schemes
+        .iter()
+        .map(|&(_, design, bear)| config_for(design, bear, plan))
+        .collect();
+    let results = run_matrix(&cfgs, &suite);
     let header: Vec<String> = ["group", "bloat"]
         .into_iter()
         .map(String::from)
@@ -37,11 +43,11 @@ pub fn run(plan: &RunPlan) {
     print_row("scheme", &header);
     let mut alloy_all: Option<f64> = None;
     let mut bear_all: Option<f64> = None;
-    for (label, design, bear) in schemes {
-        let stats = run_suite(&config_for(design, bear, plan), &suite);
+    for ((label, _, _), stats) in schemes.iter().zip(&results) {
+        report.add_suite(label, stats, None);
         let tagged: Vec<(bool, &BloatBreakdown)> = suite
             .iter()
-            .zip(&stats)
+            .zip(stats)
             .map(|(w, s): (&Workload, _)| (w.is_rate, &s.bloat))
             .collect();
         for (group, filter) in [("RATE", Some(true)), ("MIX", Some(false)), ("ALL", None)] {
@@ -50,16 +56,21 @@ pub fn run(plan: &RunPlan) {
             cells.extend(BloatCategory::ALL.iter().map(|&c| f3(b.component(c))));
             print_row(label, &cells);
             if filter.is_none() {
-                if label == "a:Alloy" {
+                report.add_scalar(&format!("{label}.bloat_factor_all"), b.factor());
+                if *label == "a:Alloy" {
                     alloy_all = Some(b.factor());
                 }
-                if label == "d:BEAR" {
+                if *label == "d:BEAR" {
                     bear_all = Some(b.factor());
                 }
             }
         }
     }
     if let (Some(a), Some(b)) = (alloy_all, bear_all) {
-        println!("BEAR bloat reduction vs Alloy (ALL): {:.1}%", (1.0 - b / a) * 100.0);
+        report.add_scalar("bear_bloat_reduction_pct", (1.0 - b / a) * 100.0);
+        println!(
+            "BEAR bloat reduction vs Alloy (ALL): {:.1}%",
+            (1.0 - b / a) * 100.0
+        );
     }
 }

@@ -1,8 +1,9 @@
 //! Figure 16: BEAR vs the idealized Tags-In-SRAM (64 MB) and Sector Cache
 //! (6 MB) designs — L4 hit rate, hit/miss latency, Bloat Factor, speedup.
 
-use crate::experiments::{rate_mix_all, run_suite, speedups};
-use crate::{banner, config_for, f3, print_row, suite_all, RunPlan};
+use crate::experiments::{rate_mix_all, run_matrix, speedups};
+use crate::report::Report;
+use crate::{config_for, f3, print_row, suite_all, RunPlan};
 use bear_core::config::{BearFeatures, DesignKind};
 use bear_core::metrics::{BloatBreakdown, RunStats};
 
@@ -27,37 +28,40 @@ fn aggregate(stats: &[RunStats]) -> (f64, f64, f64, f64) {
 }
 
 /// Runs and prints the Figure 16 comparison.
-pub fn run(plan: &RunPlan) {
-    banner("Fig 16", "BEAR vs Tags-In-SRAM and Sector Cache", plan);
+pub fn run(plan: &RunPlan, report: &mut Report) {
+    report.banner("Fig 16", "BEAR vs Tags-In-SRAM and Sector Cache", plan);
     let suite = suite_all();
-    let alloy = run_suite(
-        &config_for(DesignKind::Alloy, BearFeatures::none(), plan),
-        &suite,
-    );
     let variants = [
         ("AL", DesignKind::Alloy, BearFeatures::none()),
         ("BEAR", DesignKind::Alloy, BearFeatures::full()),
         ("TIS", DesignKind::TagsInSram, BearFeatures::none()),
         ("SC", DesignKind::SectorCache, BearFeatures::none()),
     ];
+    let cfgs: Vec<_> = variants
+        .iter()
+        .map(|&(_, design, bear)| config_for(design, bear, plan))
+        .collect();
+    let results = run_matrix(&cfgs, &suite);
+    let alloy = &results[0];
     print_row(
         "design",
         ["hit%", "hit_lat", "miss_lat", "bloat", "spd(ALL)"]
-            .map(String::from).as_ref(),
+            .map(String::from)
+            .as_ref(),
     );
-    for (label, design, bear) in variants {
-        let stats = if label == "AL" {
-            alloy.clone()
-        } else {
-            run_suite(&config_for(design, bear, plan), &suite)
-        };
-        let (hr, hl, ml, bloat) = aggregate(&stats);
-        let spd = speedups(&suite, &stats, &alloy);
+    for ((label, _, _), stats) in variants.iter().zip(&results) {
+        let (hr, hl, ml, bloat) = aggregate(stats);
+        let spd = speedups(&suite, stats, alloy);
         let (_, _, a) = rate_mix_all(&suite, &spd);
-        print_row(
-            label,
-            &[f3(hr * 100.0), f3(hl), f3(ml), f3(bloat), f3(a)],
-        );
+        if *label == "AL" {
+            report.add_suite(label, stats, None);
+        } else {
+            report.add_suite(label, stats, Some(&spd));
+        }
+        report.add_scalar(&format!("{label}.hit_rate"), hr);
+        report.add_scalar(&format!("{label}.bloat_factor"), bloat);
+        report.add_scalar(&format!("{label}.gmean_all"), a);
+        print_row(label, &[f3(hr * 100.0), f3(hl), f3(ml), f3(bloat), f3(a)]);
     }
     println!("(SRAM overhead: TIS 64MB, SC ~6MB, BEAR ~19.2KB — see table5)");
 }

@@ -1,9 +1,12 @@
 //! One module per table/figure of the paper's evaluation.
 //!
-//! Every module exposes `run(plan: &RunPlan)` which simulates the required
-//! configurations and prints rows/series shaped like the paper's. The
-//! binaries in `src/bin/` are thin wrappers; `bin/all_experiments` runs the
-//! whole campaign.
+//! Every module exposes `run(plan: &RunPlan, report: &mut Report)` which
+//! simulates the required configurations through the parallel grid
+//! [`runner`](crate::runner), prints rows/series shaped like the paper's,
+//! and records every run (plus headline scalars) into the experiment's
+//! machine-readable [`Report`](crate::report::Report). The binaries in
+//! `src/bin/` are thin wrappers; `bin/all_experiments` runs the whole
+//! campaign.
 
 pub mod ablations;
 pub mod fig03_designs;
@@ -21,15 +24,11 @@ pub mod fig17_alternatives;
 pub mod table4_latency;
 pub mod table5_overhead;
 
-use crate::{run_one, speedup};
-use bear_core::config::SystemConfig;
+use crate::speedup;
 use bear_core::metrics::RunStats;
 use bear_workloads::Workload;
 
-/// Runs `cfg` over `workloads`, returning per-workload stats.
-pub fn run_suite(cfg: &SystemConfig, workloads: &[Workload]) -> Vec<RunStats> {
-    workloads.iter().map(|w| run_one(cfg, w)).collect()
-}
+pub use crate::runner::{run_matrix, run_suite};
 
 /// Per-workload speedups of `sys` over `base` (same workload order).
 pub fn speedups(workloads: &[Workload], sys: &[RunStats], base: &[RunStats]) -> Vec<f64> {

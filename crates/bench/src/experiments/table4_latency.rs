@@ -1,8 +1,9 @@
 //! Table 4: DRAM-cache hit rate and latency (hit / miss / average) for
 //! Alloy vs BEAR, aggregated over the full suite.
 
-use crate::experiments::run_suite;
-use crate::{banner, config_for, f3, print_row, suite_all, RunPlan};
+use crate::experiments::run_matrix;
+use crate::report::Report;
+use crate::{config_for, f3, print_row, suite_all, RunPlan};
 use bear_core::config::{BearFeatures, DesignKind};
 use bear_core::metrics::RunStats;
 
@@ -26,17 +27,31 @@ fn aggregate(stats: &[RunStats]) -> (f64, f64, f64, f64) {
 }
 
 /// Runs and prints Table 4.
-pub fn run(plan: &RunPlan) {
-    banner("Table 4", "DRAM cache hit-rate and latency", plan);
+pub fn run(plan: &RunPlan, report: &mut Report) {
+    report.banner("Table 4", "DRAM cache hit-rate and latency", plan);
     let suite = suite_all();
+    let variants = [
+        ("Alloy", BearFeatures::none()),
+        ("BEAR", BearFeatures::full()),
+    ];
+    let cfgs: Vec<_> = variants
+        .iter()
+        .map(|&(_, bear)| config_for(DesignKind::Alloy, bear, plan))
+        .collect();
+    let results = run_matrix(&cfgs, &suite);
     print_row(
         "design",
         ["hit_rate%", "hit_lat", "miss_lat", "avg_lat"]
-            .map(String::from).as_ref(),
+            .map(String::from)
+            .as_ref(),
     );
-    for (label, bear) in [("Alloy", BearFeatures::none()), ("BEAR", BearFeatures::full())] {
-        let stats = run_suite(&config_for(DesignKind::Alloy, bear, plan), &suite);
-        let (hr, hl, ml, avg) = aggregate(&stats);
+    for ((label, _), stats) in variants.iter().zip(&results) {
+        let (hr, hl, ml, avg) = aggregate(stats);
+        report.add_suite(label, stats, None);
+        report.add_scalar(&format!("{label}.hit_rate"), hr);
+        report.add_scalar(&format!("{label}.hit_latency"), hl);
+        report.add_scalar(&format!("{label}.miss_latency"), ml);
+        report.add_scalar(&format!("{label}.avg_latency"), avg);
         print_row(label, &[f3(hr * 100.0), f3(hl), f3(ml), f3(avg)]);
     }
 }

@@ -3,15 +3,22 @@
 //! Experiment harness for the BEAR reproduction.
 //!
 //! Each binary in `src/bin/` regenerates one table or figure of the paper
-//! (see DESIGN.md §4 for the index). This library holds the shared runner:
-//! configuration presets, suite selection, normalized-speedup computation,
-//! and plain-text table formatting.
+//! (see DESIGN.md §4 for the index). This library holds the shared
+//! machinery: configuration presets, suite selection, normalized-speedup
+//! computation, plain-text table formatting, the parallel grid [`runner`],
+//! machine-readable [`report`]s, and the dependency-free [`microbench`]
+//! harness.
 //!
 //! Environment knobs (all optional):
 //! - `BEAR_QUICK=1` — shrink the suite (first 4 rate + 2 mixes) and halve
 //!   the simulated windows; useful for smoke-testing every binary.
 //! - `BEAR_WARMUP` / `BEAR_CYCLES` — override warmup/measure cycles.
 //! - `BEAR_SCALE` — override the joint capacity scale shift.
+//! - `BEAR_WORKERS` — worker threads for the grid runner (`1` = serial).
+//!
+//! Every experiment binary accepts `--out DIR` and then writes a
+//! machine-readable JSON report next to its human-readable tables (see
+//! [`report`] for the schema).
 
 use bear_core::config::{BearFeatures, DesignKind, SystemConfig};
 use bear_core::metrics::RunStats;
@@ -20,7 +27,11 @@ use bear_cpu::metrics::{normalized_weighted_speedup, rate_mode_speedup};
 use bear_sim::stats::geometric_mean;
 use bear_workloads::{mix_workloads, named_mixes, rate_workloads, Workload};
 
+pub mod cli;
 pub mod experiments;
+pub mod microbench;
+pub mod report;
+pub mod runner;
 
 /// Cycle/scale parameters for one experiment campaign.
 #[derive(Debug, Clone, Copy)]
@@ -154,18 +165,6 @@ pub fn f3(v: f64) -> String {
 /// Formats a float with 1 decimal.
 pub fn f1(v: f64) -> String {
     format!("{v:.1}")
-}
-
-/// Prints the standard experiment header.
-pub fn banner(id: &str, title: &str, plan: &RunPlan) {
-    println!("=== {id}: {title} ===");
-    println!(
-        "(scale 1/{}, warmup {}, measure {} cycles{})",
-        1u64 << plan.scale_shift,
-        plan.warmup,
-        plan.measure,
-        if quick_mode() { ", QUICK mode" } else { "" }
-    );
 }
 
 #[cfg(test)]

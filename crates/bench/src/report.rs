@@ -1,0 +1,414 @@
+//! Machine-readable experiment reports.
+//!
+//! Every experiment module, in addition to its human-readable tables on
+//! stdout, records its raw results into a [`Report`]: one row per
+//! simulated (configuration, workload) cell carrying the full
+//! [`RunStats`], the Bloat Factor, and the speedup versus that
+//! experiment's baseline, plus a flat map of headline scalars (geometric
+//! means, storage bytes, …). Passing `--out DIR` to any experiment binary
+//! serializes the report as `DIR/<experiment>.json`, so result
+//! trajectories can be generated and diffed run-over-run.
+//!
+//! The schema is a single shape shared by all experiments (documented
+//! with a worked example in `EXPERIMENTS.md`):
+//!
+//! ```json
+//! {
+//!   "experiment": "fig07",
+//!   "title": "Bandwidth-Aware Bypass speedup",
+//!   "plan": {"warmup": 1500000, "measure": 1000000, "scale_shift": 9, "quick": false},
+//!   "rows": [
+//!     {"config": "BAB", "workload": "rate:mcf", "speedup": 0.987,
+//!      "bloat_factor": 4.1, "stats": { ...every RunStats field... }},
+//!     ...
+//!   ],
+//!   "scalars": {"gmean_all": 1.010, ...}
+//! }
+//! ```
+//!
+//! Serialization is hand-rolled (see [`Json`]) — the offline-first
+//! contract of this workspace forbids registry dependencies, serde
+//! included. Object keys keep insertion order, so serialized reports are
+//! byte-stable for identical results.
+
+use crate::{quick_mode, RunPlan};
+use bear_core::metrics::RunStats;
+use bear_core::traffic::BloatCategory;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A JSON value with order-preserving objects.
+///
+/// ```
+/// use bear_bench::report::Json;
+/// let v = Json::Obj(vec![
+///     ("n".into(), Json::Num(1.5)),
+///     ("s".into(), Json::Str("a\"b".into())),
+/// ]);
+/// assert_eq!(v.to_string(), r#"{"n":1.5,"s":"a\"b"}"#);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite values serialize as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys serialize in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Unsigned integer helper (`u64` exceeding 2^53 loses precision in
+    /// JSON numbers, so large counters serialize via their exact decimal
+    /// representation — still a valid JSON number).
+    pub fn uint(v: u64) -> Json {
+        // All counters in this workspace fit f64's 53-bit mantissa in
+        // practice, but go through the exact path to be safe.
+        if v < (1u64 << 53) {
+            Json::Num(v as f64)
+        } else {
+            Json::Str(v.to_string())
+        }
+    }
+
+    fn escape(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    fn write(&self, out: &mut String, indent: usize, pretty: bool) {
+        let pad = |out: &mut String, n: usize| {
+            if pretty {
+                out.push('\n');
+                out.push_str(&"  ".repeat(n));
+            }
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    // `{}` on f64 is the shortest round-trip representation.
+                    out.push_str(&format!("{v}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => Self::escape(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    pad(out, indent + 1);
+                    item.write(out, indent + 1, pretty);
+                }
+                if !items.is_empty() {
+                    pad(out, indent);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    pad(out, indent + 1);
+                    Self::escape(k, out);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    v.write(out, indent + 1, pretty);
+                }
+                if !fields.is_empty() {
+                    pad(out, indent);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Two-space-indented serialization (what report files use).
+    pub fn to_string_pretty(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s, 0, true);
+        s
+    }
+}
+
+impl std::fmt::Display for Json {
+    /// Compact (single-line) serialization.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = String::new();
+        self.write(&mut s, 0, false);
+        f.write_str(&s)
+    }
+}
+
+/// One simulated cell of an experiment's (config × workload) grid.
+#[derive(Debug, Clone)]
+pub struct ReportRow {
+    /// Configuration label (e.g. `"Alloy"`, `"BAB+DCP"`, `"BEAR@4x"`).
+    pub config: String,
+    /// Workload name (from [`RunStats::workload`]).
+    pub workload: String,
+    /// Speedup versus the experiment's baseline, when one exists.
+    pub speedup: Option<f64>,
+    /// Full statistics of the run.
+    pub stats: RunStats,
+}
+
+/// A structured record of one experiment: rows plus headline scalars.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Experiment id — also the output file stem (e.g. `"fig07"`).
+    pub experiment: String,
+    /// Human-readable title (recorded by [`Report::banner`]).
+    pub title: String,
+    /// One row per simulated (config, workload) cell, in execution order.
+    pub rows: Vec<ReportRow>,
+    /// Headline aggregates: geometric means, storage bytes, etc.
+    pub scalars: Vec<(String, f64)>,
+}
+
+impl Report {
+    /// Creates an empty report for `experiment`.
+    pub fn new(experiment: &str) -> Self {
+        Report {
+            experiment: experiment.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Prints the standard experiment header and records the title.
+    pub fn banner(&mut self, id: &str, title: &str, plan: &RunPlan) {
+        self.title = title.to_string();
+        println!("=== {id}: {title} ===");
+        println!(
+            "(scale 1/{}, warmup {}, measure {} cycles{})",
+            1u64 << plan.scale_shift,
+            plan.warmup,
+            plan.measure,
+            if quick_mode() { ", QUICK mode" } else { "" }
+        );
+    }
+
+    /// Records one run under configuration label `config`.
+    pub fn add_run(&mut self, config: &str, stats: &RunStats, speedup: Option<f64>) {
+        self.rows.push(ReportRow {
+            config: config.to_string(),
+            workload: stats.workload.clone(),
+            speedup,
+            stats: stats.clone(),
+        });
+    }
+
+    /// Records a whole suite run under one configuration label, with
+    /// optional per-workload speedups (same order as `stats`).
+    pub fn add_suite(&mut self, config: &str, stats: &[RunStats], speedups: Option<&[f64]>) {
+        for (i, s) in stats.iter().enumerate() {
+            self.add_run(config, s, speedups.map(|v| v[i]));
+        }
+    }
+
+    /// Records a headline scalar (geometric mean, byte count, …).
+    pub fn add_scalar(&mut self, key: &str, value: f64) {
+        self.scalars.push((key.to_string(), value));
+    }
+
+    /// The report as a JSON document.
+    pub fn to_json(&self, plan: &RunPlan) -> Json {
+        Json::Obj(vec![
+            ("experiment".into(), Json::Str(self.experiment.clone())),
+            ("title".into(), Json::Str(self.title.clone())),
+            (
+                "plan".into(),
+                Json::Obj(vec![
+                    ("warmup".into(), Json::uint(plan.warmup)),
+                    ("measure".into(), Json::uint(plan.measure)),
+                    ("scale_shift".into(), Json::uint(plan.scale_shift as u64)),
+                    ("quick".into(), Json::Bool(quick_mode())),
+                ]),
+            ),
+            (
+                "rows".into(),
+                Json::Arr(self.rows.iter().map(row_to_json).collect()),
+            ),
+            (
+                "scalars".into(),
+                Json::Obj(
+                    self.scalars
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Writes `DIR/<experiment>.json` (creating `DIR` if needed) and
+    /// returns the path.
+    pub fn write(&self, dir: &Path, plan: &RunPlan) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.experiment));
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(self.to_json(plan).to_string_pretty().as_bytes())?;
+        f.write_all(b"\n")?;
+        Ok(path)
+    }
+}
+
+/// Serializes every [`RunStats`] field (the "stats" object of a row).
+fn stats_to_json(s: &RunStats) -> Json {
+    let l4 = &s.l4;
+    let bloat_bytes: Vec<(String, Json)> = BloatCategory::ALL
+        .iter()
+        .map(|&c| (c.label().to_string(), Json::uint(s.bloat.bytes[c as usize])))
+        .collect();
+    Json::Obj(vec![
+        ("design".into(), Json::Str(s.design.clone())),
+        ("cycles".into(), Json::uint(s.cycles)),
+        (
+            "insts_per_core".into(),
+            Json::Arr(s.insts_per_core.iter().map(|&v| Json::uint(v)).collect()),
+        ),
+        (
+            "ipc_per_core".into(),
+            Json::Arr(s.ipc_per_core.iter().map(|&v| Json::Num(v)).collect()),
+        ),
+        (
+            "l4".into(),
+            Json::Obj(vec![
+                ("read_lookups".into(), Json::uint(l4.read_lookups)),
+                ("read_hits".into(), Json::uint(l4.read_hits)),
+                ("hit_rate".into(), Json::Num(l4.hit_rate)),
+                ("wb_hit_rate".into(), Json::Num(l4.wb_hit_rate)),
+                ("hit_latency".into(), Json::Num(l4.hit_latency)),
+                ("miss_latency".into(), Json::Num(l4.miss_latency)),
+                ("avg_latency".into(), Json::Num(l4.avg_latency)),
+                ("fills".into(), Json::uint(l4.fills)),
+                ("bypasses".into(), Json::uint(l4.bypasses)),
+                (
+                    "miss_probes_avoided".into(),
+                    Json::uint(l4.miss_probes_avoided),
+                ),
+                ("wb_probes_avoided".into(), Json::uint(l4.wb_probes_avoided)),
+                ("parallel_squashed".into(), Json::uint(l4.parallel_squashed)),
+            ]),
+        ),
+        (
+            "bloat".into(),
+            Json::Obj(vec![
+                ("bytes".into(), Json::Obj(bloat_bytes)),
+                ("useful_lines".into(), Json::uint(s.bloat.useful_lines)),
+            ]),
+        ),
+        ("l3_hit_rate".into(), Json::Num(s.l3_hit_rate)),
+        (
+            "cache_read_queue_latency".into(),
+            Json::Num(s.cache_read_queue_latency),
+        ),
+        ("mem_bytes".into(), Json::uint(s.mem_bytes)),
+    ])
+}
+
+fn row_to_json(row: &ReportRow) -> Json {
+    Json::Obj(vec![
+        ("config".into(), Json::Str(row.config.clone())),
+        ("workload".into(), Json::Str(row.workload.clone())),
+        ("speedup".into(), row.speedup.map_or(Json::Null, Json::Num)),
+        ("bloat_factor".into(), Json::Num(row.stats.bloat.factor())),
+        ("stats".into(), stats_to_json(&row.stats)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_nests() {
+        let v = Json::Obj(vec![
+            ("a\n".into(), Json::Arr(vec![Json::Null, Json::Bool(true)])),
+            ("b".into(), Json::Num(f64::NAN)),
+        ]);
+        assert_eq!(v.to_string(), r#"{"a\n":[null,true],"b":null}"#);
+    }
+
+    #[test]
+    fn json_pretty_roundtrips_structure() {
+        let v = Json::Obj(vec![("x".into(), Json::Arr(vec![Json::Num(1.0)]))]);
+        let pretty = v.to_string_pretty();
+        assert!(pretty.contains("\n  \"x\": [\n    1\n  ]\n"));
+    }
+
+    #[test]
+    fn uint_is_exact_for_large_values() {
+        assert_eq!(Json::uint(5).to_string(), "5");
+        let big = (1u64 << 60) + 1;
+        assert_eq!(Json::uint(big).to_string(), format!("\"{big}\""));
+    }
+
+    #[test]
+    fn report_serializes_rows_and_scalars() {
+        let plan = RunPlan {
+            warmup: 10,
+            measure: 20,
+            scale_shift: 9,
+        };
+        let mut r = Report::new("figXX");
+        let stats = RunStats {
+            workload: "rate:mcf".into(),
+            design: "Alloy".into(),
+            cycles: 20,
+            ipc_per_core: vec![0.5],
+            ..Default::default()
+        };
+        r.add_run("Alloy", &stats, None);
+        r.add_run("BEAR", &stats, Some(1.25));
+        r.add_scalar("gmean_all", 1.25);
+        let json = r.to_json(&plan).to_string();
+        assert!(json.contains(r#""experiment":"figXX""#));
+        assert!(json.contains(r#""workload":"rate:mcf""#));
+        assert!(json.contains(r#""speedup":null"#));
+        assert!(json.contains(r#""speedup":1.25"#));
+        assert!(json.contains(r#""gmean_all":1.25"#));
+        assert!(json.contains(r#""Hit":0"#), "bloat categories present");
+    }
+
+    #[test]
+    fn report_write_creates_file() {
+        let plan = RunPlan {
+            warmup: 1,
+            measure: 1,
+            scale_shift: 9,
+        };
+        let dir = std::env::temp_dir().join(format!("bear_report_test_{}", std::process::id()));
+        let mut r = Report::new("smoke");
+        r.add_scalar("x", 1.0);
+        let path = r.write(&dir, &plan).expect("write report");
+        let body = std::fs::read_to_string(&path).expect("read back");
+        assert!(body.starts_with('{') && body.ends_with("}\n"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

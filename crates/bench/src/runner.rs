@@ -1,0 +1,147 @@
+//! Parallel execution of the (config × workload) experiment grid.
+//!
+//! Every experiment in this crate boils down to simulating a grid of
+//! independent (configuration, workload) cells. The cells share no mutable
+//! state — each builds its own `System` from a config and a workload, with
+//! seeds derived deterministically from both — so they parallelize
+//! trivially. This module fans the grid out across `std::thread::scope`
+//! workers while keeping results **indexed by input position**, never by
+//! completion order: the output of the parallel path is bit-identical to
+//! the serial path, so experiment logs stay diffable run-over-run.
+//!
+//! The worker count comes from `BEAR_WORKERS` (default: the machine's
+//! available parallelism). `BEAR_WORKERS=1` forces the serial path.
+
+use crate::run_one;
+use bear_core::config::SystemConfig;
+use bear_core::metrics::RunStats;
+use bear_workloads::Workload;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use: `BEAR_WORKERS` if set (minimum 1),
+/// otherwise [`std::thread::available_parallelism`].
+pub fn workers() -> usize {
+    if let Ok(v) = std::env::var("BEAR_WORKERS") {
+        return v
+            .parse::<usize>()
+            .expect("BEAR_WORKERS must be an integer")
+            .max(1);
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item, using up to [`workers`] threads, and returns
+/// the results **in input order** (index-deterministic, regardless of
+/// which worker finishes first).
+///
+/// With one worker (or one item) this degenerates to a plain serial map,
+/// which is the reference behavior the parallel path must reproduce.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = workers().min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                slots.lock().expect("runner slots poisoned")[i] = Some(r);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("runner slots poisoned")
+        .into_iter()
+        .map(|r| r.expect("runner slot unfilled"))
+        .collect()
+}
+
+/// Runs one configuration over a suite of workloads in parallel,
+/// returning per-workload stats in suite order.
+pub fn run_suite(cfg: &SystemConfig, workloads: &[Workload]) -> Vec<RunStats> {
+    parallel_map(workloads, |w| run_one(cfg, w))
+}
+
+/// Runs the full (config × workload) grid in parallel — all cells are
+/// scheduled at once, so a slow workload in one config does not serialize
+/// the others. Returns `result[config_index][workload_index]`.
+pub fn run_matrix(cfgs: &[SystemConfig], workloads: &[Workload]) -> Vec<Vec<RunStats>> {
+    let cells: Vec<(usize, usize)> = (0..cfgs.len())
+        .flat_map(|c| (0..workloads.len()).map(move |w| (c, w)))
+        .collect();
+    let flat = parallel_map(&cells, |&(c, w)| run_one(&cfgs[c], &workloads[w]));
+    let mut out: Vec<Vec<RunStats>> = Vec::with_capacity(cfgs.len());
+    let mut it = flat.into_iter();
+    for _ in 0..cfgs.len() {
+        out.push(it.by_ref().take(workloads.len()).collect());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        let empty: Vec<u64> = Vec::new();
+        assert!(parallel_map(&empty, |&x: &u64| x).is_empty());
+        assert_eq!(parallel_map(&[7u64], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn matrix_shape_matches_grid() {
+        use bear_core::config::{DesignKind, SystemConfig};
+        let mut cfg = SystemConfig::paper_baseline(DesignKind::Alloy);
+        cfg.scale_shift = 12;
+        cfg.warmup_cycles = 500;
+        cfg.measure_cycles = 500;
+        let suite: Vec<Workload> = bear_workloads::rate_workloads()
+            .into_iter()
+            .take(2)
+            .collect();
+        let m = run_matrix(&[cfg.clone(), cfg], &suite);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].len(), 2);
+        assert_eq!(m[0][0].workload, suite[0].name);
+        assert_eq!(m[1][1].workload, suite[1].name);
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        use bear_core::config::{DesignKind, SystemConfig};
+        let mut cfg = SystemConfig::paper_baseline(DesignKind::Alloy);
+        cfg.scale_shift = 12;
+        cfg.warmup_cycles = 1000;
+        cfg.measure_cycles = 1000;
+        let suite: Vec<Workload> = bear_workloads::rate_workloads()
+            .into_iter()
+            .take(3)
+            .collect();
+        let serial: Vec<RunStats> = suite.iter().map(|w| run_one(&cfg, w)).collect();
+        let parallel = run_suite(&cfg, &suite);
+        assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+    }
+}

@@ -6,7 +6,7 @@
 //! dominating, is that replacing a sector can force a burst of dirty-block
 //! writebacks.
 
-use crate::replacement::{ReplState, Replacer, ReplacementPolicy};
+use crate::replacement::{ReplState, ReplacementPolicy, Replacer};
 
 /// Result of probing a block address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

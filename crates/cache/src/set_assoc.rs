@@ -5,7 +5,7 @@
 //! the L3 carry its BEAR *DRAM Cache Presence* bit without this crate
 //! knowing anything about DRAM caches.
 
-use crate::replacement::{ReplState, Replacer, ReplacementPolicy};
+use crate::replacement::{ReplState, ReplacementPolicy, Replacer};
 
 /// Size/shape description of a cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

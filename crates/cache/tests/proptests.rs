@@ -1,18 +1,19 @@
-//! Property tests: the set-associative cache against a reference model.
+//! Property tests: the set-associative cache against a reference model,
+//! driven by the in-tree [`bear_sim::check`] engine.
 
 use bear_cache::{CacheGeometry, MissMap, ReplacementPolicy, SetAssocCache};
-use proptest::prelude::*;
+use bear_sim::check::{check, Source};
+use bear_sim::{prop_assert, prop_assert_eq};
 use std::collections::{HashMap, HashSet};
 
-proptest! {
-    /// Contents always agree with a naive map model (ignoring replacement
-    /// choice): a line reported present was filled and not displaced, and
-    /// the number of valid lines per set never exceeds the associativity.
-    #[test]
-    fn set_assoc_contents_sound(
-        addrs in prop::collection::vec(0u64..4096, 1..300),
-        writes in prop::collection::vec(any::<bool>(), 1..300),
-    ) {
+/// Contents always agree with a naive map model (ignoring replacement
+/// choice): a line reported present was filled and not displaced, and
+/// the number of valid lines per set never exceeds the associativity.
+#[test]
+fn set_assoc_contents_sound() {
+    check(256, |src: &mut Source| {
+        let addrs = src.vec_with(1..300, |s| s.u64_in(0..4096));
+        let writes = src.vec_with(1..300, |s| s.bool());
         let geom = CacheGeometry::new(2048, 2, 64); // 16 sets × 2 ways
         let mut cache: SetAssocCache<()> = SetAssocCache::new(geom, ReplacementPolicy::Lru);
         let mut resident: HashSet<u64> = HashSet::new();
@@ -30,12 +31,16 @@ proptest! {
             prop_assert!(resident.len() as u64 <= geom.lines());
         }
         prop_assert_eq!(cache.occupancy(), resident.len() as u64);
-    }
+        Ok(())
+    });
+}
 
-    /// Dirty state round-trips: a line written is dirty at eviction unless
-    /// marked clean in between.
-    #[test]
-    fn dirty_bits_tracked(ops in prop::collection::vec((0u64..64, any::<bool>()), 1..200)) {
+/// Dirty state round-trips: a line written is dirty at eviction unless
+/// marked clean in between.
+#[test]
+fn dirty_bits_tracked() {
+    check(256, |src: &mut Source| {
+        let ops = src.vec_with(1..200, |s| (s.u64_in(0..64), s.bool()));
         let geom = CacheGeometry::new(1024, 2, 64); // 8 sets × 2 ways
         let mut cache: SetAssocCache<()> = SetAssocCache::new(geom, ReplacementPolicy::Lru);
         let mut dirty: HashMap<u64, bool> = HashMap::new();
@@ -53,11 +58,15 @@ proptest! {
                 dirty.insert(addr, w);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The MissMap is an exact set.
-    #[test]
-    fn missmap_is_a_set(ops in prop::collection::vec((0u64..1024, any::<bool>()), 1..300)) {
+/// The MissMap is an exact set.
+#[test]
+fn missmap_is_a_set() {
+    check(256, |src: &mut Source| {
+        let ops = src.vec_with(1..300, |s| (s.u64_in(0..1024), s.bool()));
         let mut m = MissMap::new();
         let mut model: HashSet<u64> = HashSet::new();
         for &(line, insert) in &ops {
@@ -72,15 +81,20 @@ proptest! {
             prop_assert_eq!(m.contains(addr), model.contains(&line));
         }
         prop_assert_eq!(m.len(), model.len() as u64);
-    }
+        Ok(())
+    });
+}
 
-    /// Geometry decompose/recompose is a bijection on line addresses.
-    #[test]
-    fn geometry_roundtrip(addr in 0u64..(1 << 40)) {
+/// Geometry decompose/recompose is a bijection on line addresses.
+#[test]
+fn geometry_roundtrip() {
+    check(256, |src: &mut Source| {
+        let addr = src.u64_in(0..(1 << 40));
         let geom = CacheGeometry::new(8 << 20, 16, 64);
         let aligned = addr & !63;
         let (set, tag) = geom.decompose(aligned);
         prop_assert!(set < geom.sets());
         prop_assert_eq!(geom.recompose(set, tag), aligned);
-    }
+        Ok(())
+    });
 }

@@ -242,7 +242,11 @@ mod tests {
         for set in 0..20_000 {
             p.should_bypass(set);
         }
-        assert!((p.bypass_rate() - 0.9).abs() < 0.02, "rate {}", p.bypass_rate());
+        assert!(
+            (p.bypass_rate() - 0.9).abs() < 0.02,
+            "rate {}",
+            p.bypass_rate()
+        );
     }
 
     #[test]

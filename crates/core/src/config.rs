@@ -225,8 +225,12 @@ impl SystemConfig {
     ///
     /// Returns a description of the first violated constraint.
     pub fn validate(&self) -> Result<(), String> {
-        self.cache_dram.validate().map_err(|e| format!("cache_dram: {e}"))?;
-        self.mem_dram.validate().map_err(|e| format!("mem_dram: {e}"))?;
+        self.cache_dram
+            .validate()
+            .map_err(|e| format!("cache_dram: {e}"))?;
+        self.mem_dram
+            .validate()
+            .map_err(|e| format!("mem_dram: {e}"))?;
         if self.l3_capacity() >= self.l4_capacity() {
             return Err("L3 must be smaller than the DRAM cache".into());
         }

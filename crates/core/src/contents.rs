@@ -308,7 +308,10 @@ mod tests {
         assert_eq!(s.install(5, true), None);
         assert_eq!(
             s.occupant(5),
-            Some(Occupant { tag: 0, dirty: true })
+            Some(Occupant {
+                tag: 0,
+                dirty: true
+            })
         );
     }
 

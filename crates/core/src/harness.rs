@@ -200,7 +200,10 @@ mod tests {
     use crate::traffic::{BloatCategory, MemTraffic};
 
     fn harness() -> DeviceHarness {
-        DeviceHarness::new(DramConfig::stacked_cache_8x(), DramConfig::commodity_memory())
+        DeviceHarness::new(
+            DramConfig::stacked_cache_8x(),
+            DramConfig::commodity_memory(),
+        )
     }
 
     fn loc(channel: u32, bank: u32, row: u64) -> DramLocation {
@@ -236,16 +239,19 @@ mod tests {
         let done = run(&mut h, 1, 10_000);
         assert_eq!(done[0].txn, 42);
         assert_eq!(done[0].leg, Leg::CacheProbe);
-        assert_eq!(
-            h.cache.bytes_in_class(BloatCategory::MissProbe.class()),
-            80
-        );
+        assert_eq!(h.cache.bytes_in_class(BloatCategory::MissProbe.class()), 80);
     }
 
     #[test]
     fn posted_writes_complete_silently() {
         let mut h = harness();
-        h.cache_write(7, loc(1, 0, 1), 5, BloatCategory::MissFill.class(), Cycle(0));
+        h.cache_write(
+            7,
+            loc(1, 0, 1),
+            5,
+            BloatCategory::MissFill.class(),
+            Cycle(0),
+        );
         let mut out = Vec::new();
         for t in 0..5_000u64 {
             h.tick(Cycle(t), &mut out);

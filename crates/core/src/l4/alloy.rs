@@ -114,7 +114,10 @@ impl AlloyController {
                 DesignKind::InclusiveAlloy | DesignKind::BwOpt => BypassPolicy::always_fill(),
                 _ => {
                     let mut b = cfg.bear.fill_policy.build();
-                    if matches!(cfg.bear.fill_policy, crate::config::FillPolicy::BandwidthAware(_)) {
+                    if matches!(
+                        cfg.bear.fill_policy,
+                        crate::config::FillPolicy::BandwidthAware(_)
+                    ) {
                         b.set_delta_shift(cfg.bab_delta_shift);
                     }
                     b
@@ -195,9 +198,7 @@ impl AlloyController {
     }
 
     fn finish_demand_miss(&mut self, txn_id: u64, txn: ReadTxn, now: Cycle, out: &mut L4Outputs) {
-        self.stats
-            .miss_latency
-            .record((now - txn.arrival) as f64);
+        self.stats.miss_latency.record((now - txn.arrival) as f64);
         let (set, _) = self.store.decompose(txn.line);
         let fill = !self.bypass.should_bypass(set);
         if fill {
@@ -239,9 +240,7 @@ impl AlloyController {
         if hit {
             self.stats.read_hits += 1;
             self.stats.useful_lines += 1;
-            self.stats
-                .hit_latency
-                .record((finish - txn.arrival) as f64);
+            self.stats.hit_latency.record((finish - txn.arrival) as f64);
             out.deliveries.push(Delivery {
                 line: txn.line,
                 l4_hit: true,
@@ -415,9 +414,7 @@ impl L4Cache for AlloyController {
                 self.stats.miss_probes_avoided += 1;
                 (false, true, true)
             }
-            NtcAnswer::AbsentDirty | NtcAnswer::Unknown => {
-                (true, !predicted_hit, false)
-            }
+            NtcAnswer::AbsentDirty | NtcAnswer::Unknown => (true, !predicted_hit, false),
         };
 
         self.reads.insert(
@@ -484,8 +481,12 @@ impl L4Cache for AlloyController {
                     self.stats.evictions += 1;
                     if victim_dirty {
                         let t = self.alloc_txn();
-                        self.harness
-                            .mem_write(t, victim_line, MemTraffic::VictimWrite.class(), now);
+                        self.harness.mem_write(
+                            t,
+                            victim_line,
+                            MemTraffic::VictimWrite.class(),
+                            now,
+                        );
                     }
                 }
             } else {
@@ -591,12 +592,7 @@ mod tests {
         AlloyController::new(&cfg)
     }
 
-    fn drain(
-        ctrl: &mut AlloyController,
-        out: &mut L4Outputs,
-        start: u64,
-        max: u64,
-    ) -> u64 {
+    fn drain(ctrl: &mut AlloyController, out: &mut L4Outputs, start: u64, max: u64) -> u64 {
         let mut t = start;
         while ctrl.pending_txns() > 0 || ctrl.harness.pending() > 0 {
             ctrl.tick(Cycle(t), out);
@@ -876,7 +872,10 @@ mod tests {
             .harness
             .cache
             .bytes_in_class(BloatCategory::MissProbe.class())
-            + ctrl.harness.cache.bytes_in_class(BloatCategory::Hit.class());
+            + ctrl
+                .harness
+                .cache
+                .bytes_in_class(BloatCategory::Hit.class());
         ctrl.submit_read(31 + sets, 0x400000, 0, Cycle(t));
         drain(&mut ctrl, &mut out, t, 100_000);
         assert_eq!(ctrl.stats().miss_probes_avoided, before);
@@ -884,7 +883,10 @@ mod tests {
             .harness
             .cache
             .bytes_in_class(BloatCategory::MissProbe.class())
-            + ctrl.harness.cache.bytes_in_class(BloatCategory::Hit.class());
+            + ctrl
+                .harness
+                .cache
+                .bytes_in_class(BloatCategory::Hit.class());
         assert!(probe_bytes_after > probe_bytes_before, "probe must issue");
     }
 

@@ -215,9 +215,7 @@ impl LohHillController {
         if txn.expect_hit {
             self.stats.read_hits += 1;
             self.stats.useful_lines += 1;
-            self.stats
-                .hit_latency
-                .record((finish - txn.arrival) as f64);
+            self.stats.hit_latency.record((finish - txn.arrival) as f64);
             // LRU promotion written back to the in-DRAM tag state
             // (footnote 3's replacement-update bloat).
             self.store.probe(txn.line, true);
@@ -283,9 +281,7 @@ impl L4Cache for LohHillController {
         self.harness.tick(now, &mut completions);
         for c in &completions {
             match c.leg {
-                Leg::CacheProbe | Leg::MemRead => {
-                    self.on_gating_completion(c.txn, c.finish, out)
-                }
+                Leg::CacheProbe | Leg::MemRead => self.on_gating_completion(c.txn, c.finish, out),
                 Leg::CacheData | Leg::PostedWrite => {}
             }
         }
@@ -356,7 +352,9 @@ mod tests {
         drain(&mut ctrl, &mut out, t);
         assert_eq!(ctrl.stats().read_hits, 1);
         assert_eq!(
-            ctrl.harness.cache.bytes_in_class(BloatCategory::Hit.class()),
+            ctrl.harness
+                .cache
+                .bytes_in_class(BloatCategory::Hit.class()),
             256
         );
         assert_eq!(

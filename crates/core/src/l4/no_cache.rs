@@ -114,7 +114,9 @@ mod tests {
         assert!(!out.deliveries[0].in_l4);
         assert_eq!(ctrl.harness.cache.total_bytes(), 0, "cache device unused");
         assert_eq!(
-            ctrl.harness.mem.bytes_in_class(MemTraffic::DemandRead.class()),
+            ctrl.harness
+                .mem
+                .bytes_in_class(MemTraffic::DemandRead.class()),
             64
         );
         assert_eq!(ctrl.stats().hit_rate(), 0.0);
@@ -131,7 +133,9 @@ mod tests {
             ctrl.tick(Cycle(t), &mut out);
         }
         assert_eq!(
-            ctrl.harness.mem.bytes_in_class(MemTraffic::Writeback.class()),
+            ctrl.harness
+                .mem
+                .bytes_in_class(MemTraffic::Writeback.class()),
             64
         );
         assert_eq!(ctrl.stats().wb_lookups, 1);

@@ -116,7 +116,10 @@ mod tests {
         let total = 1 << 20;
         assert!(p.has_neighbor(0, total));
         assert!(p.has_neighbor(26, total));
-        assert!(!p.has_neighbor(27, total), "last TAD of row has no neighbor");
+        assert!(
+            !p.has_neighbor(27, total),
+            "last TAD of row has no neighbor"
+        );
         assert!(!p.has_neighbor(total - 1, total), "last set of cache");
     }
 

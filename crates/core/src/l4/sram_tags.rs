@@ -432,11 +432,13 @@ mod tests {
         assert_eq!(c.stats().wb_hits, 1);
         let h = c.harness();
         assert_eq!(
-            h.cache.bytes_in_class(BloatCategory::WritebackProbe.class()),
+            h.cache
+                .bytes_in_class(BloatCategory::WritebackProbe.class()),
             0
         );
         assert_eq!(
-            h.cache.bytes_in_class(BloatCategory::WritebackUpdate.class()),
+            h.cache
+                .bytes_in_class(BloatCategory::WritebackUpdate.class()),
             64
         );
     }

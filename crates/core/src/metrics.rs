@@ -67,7 +67,10 @@ impl BloatBreakdown {
 }
 
 /// Everything a single simulation run reports.
-#[derive(Debug, Clone, Default)]
+///
+/// Derives `PartialEq` so determinism tests can assert bit-identical
+/// results across reruns and across serial/parallel execution.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunStats {
     /// Workload name.
     pub workload: String,
@@ -92,7 +95,7 @@ pub struct RunStats {
 }
 
 /// Copyable snapshot of the controller statistics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct L4StatsSnapshot {
     /// Demand reads submitted.
     pub read_lookups: u64,

@@ -87,8 +87,7 @@ impl MapIPredictor {
         match self.kind {
             // Fibonacci hash of the PC, folded into the table.
             PredictorKind::MapI => {
-                ((pc.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as usize)
-                    % self.entries_per_core
+                ((pc.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as usize) % self.entries_per_core
             }
             PredictorKind::MapG => 0,
         }
@@ -252,7 +251,11 @@ mod tests {
                 map_g.train(0, pc, hit);
             }
         }
-        assert!(map_i.accuracy() > map_g.accuracy() + 0.2,
-            "MAP-I {} should clearly beat MAP-G {}", map_i.accuracy(), map_g.accuracy());
+        assert!(
+            map_i.accuracy() > map_g.accuracy() + 0.2,
+            "MAP-I {} should clearly beat MAP-G {}",
+            map_i.accuracy(),
+            map_g.accuracy()
+        );
     }
 }

@@ -167,10 +167,7 @@ impl System {
                     Some(waiters) => waiters.push(waiter),
                     None => {
                         self.pending_lines.insert(line, vec![waiter]);
-                        self.schedule(
-                            self.clock + lat,
-                            Staged::SubmitRead { line, pc, core },
-                        );
+                        self.schedule(self.clock + lat, Staged::SubmitRead { line, pc, core });
                     }
                 }
             }
@@ -180,7 +177,10 @@ impl System {
     /// Applies one delivery from the L4: fill the L3, wake waiters, emit
     /// the displaced writeback.
     fn apply_delivery(&mut self, delivery: crate::l4::Delivery) {
-        let waiters = self.pending_lines.remove(&delivery.line).unwrap_or_default();
+        let waiters = self
+            .pending_lines
+            .remove(&delivery.line)
+            .unwrap_or_default();
         let any_store = waiters.iter().any(|w| w.is_store);
         let dcp_bit = delivery.in_l4;
         if !self.l3.contains(delivery.line) {

@@ -1,17 +1,18 @@
-//! Property tests for the BEAR core structures.
+//! Property tests for the BEAR core structures, driven by the in-tree
+//! [`bear_sim::check`] engine.
 
 use bear_core::bab::{BypassPolicy, SetGroup};
 use bear_core::contents::{AssocStore, DirectStore};
 use bear_core::ntc::{NeighboringTagCache, NtcAnswer};
-use proptest::prelude::*;
+use bear_sim::check::{check, Source};
+use bear_sim::{prop_assert, prop_assert_eq};
 use std::collections::HashMap;
 
-proptest! {
-    /// DirectStore agrees with a HashMap model of (set → (tag, dirty)).
-    #[test]
-    fn direct_store_matches_model(
-        ops in prop::collection::vec((0u64..512, 0u8..3), 1..300),
-    ) {
+/// DirectStore agrees with a HashMap model of (set → (tag, dirty)).
+#[test]
+fn direct_store_matches_model() {
+    check(256, |src: &mut Source| {
+        let ops = src.vec_with(1..300, |s| (s.u64_in(0..512), s.u8_in(0..3)));
         let sets = 32;
         let mut store = DirectStore::new(sets);
         let mut model: HashMap<u64, (u64, bool)> = HashMap::new();
@@ -44,12 +45,16 @@ proptest! {
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// AssocStore never exceeds its associativity and never loses a line
-    /// without reporting a victim.
-    #[test]
-    fn assoc_store_conservation(lines in prop::collection::vec(0u64..256, 1..200)) {
+/// AssocStore never exceeds its associativity and never loses a line
+/// without reporting a victim.
+#[test]
+fn assoc_store_conservation() {
+    check(256, |src: &mut Source| {
+        let lines = src.vec_with(1..200, |s| s.u64_in(0..256));
         let mut store = AssocStore::new(8, 4);
         let mut resident: Vec<u64> = Vec::new();
         for &line in &lines {
@@ -68,15 +73,19 @@ proptest! {
                 prop_assert!(store.contains(l), "line {} lost", l);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// NTC answers are always consistent with the last recorded state.
-    #[test]
-    fn ntc_consistent_with_records(
-        records in prop::collection::vec((0u64..64, prop::option::of(0u64..8), any::<bool>()), 1..100),
-        query_set in 0u64..64,
-        query_tag in 0u64..8,
-    ) {
+/// NTC answers are always consistent with the last recorded state.
+#[test]
+fn ntc_consistent_with_records() {
+    check(256, |src: &mut Source| {
+        let records = src.vec_with(1..100, |s| {
+            (s.u64_in(0..64), s.option_of(|s| s.u64_in(0..8)), s.bool())
+        });
+        let query_set = src.u64_in(0..64);
+        let query_tag = src.u64_in(0..8);
         let mut ntc = NeighboringTagCache::new(1, 128); // roomy: no replacement
         let mut model: HashMap<u64, (Option<u64>, bool)> = HashMap::new();
         for &(set, tag, dirty) in &records {
@@ -93,11 +102,15 @@ proptest! {
             Some((_, false)) => NtcAnswer::AbsentClean,
         };
         prop_assert_eq!(answer, expect);
-    }
+        Ok(())
+    });
+}
 
-    /// BAB group assignment is stable and monitors are rare.
-    #[test]
-    fn bab_groups_stable(set in 0u64..(1 << 24)) {
+/// BAB group assignment is stable and monitors are rare.
+#[test]
+fn bab_groups_stable() {
+    check(256, |src: &mut Source| {
+        let set = src.u64_in(0..(1 << 24));
         let p = BypassPolicy::paper_bab();
         prop_assert_eq!(p.group(set), p.group(set));
         // Baseline monitor sets never bypass.
@@ -107,5 +120,6 @@ proptest! {
                 prop_assert!(!p2.should_bypass(set));
             }
         }
-    }
+        Ok(())
+    });
 }

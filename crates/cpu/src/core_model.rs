@@ -273,7 +273,11 @@ mod tests {
 
     #[test]
     fn event_fires_after_gap_at_retire_width() {
-        let mut core = Core::new(0, Box::new(Script::new(vec![load(10, 0x40)])), CoreConfig::default());
+        let mut core = Core::new(
+            0,
+            Box::new(Script::new(vec![load(10, 0x40)])),
+            CoreConfig::default(),
+        );
         let (req, at) = drive_one(&mut core, 100);
         assert_eq!(req.addr, 0x40);
         // 10 instructions at 2-wide retire → 5 cycles (fires on cycle 4,
@@ -290,7 +294,11 @@ mod tests {
         };
         let mut core = Core::new(
             0,
-            Box::new(Script::new(vec![load(1, 0x0), load(1, 0x40), load(1, 0x80)])),
+            Box::new(Script::new(vec![
+                load(1, 0x0),
+                load(1, 0x40),
+                load(1, 0x80),
+            ])),
             cfg,
         );
         let mut reqs = 0;
@@ -337,7 +345,11 @@ mod tests {
         };
         let mut core = Core::new(
             0,
-            Box::new(Script::new(vec![store(1, 0x0), store(1, 0x40), store(1, 0x80)])),
+            Box::new(Script::new(vec![
+                store(1, 0x0),
+                store(1, 0x40),
+                store(1, 0x80),
+            ])),
             cfg,
         );
         let mut issued = Vec::new();
@@ -435,7 +447,11 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let core = Core::new(3, Box::new(Script::new(vec![load(1, 0)])), CoreConfig::default());
+        let core = Core::new(
+            3,
+            Box::new(Script::new(vec![load(1, 0)])),
+            CoreConfig::default(),
+        );
         assert_eq!(core.id(), 3);
         assert_eq!(core.workload_name(), "script");
         assert!(format!("{core:?}").contains("Core"));

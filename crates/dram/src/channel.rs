@@ -346,10 +346,22 @@ mod tests {
     #[test]
     fn row_hit_is_faster_than_row_miss() {
         let mut ch = Channel::new(cfg());
-        ch.try_enqueue(DramRequest::read(1, loc(0, 5), 5, TrafficClass(0), Cycle(0)))
-            .unwrap();
-        ch.try_enqueue(DramRequest::read(2, loc(0, 5), 5, TrafficClass(0), Cycle(0)))
-            .unwrap();
+        ch.try_enqueue(DramRequest::read(
+            1,
+            loc(0, 5),
+            5,
+            TrafficClass(0),
+            Cycle(0),
+        ))
+        .unwrap();
+        ch.try_enqueue(DramRequest::read(
+            2,
+            loc(0, 5),
+            5,
+            TrafficClass(0),
+            Cycle(0),
+        ))
+        .unwrap();
         let done = run_until_n_done(&mut ch, 2, 10_000);
         let first = done.iter().find(|c| c.request.id == 1).unwrap().finish;
         let second = done.iter().find(|c| c.request.id == 2).unwrap().finish;
@@ -360,10 +372,22 @@ mod tests {
     #[test]
     fn row_conflict_requires_precharge() {
         let mut ch = Channel::new(cfg());
-        ch.try_enqueue(DramRequest::read(1, loc(0, 5), 5, TrafficClass(0), Cycle(0)))
-            .unwrap();
-        ch.try_enqueue(DramRequest::read(2, loc(0, 9), 5, TrafficClass(0), Cycle(0)))
-            .unwrap();
+        ch.try_enqueue(DramRequest::read(
+            1,
+            loc(0, 5),
+            5,
+            TrafficClass(0),
+            Cycle(0),
+        ))
+        .unwrap();
+        ch.try_enqueue(DramRequest::read(
+            2,
+            loc(0, 9),
+            5,
+            TrafficClass(0),
+            Cycle(0),
+        ))
+        .unwrap();
         let done = run_until_n_done(&mut ch, 2, 10_000);
         let first = done.iter().find(|c| c.request.id == 1).unwrap().finish;
         let second = done.iter().find(|c| c.request.id == 2).unwrap().finish;
@@ -394,14 +418,29 @@ mod tests {
     #[test]
     fn reads_prioritized_over_writes() {
         let mut ch = Channel::new(cfg());
-        ch.try_enqueue(DramRequest::write(100, loc(1, 7), 5, TrafficClass(1), Cycle(0)))
-            .unwrap();
-        ch.try_enqueue(DramRequest::read(1, loc(0, 5), 5, TrafficClass(0), Cycle(0)))
-            .unwrap();
+        ch.try_enqueue(DramRequest::write(
+            100,
+            loc(1, 7),
+            5,
+            TrafficClass(1),
+            Cycle(0),
+        ))
+        .unwrap();
+        ch.try_enqueue(DramRequest::read(
+            1,
+            loc(0, 5),
+            5,
+            TrafficClass(0),
+            Cycle(0),
+        ))
+        .unwrap();
         let done = run_until_n_done(&mut ch, 2, 100_000);
         let read = done.iter().find(|c| !c.request.is_write).unwrap().finish;
         let write = done.iter().find(|c| c.request.is_write).unwrap().finish;
-        assert!(read < write, "read {read} should finish before write {write}");
+        assert!(
+            read < write,
+            "read {read} should finish before write {write}"
+        );
     }
 
     #[test]
@@ -422,8 +461,14 @@ mod tests {
             .unwrap();
         }
         for i in 0..4 {
-            ch.try_enqueue(DramRequest::read(i, loc(0, 5), 5, TrafficClass(0), Cycle(0)))
-                .unwrap();
+            ch.try_enqueue(DramRequest::read(
+                i,
+                loc(0, 5),
+                5,
+                TrafficClass(0),
+                Cycle(0),
+            ))
+            .unwrap();
         }
         let done = run_until_n_done(&mut ch, 8, 100_000);
         assert_eq!(done.len(), 8);
@@ -437,12 +482,23 @@ mod tests {
         let mut ch = Channel::new(c);
         assert!(ch.can_accept(false));
         for i in 0..2 {
-            ch.try_enqueue(DramRequest::read(i, loc(0, 1), 5, TrafficClass(0), Cycle(0)))
-                .unwrap();
+            ch.try_enqueue(DramRequest::read(
+                i,
+                loc(0, 1),
+                5,
+                TrafficClass(0),
+                Cycle(0),
+            ))
+            .unwrap();
         }
         assert!(!ch.can_accept(false));
-        let rejected =
-            ch.try_enqueue(DramRequest::read(9, loc(0, 1), 5, TrafficClass(0), Cycle(0)));
+        let rejected = ch.try_enqueue(DramRequest::read(
+            9,
+            loc(0, 1),
+            5,
+            TrafficClass(0),
+            Cycle(0),
+        ));
         assert!(rejected.is_err());
         assert_eq!(rejected.unwrap_err().id, 9);
     }
@@ -451,10 +507,22 @@ mod tests {
     fn bus_serializes_row_hits() {
         let mut ch = Channel::new(cfg());
         // Two row hits in different banks still share one data bus.
-        ch.try_enqueue(DramRequest::read(1, loc(0, 1), 8, TrafficClass(0), Cycle(0)))
-            .unwrap();
-        ch.try_enqueue(DramRequest::read(2, loc(1, 1), 8, TrafficClass(0), Cycle(0)))
-            .unwrap();
+        ch.try_enqueue(DramRequest::read(
+            1,
+            loc(0, 1),
+            8,
+            TrafficClass(0),
+            Cycle(0),
+        ))
+        .unwrap();
+        ch.try_enqueue(DramRequest::read(
+            2,
+            loc(1, 1),
+            8,
+            TrafficClass(0),
+            Cycle(0),
+        ))
+        .unwrap();
         let done = run_until_n_done(&mut ch, 2, 10_000);
         let a = done.iter().find(|c| c.request.id == 1).unwrap().finish;
         let b = done.iter().find(|c| c.request.id == 2).unwrap().finish;
@@ -466,10 +534,22 @@ mod tests {
     #[test]
     fn queue_latency_accumulates_for_reads_only() {
         let mut ch = Channel::new(cfg());
-        ch.try_enqueue(DramRequest::read(1, loc(0, 1), 5, TrafficClass(0), Cycle(0)))
-            .unwrap();
-        ch.try_enqueue(DramRequest::write(2, loc(0, 1), 5, TrafficClass(1), Cycle(0)))
-            .unwrap();
+        ch.try_enqueue(DramRequest::read(
+            1,
+            loc(0, 1),
+            5,
+            TrafficClass(0),
+            Cycle(0),
+        ))
+        .unwrap();
+        ch.try_enqueue(DramRequest::write(
+            2,
+            loc(0, 1),
+            5,
+            TrafficClass(1),
+            Cycle(0),
+        ))
+        .unwrap();
         run_until_n_done(&mut ch, 2, 100_000);
         assert!(ch.stats.read_queue_latency_sum >= 72);
         assert_eq!(ch.stats.reads_completed, 1);
@@ -485,8 +565,14 @@ mod tests {
     #[test]
     fn next_event_hint_busy_is_soon() {
         let mut ch = Channel::new(cfg());
-        ch.try_enqueue(DramRequest::read(1, loc(0, 1), 5, TrafficClass(0), Cycle(0)))
-            .unwrap();
+        ch.try_enqueue(DramRequest::read(
+            1,
+            loc(0, 1),
+            5,
+            TrafficClass(0),
+            Cycle(0),
+        ))
+        .unwrap();
         assert_eq!(ch.next_event_hint(Cycle(0)), Cycle(1));
     }
 }
@@ -521,8 +607,14 @@ mod refresh_tests {
         let mut cfg = DramConfig::stacked_cache_8x();
         cfg.timings = DramTimings::table1_with_refresh();
         let mut ch = Channel::new(cfg);
-        ch.try_enqueue(DramRequest::read(1, loc(0, 5), 5, TrafficClass(0), Cycle(0)))
-            .unwrap();
+        ch.try_enqueue(DramRequest::read(
+            1,
+            loc(0, 5),
+            5,
+            TrafficClass(0),
+            Cycle(0),
+        ))
+        .unwrap();
         let mut done = Vec::new();
         let horizon = cfg.timings.t_refi * 3 + 100;
         for t in 0..horizon {

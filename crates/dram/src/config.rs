@@ -244,8 +244,7 @@ mod tests {
     fn stacked_is_8x_commodity_bandwidth() {
         let cache = DramConfig::stacked_cache_8x();
         let mem = DramConfig::commodity_memory();
-        let ratio =
-            cache.topology.peak_bytes_per_cycle() / mem.topology.peak_bytes_per_cycle();
+        let ratio = cache.topology.peak_bytes_per_cycle() / mem.topology.peak_bytes_per_cycle();
         assert!((ratio - 8.0).abs() < 1e-9, "ratio was {ratio}");
     }
 

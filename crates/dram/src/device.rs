@@ -37,7 +37,9 @@ impl DramDevice {
         if let Err(e) = cfg.validate() {
             panic!("invalid DRAM configuration: {e}");
         }
-        let channels = (0..cfg.topology.channels).map(|_| Channel::new(cfg)).collect();
+        let channels = (0..cfg.topology.channels)
+            .map(|_| Channel::new(cfg))
+            .collect();
         DramDevice {
             cfg,
             channels,
@@ -109,7 +111,10 @@ impl DramDevice {
     /// Bytes transferred in `class`, summed over channels.
     pub fn bytes_in_class(&self, class: TrafficClass) -> u64 {
         let idx = (class.0 as usize).min(TrafficClass::COUNT - 1);
-        self.channels.iter().map(|c| c.stats.bytes_by_class[idx]).sum()
+        self.channels
+            .iter()
+            .map(|c| c.stats.bytes_by_class[idx])
+            .sum()
     }
 
     /// Total bytes transferred across all classes and channels.
@@ -138,7 +143,10 @@ impl DramDevice {
     /// Mean read queue latency (arrival to first data beat), in CPU cycles.
     pub fn mean_read_queue_latency(&self) -> f64 {
         let (sum, n) = self.channels.iter().fold((0u64, 0u64), |(s, n), c| {
-            (s + c.stats.read_queue_latency_sum, n + c.stats.reads_completed)
+            (
+                s + c.stats.read_queue_latency_sum,
+                n + c.stats.reads_completed,
+            )
         });
         if n == 0 {
             0.0
@@ -221,7 +229,10 @@ mod tests {
             .unwrap();
         drive(&mut dev, 1, 100_000);
         assert!(dev.mean_read_queue_latency() >= 72.0);
-        assert_eq!(DramDevice::new(DramConfig::default()).mean_read_queue_latency(), 0.0);
+        assert_eq!(
+            DramDevice::new(DramConfig::default()).mean_read_queue_latency(),
+            0.0
+        );
     }
 
     #[test]

@@ -1,48 +1,42 @@
-//! Property tests for DRAM timing invariants: every request completes, no
-//! data transfer violates the bus occupancy, and latencies respect the
-//! tRCD+tCAS floor.
+//! Property tests for DRAM timing invariants, driven by the in-tree
+//! [`bear_sim::check`] engine: every request completes, no data transfer
+//! violates the bus occupancy, and latencies respect the tRCD+tCAS floor.
 
 use bear_dram::config::DramConfig;
 use bear_dram::device::DramDevice;
 use bear_dram::mapping::{AddressMapper, Interleave};
 use bear_dram::request::{DramLocation, DramRequest, TrafficClass};
+use bear_sim::check::{check, Source};
 use bear_sim::time::Cycle;
-use proptest::prelude::*;
+use bear_sim::{prop_assert, prop_assert_eq};
 
-fn arb_location(cfg: &DramConfig) -> impl Strategy<Value = DramLocation> {
+/// Draws a location valid for `cfg`'s topology.
+fn any_location(src: &mut Source, cfg: &DramConfig) -> DramLocation {
     let t = cfg.topology;
-    (
-        0..t.channels,
-        0..t.ranks_per_channel,
-        0..t.banks_per_rank,
-        0u64..64,
-    )
-        .prop_map(|(channel, rank, bank, row)| DramLocation {
-            channel,
-            rank,
-            bank,
-            row,
-        })
+    DramLocation {
+        channel: src.u32_in(0..t.channels),
+        rank: src.u32_in(0..t.ranks_per_channel),
+        bank: src.u32_in(0..t.banks_per_rank),
+        row: src.u64_in(0..64),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every accepted request eventually completes, exactly once, with a
-    /// latency at least the tRCD+tCAS+burst floor, and the per-class byte
-    /// accounting matches the requests issued.
-    #[test]
-    fn all_requests_complete_with_floor_latency(
-        seeds in prop::collection::vec((any::<u8>(), 1u64..8, any::<bool>()), 1..40),
-    ) {
+/// Every accepted request eventually completes, exactly once, with a
+/// latency at least the tRCD+tCAS+burst floor, and the per-class byte
+/// accounting matches the requests issued.
+#[test]
+fn all_requests_complete_with_floor_latency() {
+    check(64, |src: &mut Source| {
+        let seeds = src.vec_with(1..40, |s| (s.u8_in(0..255), s.u64_in(1..8), s.bool()));
         let cfg = DramConfig::stacked_cache_8x();
         let mut dev = DramDevice::new(cfg);
         let mut expect_bytes = [0u64; 4];
         let mut issued = Vec::new();
-        let loc_strategy_inputs = seeds;
         let mut rng_row = 0u64;
-        for (i, (sel, beats, is_write)) in loc_strategy_inputs.iter().enumerate() {
-            rng_row = rng_row.wrapping_mul(6364136223846793005).wrapping_add(*sel as u64);
+        for (i, (sel, beats, is_write)) in seeds.iter().enumerate() {
+            rng_row = rng_row
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(*sel as u64);
             let t = cfg.topology;
             let loc = DramLocation {
                 channel: (*sel as u32) % t.channels,
@@ -80,11 +74,15 @@ proptest! {
             prop_assert_eq!(dev.bytes_in_class(TrafficClass(k as u8)), expect);
         }
         prop_assert_eq!(dev.pending(), 0);
-    }
+        Ok(())
+    });
+}
 
-    /// Address mapping always lands inside the topology.
-    #[test]
-    fn mapping_in_bounds(addr: u64) {
+/// Address mapping always lands inside the topology.
+#[test]
+fn mapping_in_bounds() {
+    check(256, |src: &mut Source| {
+        let addr = src.any_u64();
         for interleave in [Interleave::ChannelFirst, Interleave::BankFirst] {
             let t = DramConfig::commodity_memory().topology;
             let m = AddressMapper::new(t, interleave);
@@ -93,21 +91,30 @@ proptest! {
             prop_assert!(loc.rank < t.ranks_per_channel);
             prop_assert!(loc.bank < t.banks_per_rank);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Distinct line addresses within one row stripe map to the same row;
-    /// mapping is deterministic.
-    #[test]
-    fn mapping_deterministic(addr in 0u64..(1 << 44)) {
+/// Distinct line addresses within one row stripe map to the same row;
+/// mapping is deterministic.
+#[test]
+fn mapping_deterministic() {
+    check(256, |src: &mut Source| {
+        let addr = src.u64_in(0..(1 << 44));
         let t = DramConfig::commodity_memory().topology;
         let m = AddressMapper::new(t, Interleave::ChannelFirst);
         prop_assert_eq!(m.map(addr), m.map(addr));
-    }
+        Ok(())
+    });
 }
 
-/// Generated-location smoke check kept out of proptest (uses the helper).
+/// Generated-location smoke check (uses the helper).
 #[test]
-fn arb_location_strategy_is_usable() {
-    let cfg = DramConfig::stacked_cache_8x();
-    let _ = arb_location(&cfg);
+fn any_location_helper_is_usable() {
+    check(16, |src: &mut Source| {
+        let cfg = DramConfig::stacked_cache_8x();
+        let loc = any_location(src, &cfg);
+        prop_assert!(loc.channel < cfg.topology.channels);
+        Ok(())
+    });
 }

@@ -11,6 +11,9 @@
 //! - [`rng`]: a small deterministic pseudo-random number generator so that
 //!   every simulation is exactly reproducible from its seed.
 //! - [`queue`]: bounded FIFO queues used between pipeline stages.
+//! - [`check`]: a dependency-free property-testing engine (generation via
+//!   [`rng::SimRng`], shrink-by-bisection) used by every crate's
+//!   `tests/proptests.rs`.
 //!
 //! # Example
 //!
@@ -25,6 +28,7 @@
 //! assert!((0.0..1.0).contains(&p));
 //! ```
 
+pub mod check;
 pub mod queue;
 pub mod rng;
 pub mod stats;

@@ -1,15 +1,19 @@
-//! Property tests for the simulation substrate.
+//! Property tests for the simulation substrate, driven by the in-tree
+//! [`bear_sim::check`] engine (no external frameworks).
 
+use bear_sim::check::{check, Source};
 use bear_sim::queue::BoundedQueue;
 use bear_sim::rng::SimRng;
 use bear_sim::stats::{geometric_mean, Histogram};
 use bear_sim::time::{Cycle, DerivedClock};
-use proptest::prelude::*;
+use bear_sim::{prop_assert, prop_assert_eq};
 
-proptest! {
-    /// A bounded queue behaves exactly like a VecDeque with a length cap.
-    #[test]
-    fn queue_matches_model(ops in prop::collection::vec(0u8..3, 1..200), cap in 1usize..16) {
+/// A bounded queue behaves exactly like a VecDeque with a length cap.
+#[test]
+fn queue_matches_model() {
+    check(256, |src: &mut Source| {
+        let cap = src.usize_in(1..16);
+        let ops = src.vec_with(1..200, |s| s.u8_in(0..3));
         let mut q = BoundedQueue::new(cap);
         let mut model = std::collections::VecDeque::new();
         let mut next = 0u32;
@@ -29,11 +33,16 @@ proptest! {
             prop_assert_eq!(q.len(), model.len());
             prop_assert_eq!(q.is_full(), model.len() == cap);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Out-of-order removal preserves the remaining order.
-    #[test]
-    fn queue_remove_preserves_order(n in 2usize..12, idx in 0usize..12) {
+/// Out-of-order removal preserves the remaining order.
+#[test]
+fn queue_remove_preserves_order() {
+    check(256, |src: &mut Source| {
+        let n = src.usize_in(2..12);
+        let idx = src.usize_in(0..12);
         let mut q = BoundedQueue::new(16);
         for i in 0..n {
             q.try_push(i).unwrap();
@@ -46,30 +55,44 @@ proptest! {
             expect.remove(idx);
         }
         prop_assert_eq!(rest, expect);
-    }
+        Ok(())
+    });
+}
 
-    /// Rng bounds are respected for any bound.
-    #[test]
-    fn rng_next_below_in_range(seed: u64, bound in 1u64..1_000_000) {
+/// Rng bounds are respected for any bound.
+#[test]
+fn rng_next_below_in_range() {
+    check(256, |src: &mut Source| {
+        let seed = src.any_u64();
+        let bound = src.u64_in(1..1_000_000);
         let mut rng = SimRng::new(seed);
         for _ in 0..100 {
             prop_assert!(rng.next_below(bound) < bound);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Clock edge alignment: the next edge is aligned and never in the past.
-    #[test]
-    fn clock_edges_align(divisor in 1u64..64, t in 0u64..1_000_000) {
+/// Clock edge alignment: the next edge is aligned and never in the past.
+#[test]
+fn clock_edges_align() {
+    check(256, |src: &mut Source| {
+        let divisor = src.u64_in(1..64);
+        let t = src.u64_in(0..1_000_000);
         let c = DerivedClock::new(divisor);
         let edge = c.next_edge(Cycle(t));
         prop_assert!(edge.raw() >= t);
         prop_assert_eq!(edge.raw() % divisor, 0);
         prop_assert!(edge.raw() - t < divisor);
-    }
+        Ok(())
+    });
+}
 
-    /// Histogram totals equal samples recorded; percentile is monotone.
-    #[test]
-    fn histogram_invariants(values in prop::collection::vec(0u64..100_000, 1..200)) {
+/// Histogram totals equal samples recorded; percentile is monotone.
+#[test]
+fn histogram_invariants() {
+    check(256, |src: &mut Source| {
+        let values = src.vec_with(1..200, |s| s.u64_in(0..100_000));
         let mut h = Histogram::new(16, 12);
         for &v in &values {
             h.record(v);
@@ -77,14 +100,19 @@ proptest! {
         prop_assert_eq!(h.total(), values.len() as u64);
         prop_assert_eq!(h.buckets().iter().sum::<u64>(), values.len() as u64);
         prop_assert!(h.percentile(0.25) <= h.percentile(0.75));
-    }
+        Ok(())
+    });
+}
 
-    /// Geometric mean lies between min and max.
-    #[test]
-    fn geomean_bounded(values in prop::collection::vec(0.01f64..100.0, 1..50)) {
+/// Geometric mean lies between min and max.
+#[test]
+fn geomean_bounded() {
+    check(256, |src: &mut Source| {
+        let values = src.vec_with(1..50, |s| s.f64_in(0.01..100.0));
         let g = geometric_mean(&values);
         let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = values.iter().cloned().fold(0.0f64, f64::max);
         prop_assert!(g >= min * 0.999 && g <= max * 1.001);
-    }
+        Ok(())
+    });
 }

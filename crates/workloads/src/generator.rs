@@ -142,7 +142,10 @@ impl TraceGenerator {
         let (lo, len) = if self.in_hot {
             (0, self.hot_lines)
         } else {
-            (self.hot_lines, (self.footprint_lines - self.hot_lines).max(1))
+            (
+                self.hot_lines,
+                (self.footprint_lines - self.hot_lines).max(1),
+            )
         };
         self.pos = lo + self.rng.next_below(len);
         self.run_left = self.rng.geometric(self.profile.seq_mean);
@@ -249,7 +252,10 @@ mod tests {
         let n = 50_000;
         let stores = (0..n).filter(|_| g.next_event().is_store).count();
         let frac = stores as f64 / n as f64;
-        assert!((frac - expect).abs() < 0.02, "store frac {frac} vs {expect}");
+        assert!(
+            (frac - expect).abs() < 0.02,
+            "store frac {frac} vs {expect}"
+        );
     }
 
     #[test]
@@ -312,14 +318,16 @@ mod tests {
         let frac = hot as f64 / n as f64;
         // Reuse revisits sample past accesses, which preserves the hot/cold
         // mixture in expectation.
-        assert!((frac - hot_prob).abs() < 0.05, "hot frac {frac} vs {hot_prob}");
+        assert!(
+            (frac - hot_prob).abs() < 0.05,
+            "hot frac {frac} vs {hot_prob}"
+        );
     }
 
     #[test]
     fn pcs_are_bounded_and_aligned() {
         let mut g = generator("gcc", 3);
-        let pcs: std::collections::HashSet<u64> =
-            (0..10_000).map(|_| g.next_event().pc).collect();
+        let pcs: std::collections::HashSet<u64> = (0..10_000).map(|_| g.next_event().pc).collect();
         assert!(pcs.len() <= 96);
         assert!(pcs.iter().all(|pc| pc % 4 == 0 && *pc >= 0x40_0000));
     }

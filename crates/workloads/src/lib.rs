@@ -28,5 +28,7 @@ pub mod trace_file;
 
 pub use generator::{TraceEvent, TraceGenerator, TraceSource};
 pub use profile::{BenchmarkProfile, IntensityClass};
-pub use suites::{all_workloads, generated_mixes, mix_workloads, named_mixes, rate_workloads, Workload};
+pub use suites::{
+    all_workloads, generated_mixes, mix_workloads, named_mixes, rate_workloads, Workload,
+};
 pub use trace_file::{parse_trace, TraceFile};

@@ -345,7 +345,11 @@ mod tests {
     #[test]
     fn apki_exceeds_mpki_everywhere() {
         for p in TABLE2 {
-            assert!(p.apki > p.mpki, "{}: L3 accesses must exceed misses", p.name);
+            assert!(
+                p.apki > p.mpki,
+                "{}: L3 accesses must exceed misses",
+                p.name
+            );
         }
     }
 
@@ -366,10 +370,7 @@ mod tests {
         assert!(p.scaled_footprint_lines(0) > 1024);
         assert_eq!(p.scaled_footprint_lines(40), 1024);
         // Scaling by 3 divides by 8.
-        assert_eq!(
-            p.scaled_footprint_lines(3),
-            (p.footprint_bytes >> 3) / 64
-        );
+        assert_eq!(p.scaled_footprint_lines(3), (p.footprint_bytes >> 3) / 64);
     }
 
     #[test]

@@ -67,35 +67,51 @@ pub fn named_mixes() -> Vec<Workload> {
     vec![
         Workload::mix(
             "MIX1",
-            ["libq", "mcf", "soplex", "milc", "bwaves", "lbm", "omnetp", "gcc"],
+            [
+                "libq", "mcf", "soplex", "milc", "bwaves", "lbm", "omnetp", "gcc",
+            ],
         ),
         Workload::mix(
             "MIX2",
-            ["libq", "mcf", "soplex", "milc", "lbm", "omnetp", "Gems", "sphinx"],
+            [
+                "libq", "mcf", "soplex", "milc", "lbm", "omnetp", "Gems", "sphinx",
+            ],
         ),
         Workload::mix(
             "MIX3",
-            ["mcf", "soplex", "milc", "bwave", "gcc", "lbm", "leslie", "cactus"],
+            [
+                "mcf", "soplex", "milc", "bwave", "gcc", "lbm", "leslie", "cactus",
+            ],
         ),
         Workload::mix(
             "MIX4",
-            ["libq", "mcf", "soplex", "milc", "Gems", "leslie", "wrf", "zeusmp"],
+            [
+                "libq", "mcf", "soplex", "milc", "Gems", "leslie", "wrf", "zeusmp",
+            ],
         ),
         Workload::mix(
             "MIX5",
-            ["bwave", "lbm", "omnetp", "gcc", "cactus", "xalanc", "bzip", "sphinx"],
+            [
+                "bwave", "lbm", "omnetp", "gcc", "cactus", "xalanc", "bzip", "sphinx",
+            ],
         ),
         Workload::mix(
             "MIX6",
-            ["libq", "gcc", "Gems", "leslie", "wrf", "zeusmp", "cactus", "xalanc"],
+            [
+                "libq", "gcc", "Gems", "leslie", "wrf", "zeusmp", "cactus", "xalanc",
+            ],
         ),
         Workload::mix(
             "MIX7",
-            ["mcf", "omnetp", "Gems", "leslie", "wrf", "xalanc", "bzip", "sphinx"],
+            [
+                "mcf", "omnetp", "Gems", "leslie", "wrf", "xalanc", "bzip", "sphinx",
+            ],
         ),
         Workload::mix(
             "MIX8",
-            ["Gems", "leslie", "wrf", "zeusmp", "cactus", "xalanc", "bzip", "sphinx"],
+            [
+                "Gems", "leslie", "wrf", "zeusmp", "cactus", "xalanc", "bzip", "sphinx",
+            ],
         ),
     ]
 }
@@ -156,7 +172,16 @@ mod tests {
     #[test]
     fn table3_intensity_splits() {
         let mixes = named_mixes();
-        let expected = [(8, 0), (6, 2), (6, 2), (4, 4), (4, 4), (2, 6), (2, 6), (0, 8)];
+        let expected = [
+            (8, 0),
+            (6, 2),
+            (6, 2),
+            (4, 4),
+            (4, 4),
+            (2, 6),
+            (2, 6),
+            (0, 8),
+        ];
         for (mix, want) in mixes.iter().zip(expected) {
             assert_eq!(mix.intensity_split(), want, "{}", mix.name);
         }
@@ -167,8 +192,7 @@ mod tests {
         let a = generated_mixes();
         let b = generated_mixes();
         assert_eq!(a, b);
-        let names: std::collections::HashSet<_> =
-            a.iter().map(|w| w.name.clone()).collect();
+        let names: std::collections::HashSet<_> = a.iter().map(|w| w.name.clone()).collect();
         assert_eq!(names.len(), 30);
     }
 
@@ -182,6 +206,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown benchmark")]
     fn unknown_mix_member_panics() {
-        Workload::mix("BAD", ["mcf", "nope", "mcf", "mcf", "mcf", "mcf", "mcf", "mcf"]);
+        Workload::mix(
+            "BAD",
+            ["mcf", "nope", "mcf", "mcf", "mcf", "mcf", "mcf", "mcf"],
+        );
     }
 }

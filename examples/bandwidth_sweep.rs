@@ -14,7 +14,10 @@ fn run(cfg: &SystemConfig, bench: &str) -> bear_core::metrics::RunStats {
 
 fn main() {
     let bench = "lbm"; // bandwidth-hungry streaming workload
-    println!("{:<6} {:>12} {:>12} {:>10}", "BW", "Alloy IPC", "BEAR IPC", "BEAR gain");
+    println!(
+        "{:<6} {:>12} {:>12} {:>10}",
+        "BW", "Alloy IPC", "BEAR IPC", "BEAR gain"
+    );
     for factor in [4, 8, 16] {
         let mut alloy = SystemConfig::paper_baseline(DesignKind::Alloy);
         alloy.scale_shift = 9;

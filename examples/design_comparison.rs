@@ -19,7 +19,10 @@ fn main() {
         ("LH", SystemConfig::paper_baseline(DesignKind::LohHill)),
         ("MC", SystemConfig::paper_baseline(DesignKind::MostlyClean)),
         ("Alloy", SystemConfig::paper_baseline(DesignKind::Alloy)),
-        ("Incl-Alloy", SystemConfig::paper_baseline(DesignKind::InclusiveAlloy)),
+        (
+            "Incl-Alloy",
+            SystemConfig::paper_baseline(DesignKind::InclusiveAlloy),
+        ),
         ("TIS", SystemConfig::paper_baseline(DesignKind::TagsInSram)),
         ("SC", SystemConfig::paper_baseline(DesignKind::SectorCache)),
         ("BEAR", SystemConfig::bear()),

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full offline verification: formatting, lints, and the test suite.
+# This is what CI runs; it must pass with no network access at all.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo test"
+cargo test -q --workspace --offline
+
+echo "OK: fmt, clippy, and tests all passed offline."

@@ -19,7 +19,11 @@ fn run(design: DesignKind, bear: BearFeatures) -> bear_core::metrics::RunStats {
 
 #[test]
 fn components_sum_to_factor() {
-    for design in [DesignKind::Alloy, DesignKind::LohHill, DesignKind::TagsInSram] {
+    for design in [
+        DesignKind::Alloy,
+        DesignKind::LohHill,
+        DesignKind::TagsInSram,
+    ] {
         let stats = run(design, BearFeatures::none());
         let total: f64 = BloatCategory::ALL
             .iter()

@@ -85,7 +85,10 @@ fn dcp_eliminates_most_writeback_probes() {
 fn inclusive_cache_cannot_bypass_but_avoids_probes() {
     let mut cfg = quick(DesignKind::InclusiveAlloy);
     cfg.bear.fill_policy = FillPolicy::BandwidthAware(0.9);
-    assert!(cfg.validate().is_err(), "Section 5.1: inclusion forbids bypass");
+    assert!(
+        cfg.validate().is_err(),
+        "Section 5.1: inclusion forbids bypass"
+    );
 
     let stats = run(&quick(DesignKind::InclusiveAlloy), "gcc");
     assert!(stats.l4.wb_probes_avoided > 0);
@@ -99,10 +102,8 @@ fn mixes_run_and_weighted_speedup_is_sane() {
     let mut sys = System::build(&cfg, mix);
     let stats = sys.run(cfg.warmup_cycles, cfg.measure_cycles);
     assert_eq!(stats.ipc_per_core.len(), 8);
-    let spd = bear_cpu::metrics::normalized_weighted_speedup(
-        &stats.ipc_per_core,
-        &stats.ipc_per_core,
-    );
+    let spd =
+        bear_cpu::metrics::normalized_weighted_speedup(&stats.ipc_per_core, &stats.ipc_per_core);
     assert!((spd - 1.0).abs() < 1e-12);
 }
 

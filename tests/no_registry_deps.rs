@@ -1,0 +1,93 @@
+//! Guard test: the workspace must stay buildable with `--offline` and an
+//! empty cargo registry. Every dependency declared in any workspace
+//! `Cargo.toml` must therefore be a `path` dependency (directly, or via
+//! `workspace = true` pointing at the path-only `[workspace.dependencies]`
+//! table). If this test fails, someone reintroduced a crates.io
+//! dependency — see ROADMAP.md and scripts/verify.sh.
+
+use std::path::{Path, PathBuf};
+
+/// All `Cargo.toml` files in the workspace: the root manifest plus one per
+/// crate under `crates/`.
+fn workspace_manifests() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut out = vec![root.join("Cargo.toml")];
+    for entry in std::fs::read_dir(root.join("crates")).expect("crates/ exists") {
+        let dir = entry.expect("readable dir entry").path();
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            out.push(manifest);
+        }
+    }
+    assert!(out.len() >= 7, "expected the root + >=6 crate manifests");
+    out
+}
+
+/// Returns the dependency entries (`name = spec` lines, or the opening of
+/// `[dependencies.name]`-style tables) found in dependency sections of a
+/// manifest, as (section, line) pairs.
+fn dependency_entries(toml: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut section = String::new();
+    for raw in toml.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = line.trim_matches(['[', ']']).to_string();
+            // `[dependencies.foo]` style tables are themselves entries.
+            if section.contains("dependencies.") {
+                out.push((section.clone(), line.to_string()));
+            }
+            continue;
+        }
+        let in_dep_section = section == "dependencies"
+            || section == "dev-dependencies"
+            || section == "build-dependencies"
+            || section == "workspace.dependencies"
+            || section.ends_with(".dependencies")
+            || section.ends_with(".dev-dependencies")
+            || section.ends_with(".build-dependencies");
+        if in_dep_section && line.contains('=') {
+            out.push((section.clone(), line.to_string()));
+        }
+    }
+    out
+}
+
+#[test]
+fn every_dependency_is_a_path_or_workspace_dependency() {
+    let mut offenders = Vec::new();
+    for manifest in workspace_manifests() {
+        let toml = std::fs::read_to_string(&manifest)
+            .unwrap_or_else(|e| panic!("reading {}: {e}", manifest.display()));
+        for (section, entry) in dependency_entries(&toml) {
+            let ok = entry.contains("path") || entry.contains("workspace = true");
+            if !ok {
+                offenders.push(format!("{} [{section}]: {entry}", manifest.display()));
+            }
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "registry (non-path) dependencies found — the workspace must build \
+         offline with zero external crates:\n  {}",
+        offenders.join("\n  ")
+    );
+}
+
+#[test]
+fn dependency_scanner_catches_registry_specs() {
+    // Sanity-check the scanner itself on a synthetic manifest.
+    let bad = "[package]\nname = \"x\"\n[dev-dependencies]\nserde = \"1\"\n";
+    let entries = dependency_entries(bad);
+    assert_eq!(entries.len(), 1);
+    assert!(entries[0].1.contains("serde"));
+    assert!(!entries[0].1.contains("path"));
+
+    let good = "[dependencies]\nbear-sim = { workspace = true }\nlocal = { path = \"../x\" }\n";
+    assert!(dependency_entries(good)
+        .iter()
+        .all(|(_, e)| e.contains("path") || e.contains("workspace = true")));
+}

@@ -65,12 +65,8 @@ fn bloat_ordering_lh_alloy_bear_bwopt() {
 fn bear_cuts_hit_latency_without_cratering_hit_rate() {
     let alloy = suite(DesignKind::Alloy, BearFeatures::none());
     let bear = suite(DesignKind::Alloy, BearFeatures::full());
-    let lat = |v: &[RunStats]| {
-        v.iter().map(|s| s.l4.hit_latency).sum::<f64>() / v.len() as f64
-    };
-    let hit = |v: &[RunStats]| {
-        v.iter().map(|s| s.l4.hit_rate).sum::<f64>() / v.len() as f64
-    };
+    let lat = |v: &[RunStats]| v.iter().map(|s| s.l4.hit_latency).sum::<f64>() / v.len() as f64;
+    let hit = |v: &[RunStats]| v.iter().map(|s| s.l4.hit_rate).sum::<f64>() / v.len() as f64;
     assert!(
         lat(&bear) < lat(&alloy) * 0.9,
         "BEAR hit latency {:.0} vs Alloy {:.0}",
@@ -113,8 +109,9 @@ fn mostly_clean_beats_loh_hill() {
 #[test]
 fn sector_cache_pays_for_dirty_evictions() {
     let sc = run(DesignKind::SectorCache, BearFeatures::none(), "lbm");
-    let victim =
-        sc.bloat.component(bear_core::traffic::BloatCategory::VictimRead);
+    let victim = sc
+        .bloat
+        .component(bear_core::traffic::BloatCategory::VictimRead);
     assert!(
         victim > 0.0,
         "SC must show dirty-eviction traffic on a write-heavy workload"
@@ -153,7 +150,9 @@ fn storage_overheads_match_table5() {
 fn mixes_preserve_per_core_identity() {
     let mix = Workload::mix(
         "shape-mix",
-        ["mcf", "libq", "gcc", "sphinx", "Gems", "leslie", "wrf", "zeusmp"],
+        [
+            "mcf", "libq", "gcc", "sphinx", "Gems", "leslie", "wrf", "zeusmp",
+        ],
     );
     let c = cfg(DesignKind::Alloy, BearFeatures::none());
     let stats = System::build(&c, &mix).run(c.warmup_cycles, c.measure_cycles);
