@@ -1,8 +1,16 @@
 //! Runs the complete experiment campaign: every table and figure of the
 //! paper's evaluation, in order. Honors BEAR_QUICK / BEAR_CYCLES /
-//! BEAR_WARMUP / BEAR_SCALE / BEAR_WORKERS, and `--out DIR` to write one
-//! JSON report per experiment into `DIR`.
+//! BEAR_WARMUP / BEAR_SCALE / BEAR_WORKERS, and:
+//!
+//! - `--out DIR` — write one JSON report per experiment into `DIR`, and
+//!   checkpoint every finished (config, workload) cell under
+//!   `DIR/cells/<experiment>/`. An interrupted campaign (crash, OOM-kill,
+//!   `kill -9`) rerun with the same `--out DIR` resumes from the
+//!   committed cells and produces byte-identical reports.
+//! - `--only LIST` — run a comma-separated subset of the experiment ids
+//!   (e.g. `--only fig07,table5`).
 
+use bear_bench::checkpoint::{self, CellStore};
 use bear_bench::cli;
 use bear_bench::experiments as ex;
 use bear_bench::report::Report;
@@ -13,7 +21,7 @@ use std::time::Instant;
 type Step = (&'static str, fn(&RunPlan, &mut Report));
 
 fn main() {
-    let out = cli::parse_out_dir(std::env::args().skip(1));
+    let args = cli::parse_campaign_args(std::env::args().skip(1));
     let plan = RunPlan::from_env();
     let t0 = Instant::now();
     let steps: [Step; 14] = [
@@ -32,15 +40,29 @@ fn main() {
         ("fig17", ex::fig17_alternatives::run),
         ("table5", ex::table5_overhead::run),
     ];
+    if let Some(only) = &args.only {
+        for name in only {
+            assert!(
+                steps.iter().any(|(id, _)| id == name),
+                "unknown experiment `{name}` in --only (known: {})",
+                steps.map(|(id, _)| id).join(", ")
+            );
+        }
+    }
     for (name, f) in steps {
+        if !args.selected(name) {
+            continue;
+        }
         let t = Instant::now();
+        checkpoint::set_active(args.out.as_deref().map(|d| CellStore::new(d, name)));
         let mut report = Report::new(name);
         f(&plan, &mut report);
-        cli::write_report(&report, out.as_deref(), &plan);
+        cli::write_report(&mut report, args.out.as_deref(), &plan);
         println!(
             "[{name} done in {:.1}s, total {:.1}s]\n",
             t.elapsed().as_secs_f64(),
             t0.elapsed().as_secs_f64()
         );
     }
+    checkpoint::set_active(None);
 }

@@ -1,0 +1,281 @@
+//! Campaign checkpoint/resume: durable per-cell result persistence.
+//!
+//! A full experiment campaign simulates hundreds of (configuration,
+//! workload) cells over many minutes. Losing the whole campaign to a
+//! mid-run crash, OOM-kill, or `kill -9` would make long campaigns
+//! fragile, so every finished cell is persisted *incrementally* under the
+//! report directory:
+//!
+//! ```text
+//! DIR/cells/<experiment>/<slug>-<hash>.json   the cell's RunStats
+//! DIR/cells/<experiment>/<slug>-<hash>.done   commit marker (empty)
+//! ```
+//!
+//! The write protocol is crash-safe: stats are written to a temp file,
+//! fsync'd, renamed into place, and only then marked committed by an
+//! fsync'd `.done` file. An interrupt at any point leaves either a
+//! complete, marked cell or an ignorable partial — never a half-written
+//! cell that a resume would trust.
+//!
+//! `<hash>` is an FNV-1a digest of the **full Debug rendering** of the
+//! cell's configuration and workload, so any parameter change — cycle
+//! counts, scale, feature flags, suite contents — changes the filename
+//! and stale cells are never reused. Reuse requires the `.done` marker,
+//! a parseable document, and a matching recorded hash; anything less and
+//! the cell silently re-runs.
+//!
+//! Because [`crate::report::stats_to_json`] round-trips `RunStats`
+//! bit-for-bit, a resumed campaign produces a merged report **byte
+//! identical** to an uninterrupted one (pinned by the `resume_identical`
+//! integration test).
+//!
+//! The store is activated per experiment by the campaign driver
+//! ([`set_active`]); `try_run_one` consults it transparently, so every
+//! experiment module gains checkpointing without code changes.
+
+use crate::report::{stats_from_json, stats_to_json, Json};
+use bear_core::config::SystemConfig;
+use bear_core::metrics::RunStats;
+use bear_workloads::Workload;
+use std::fs::{self, File};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// FNV-1a 64-bit hash (offline-first: no hasher dependencies).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Identity of a cell: digest over the full `Debug` rendering of its
+/// configuration and workload.
+pub fn cell_hash(cfg: &SystemConfig, workload: &Workload) -> u64 {
+    fnv1a64(format!("{cfg:?}\n{workload:?}").as_bytes())
+}
+
+/// Filesystem-safe, human-skimmable cell file stem:
+/// `<design>-<workload>-<hash>`.
+fn cell_stem(cfg: &SystemConfig, workload: &Workload) -> String {
+    let slug: String = format!("{}-{}", cfg.design.label(), workload.name)
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .take(48)
+        .collect();
+    format!("{slug}-{:016x}", cell_hash(cfg, workload))
+}
+
+/// Durable store for one experiment's finished cells.
+#[derive(Debug)]
+pub struct CellStore {
+    dir: PathBuf,
+}
+
+impl CellStore {
+    /// Store rooted at `OUT_DIR/cells/<experiment>/`.
+    pub fn new(out_dir: &Path, experiment: &str) -> CellStore {
+        CellStore {
+            dir: out_dir.join("cells").join(experiment),
+        }
+    }
+
+    fn paths(&self, cfg: &SystemConfig, workload: &Workload) -> (PathBuf, PathBuf) {
+        let stem = cell_stem(cfg, workload);
+        (
+            self.dir.join(format!("{stem}.json")),
+            self.dir.join(format!("{stem}.done")),
+        )
+    }
+
+    /// Loads a committed cell, or `None` when the cell is absent,
+    /// uncommitted (no `.done` marker), unparseable, or was produced by a
+    /// different configuration (hash mismatch). `None` simply means
+    /// "re-run the cell" — a corrupt checkpoint can cost work, never
+    /// correctness.
+    pub fn load(&self, cfg: &SystemConfig, workload: &Workload) -> Option<RunStats> {
+        let (json_path, done_path) = self.paths(cfg, workload);
+        if !done_path.exists() {
+            return None;
+        }
+        let doc = Json::parse(&fs::read_to_string(&json_path).ok()?).ok()?;
+        if doc.get("cell_hash")?.as_str()? != format!("{:016x}", cell_hash(cfg, workload)) {
+            return None;
+        }
+        let name = doc.get("workload")?.as_str()?;
+        if name != workload.name {
+            return None;
+        }
+        stats_from_json(name, doc.get("stats")?).ok()
+    }
+
+    /// Persists a finished cell with the crash-safe protocol described in
+    /// the module docs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error; callers treat
+    /// checkpointing as best-effort and keep the in-memory result.
+    pub fn store(
+        &self,
+        cfg: &SystemConfig,
+        workload: &Workload,
+        stats: &RunStats,
+    ) -> std::io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        let (json_path, done_path) = self.paths(cfg, workload);
+        let doc = Json::Obj(vec![
+            (
+                "cell_hash".into(),
+                Json::Str(format!("{:016x}", cell_hash(cfg, workload))),
+            ),
+            ("workload".into(), Json::Str(workload.name.clone())),
+            ("stats".into(), stats_to_json(stats)),
+        ]);
+        let tmp = json_path.with_extension("json.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(doc.to_string_pretty().as_bytes())?;
+            f.write_all(b"\n")?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &json_path)?;
+        let marker = File::create(&done_path)?;
+        marker.sync_all()?;
+        // Make the rename and the marker's directory entry durable too
+        // (best-effort: not all filesystems support fsync on directories).
+        if let Ok(d) = File::open(&self.dir) {
+            d.sync_all().ok();
+        }
+        Ok(())
+    }
+}
+
+/// The campaign-wide active store, consulted by `try_run_one`. `None`
+/// (the default) disables checkpointing entirely.
+static ACTIVE: Mutex<Option<CellStore>> = Mutex::new(None);
+
+/// Activates (or, with `None`, deactivates) checkpointing for subsequent
+/// cells. The campaign driver calls this once per experiment step.
+pub fn set_active(store: Option<CellStore>) {
+    *ACTIVE.lock().expect("checkpoint store poisoned") = store;
+}
+
+/// Looks a cell up in the active store, if any.
+pub(crate) fn load_active(cfg: &SystemConfig, workload: &Workload) -> Option<RunStats> {
+    ACTIVE
+        .lock()
+        .expect("checkpoint store poisoned")
+        .as_ref()?
+        .load(cfg, workload)
+}
+
+/// Persists a cell to the active store, if any. Write errors degrade to
+/// a warning — a full disk must not fail a finished simulation.
+pub(crate) fn store_active(cfg: &SystemConfig, workload: &Workload, stats: &RunStats) {
+    if let Some(store) = ACTIVE.lock().expect("checkpoint store poisoned").as_ref() {
+        if let Err(e) = store.store(cfg, workload, stats) {
+            eprintln!(
+                "[warning: failed to checkpoint {} × {}: {e}]",
+                cfg.design.label(),
+                workload.name
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bear_core::config::DesignKind;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("bear_checkpoint_{tag}_{}", std::process::id()));
+        fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn sample() -> (SystemConfig, Workload, RunStats) {
+        let cfg = SystemConfig::paper_baseline(DesignKind::Alloy);
+        let workload = bear_workloads::rate_workloads().remove(0);
+        let mut stats = RunStats {
+            workload: workload.name.clone(),
+            design: cfg.design.label().to_string(),
+            cycles: 12_345,
+            insts_per_core: vec![10, 20, 30],
+            ipc_per_core: vec![0.5, 1.0 / 3.0, 0.25],
+            l3_hit_rate: 0.125,
+            cache_read_queue_latency: 9.75,
+            mem_bytes: 1 << 30,
+            ..Default::default()
+        };
+        stats.l4.read_lookups = 99;
+        stats.l4.hit_rate = 2.0 / 3.0;
+        stats.bloat.bytes[0] = 640;
+        stats.bloat.useful_lines = 8;
+        (cfg, workload, stats)
+    }
+
+    #[test]
+    fn store_then_load_roundtrips_exactly() {
+        let dir = tmp_dir("roundtrip");
+        let (cfg, workload, stats) = sample();
+        let store = CellStore::new(&dir, "figXX");
+        assert!(store.load(&cfg, &workload).is_none(), "empty store misses");
+        store.store(&cfg, &workload, &stats).expect("store cell");
+        assert_eq!(store.load(&cfg, &workload), Some(stats));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn uncommitted_or_corrupt_cells_are_ignored() {
+        let dir = tmp_dir("corrupt");
+        let (cfg, workload, stats) = sample();
+        let store = CellStore::new(&dir, "figXX");
+        store.store(&cfg, &workload, &stats).expect("store cell");
+        let (json_path, done_path) = store.paths(&cfg, &workload);
+
+        // Truncated (crash mid-write would have hit the tmp file, but
+        // defend against external corruption too).
+        fs::write(&json_path, "{\"cell_hash\": \"trunc").expect("corrupt");
+        assert!(store.load(&cfg, &workload).is_none());
+
+        // Restore, then drop the commit marker.
+        store.store(&cfg, &workload, &stats).expect("re-store");
+        fs::remove_file(&done_path).expect("remove marker");
+        assert!(store.load(&cfg, &workload).is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn changed_config_changes_the_cell_identity() {
+        let dir = tmp_dir("stale");
+        let (cfg, workload, stats) = sample();
+        let store = CellStore::new(&dir, "figXX");
+        store.store(&cfg, &workload, &stats).expect("store cell");
+        let mut changed = cfg.clone();
+        changed.measure_cycles += 1;
+        assert!(
+            store.load(&changed, &workload).is_none(),
+            "any config change must miss the checkpoint"
+        );
+        assert_ne!(cell_hash(&cfg, &workload), cell_hash(&changed, &workload));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cell_files_are_filesystem_safe() {
+        let (cfg, workload, _) = sample();
+        let stem = cell_stem(&cfg, &workload);
+        assert!(
+            stem.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'),
+            "stem {stem:?} has unsafe characters"
+        );
+        assert!(stem.contains("Alloy"), "stem is human-skimmable: {stem}");
+    }
+}

@@ -10,7 +10,7 @@
 //! with and without `--out` (experiment logs are diffed verbatim).
 
 use crate::report::Report;
-use crate::RunPlan;
+use crate::{runner, RunPlan};
 use std::path::PathBuf;
 
 /// Extracts `--out DIR` / `--out=DIR` from an argument list.
@@ -45,6 +45,63 @@ pub fn parse_out_dir(args: impl Iterator<Item = String>) -> Option<PathBuf> {
     out
 }
 
+/// Arguments of the campaign driver (`all_experiments`): the shared
+/// `--out DIR` plus `--only LIST` (comma-separated experiment ids) to
+/// rerun a subset of steps.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct CampaignArgs {
+    /// Report/checkpoint directory (`--out`).
+    pub out: Option<PathBuf>,
+    /// Experiment ids to run (`--only`); `None` runs everything.
+    pub only: Option<Vec<String>>,
+}
+
+impl CampaignArgs {
+    /// Whether the experiment named `id` is selected.
+    pub fn selected(&self, id: &str) -> bool {
+        self.only
+            .as_ref()
+            .is_none_or(|names| names.iter().any(|n| n == id))
+    }
+}
+
+/// Extracts `--out DIR` and `--only LIST` from an argument list.
+///
+/// # Panics
+///
+/// Panics (with a usage message) on a flag without its value or on any
+/// unrecognized argument, matching [`parse_out_dir`]'s behavior.
+pub fn parse_campaign_args(args: impl Iterator<Item = String>) -> CampaignArgs {
+    fn split_only(list: &str) -> Vec<String> {
+        list.split(',')
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect()
+    }
+    let mut parsed = CampaignArgs::default();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        if arg == "--out" {
+            let dir = args
+                .next()
+                .unwrap_or_else(|| panic!("--out requires a directory argument"));
+            parsed.out = Some(PathBuf::from(dir));
+        } else if let Some(dir) = arg.strip_prefix("--out=") {
+            parsed.out = Some(PathBuf::from(dir));
+        } else if arg == "--only" {
+            let list = args
+                .next()
+                .unwrap_or_else(|| panic!("--only requires a comma-separated experiment list"));
+            parsed.only = Some(split_only(&list));
+        } else if let Some(list) = arg.strip_prefix("--only=") {
+            parsed.only = Some(split_only(list));
+        } else {
+            panic!("unrecognized argument `{arg}` (supported: --out DIR, --only LIST)");
+        }
+    }
+    parsed
+}
+
 /// Entry point for a single-experiment binary: builds the plan from the
 /// environment, runs `f`, and honors `--out DIR`.
 pub fn run_single(experiment: &str, f: fn(&RunPlan, &mut Report)) {
@@ -52,11 +109,22 @@ pub fn run_single(experiment: &str, f: fn(&RunPlan, &mut Report)) {
     let plan = RunPlan::from_env();
     let mut report = Report::new(experiment);
     f(&plan, &mut report);
-    write_report(&report, out.as_deref(), &plan);
+    write_report(&mut report, out.as_deref(), &plan);
 }
 
-/// Writes `report` to `out` (if any), logging the path to stderr.
-pub fn write_report(report: &Report, out: Option<&std::path::Path>, plan: &RunPlan) {
+/// Folds any cell failures recorded during the experiment into `report`,
+/// then writes it to `out` (if any), logging the path to stderr.
+pub fn write_report(report: &mut Report, out: Option<&std::path::Path>, plan: &RunPlan) {
+    for failure in runner::take_failures() {
+        report.add_failure(failure);
+    }
+    if !report.failures.is_empty() {
+        eprintln!(
+            "[{}: {} cell(s) FAILED — see the report's \"failures\" section]",
+            report.experiment,
+            report.failures.len()
+        );
+    }
     if let Some(dir) = out {
         let path = report
             .write(dir, plan)
@@ -93,5 +161,33 @@ mod tests {
     #[should_panic(expected = "--out requires")]
     fn rejects_dangling_out() {
         parse_out_dir(args(&["--out"]));
+    }
+
+    #[test]
+    fn campaign_args_parse_out_and_only() {
+        let a = parse_campaign_args(args(&["--out", "r", "--only", "fig07,table5"]));
+        assert_eq!(a.out, Some(PathBuf::from("r")));
+        assert_eq!(
+            a.only,
+            Some(vec!["fig07".to_string(), "table5".to_string()])
+        );
+        assert!(a.selected("fig07"));
+        assert!(!a.selected("fig03"));
+        let b = parse_campaign_args(args(&["--only=fig03"]));
+        assert_eq!(b.only, Some(vec!["fig03".to_string()]));
+        let all = parse_campaign_args(args(&[]));
+        assert!(all.selected("anything"));
+    }
+
+    #[test]
+    #[should_panic(expected = "--only requires")]
+    fn rejects_dangling_only() {
+        parse_campaign_args(args(&["--only"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "unrecognized argument")]
+    fn campaign_rejects_unknown_flags() {
+        parse_campaign_args(args(&["--bogus"]));
     }
 }

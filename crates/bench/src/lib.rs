@@ -27,11 +27,14 @@ use bear_cpu::metrics::{normalized_weighted_speedup, rate_mode_speedup};
 use bear_sim::stats::geometric_mean;
 use bear_workloads::{mix_workloads, named_mixes, rate_workloads, Workload};
 
+pub mod checkpoint;
 pub mod cli;
 pub mod experiments;
 pub mod microbench;
 pub mod report;
 pub mod runner;
+
+use bear_sim::error::RunOutcome;
 
 /// Cycle/scale parameters for one experiment campaign.
 #[derive(Debug, Clone, Copy)]
@@ -126,11 +129,39 @@ pub fn config_for(design: DesignKind, bear: BearFeatures, plan: &RunPlan) -> Sys
 }
 
 /// Runs one workload under one configuration.
+///
+/// # Panics
+///
+/// Panics on any simulation failure. Grid code uses [`try_run_one`]
+/// instead, which reports failures as typed errors.
 pub fn run_one(cfg: &SystemConfig, workload: &Workload) -> RunStats {
-    let mut sys = System::build(cfg, workload);
-    let mut stats = sys.run(cfg.warmup_cycles, cfg.measure_cycles);
+    try_run_one(cfg, workload)
+        .unwrap_or_else(|e| panic!("{} × {} failed: {e}", cfg.design.label(), workload.name))
+}
+
+/// Fallible cell runner: validates the configuration, runs under the
+/// forward-progress watchdog, and reports failures as typed
+/// [`SimError`](bear_sim::error::SimError)s instead of panicking.
+///
+/// When a campaign activated a [`checkpoint`] store, a committed cell is
+/// loaded from disk instead of re-simulating, and a freshly simulated
+/// cell is persisted before returning — this is what makes interrupted
+/// campaigns resumable.
+///
+/// # Errors
+///
+/// Anything [`System::try_build`](bear_core::system::System::try_build)
+/// or the monitored run loop rejects: bad configs, watchdog stalls, and
+/// (in debug builds) invariant violations.
+pub fn try_run_one(cfg: &SystemConfig, workload: &Workload) -> RunOutcome<RunStats> {
+    if let Some(cached) = checkpoint::load_active(cfg, workload) {
+        return Ok(cached);
+    }
+    let mut sys = System::try_build(cfg, workload)?;
+    let mut stats = sys.run_monitored(cfg.warmup_cycles, cfg.measure_cycles)?;
     stats.workload = workload.name.clone();
-    stats
+    checkpoint::store_active(cfg, workload, &stats);
+    Ok(stats)
 }
 
 /// Normalized speedup of `sys` over `base` for `workload` (rate mode uses

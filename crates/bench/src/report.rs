@@ -22,6 +22,11 @@
 //!      "bloat_factor": 4.1, "stats": { ...every RunStats field... }},
 //!     ...
 //!   ],
+//!   "failures": [
+//!     {"config": "BEAR", "workload": "rate:mcf", "kind": "panic",
+//!      "error": "worker thread panicked: ..."},
+//!     ...
+//!   ],
 //!   "scalars": {"gmean_all": 1.010, ...}
 //! }
 //! ```
@@ -154,6 +159,237 @@ impl Json {
         self.write(&mut s, 0, true);
         s
     }
+
+    /// Parses a JSON document (checkpointed cells, prior reports).
+    ///
+    /// Object key order is preserved, so `parse` ∘ serialize is the
+    /// identity on documents this module wrote.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first offending byte offset.
+    ///
+    /// ```
+    /// use bear_bench::report::Json;
+    /// let v = Json::parse(r#"{"a":[1,true,"x\n"],"b":null}"#).unwrap();
+    /// assert_eq!(v.to_string(), r#"{"a":[1,true,"x\n"],"b":null}"#);
+    /// assert!(Json::parse("{oops").is_err());
+    /// ```
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = JsonParser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Unsigned-integer value: an exactly-integral number, or the string
+    /// fallback [`Json::uint`] uses above 2^53.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v < (1u64 << 53) as f64 => {
+                Some(*v as u64)
+            }
+            Json::Str(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Recursive-descent parser over the subset of JSON [`Json`] emits (which
+/// is all of JSON minus non-integer `\u` surrogate abuse).
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            None => Err("unexpected end of input".into()),
+            Some(b'n') if self.eat_literal("null") => Ok(Json::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.pos) == Some(&b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    if self.bytes.get(self.pos) == Some(&b',') {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(b']')?;
+                Ok(Json::Arr(items))
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.pos) == Some(&b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    fields.push((key, self.value()?));
+                    self.skip_ws();
+                    if self.bytes.get(self.pos) == Some(&b',') {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(b'}')?;
+                Ok(Json::Obj(fields))
+            }
+            Some(_) => self.number(),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(
+                                char::from_u32(code).ok_or("\\u escape is not a scalar value")?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // encoding is already valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("bad number at byte {start}"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number `{text}` at byte {start}"))
+    }
 }
 
 impl std::fmt::Display for Json {
@@ -178,6 +414,21 @@ pub struct ReportRow {
     pub stats: RunStats,
 }
 
+/// A cell that failed to produce statistics (panicked, stalled, or was
+/// misconfigured). Failed cells degrade to zeroed placeholder rows in the
+/// tables; the failure itself is recorded here so the report says *why*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureRow {
+    /// Configuration (design) label of the failed cell.
+    pub config: String,
+    /// Workload name of the failed cell.
+    pub workload: String,
+    /// Error class (`"panic"`, `"stalled"`, `"config"`, …).
+    pub kind: String,
+    /// Full error message.
+    pub error: String,
+}
+
 /// A structured record of one experiment: rows plus headline scalars.
 #[derive(Debug, Clone, Default)]
 pub struct Report {
@@ -187,6 +438,8 @@ pub struct Report {
     pub title: String,
     /// One row per simulated (config, workload) cell, in execution order.
     pub rows: Vec<ReportRow>,
+    /// Cells that failed instead of producing a row.
+    pub failures: Vec<FailureRow>,
     /// Headline aggregates: geometric means, storage bytes, etc.
     pub scalars: Vec<(String, f64)>,
 }
@@ -236,6 +489,11 @@ impl Report {
         self.scalars.push((key.to_string(), value));
     }
 
+    /// Records a failed cell.
+    pub fn add_failure(&mut self, row: FailureRow) {
+        self.failures.push(row);
+    }
+
     /// The report as a JSON document.
     pub fn to_json(&self, plan: &RunPlan) -> Json {
         Json::Obj(vec![
@@ -253,6 +511,22 @@ impl Report {
             (
                 "rows".into(),
                 Json::Arr(self.rows.iter().map(row_to_json).collect()),
+            ),
+            (
+                "failures".into(),
+                Json::Arr(
+                    self.failures
+                        .iter()
+                        .map(|f| {
+                            Json::Obj(vec![
+                                ("config".into(), Json::Str(f.config.clone())),
+                                ("workload".into(), Json::Str(f.workload.clone())),
+                                ("kind".into(), Json::Str(f.kind.clone())),
+                                ("error".into(), Json::Str(f.error.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
             ),
             (
                 "scalars".into(),
@@ -278,8 +552,15 @@ impl Report {
     }
 }
 
-/// Serializes every [`RunStats`] field (the "stats" object of a row).
-fn stats_to_json(s: &RunStats) -> Json {
+/// Serializes every [`RunStats`] field except `workload` (the "stats"
+/// object of a row — `workload` lives one level up, next to `config`).
+///
+/// Paired with [`stats_from_json`]: numbers use `f64`'s shortest
+/// round-trip `Display` and [`Json::uint`]'s exact path, so
+/// serialize → [`Json::parse`] → deserialize reproduces the input
+/// bit-for-bit. Checkpointed campaign cells rely on that for
+/// byte-identical resumed reports.
+pub fn stats_to_json(s: &RunStats) -> Json {
     let l4 = &s.l4;
     let bloat_bytes: Vec<(String, Json)> = BloatCategory::ALL
         .iter()
@@ -330,6 +611,77 @@ fn stats_to_json(s: &RunStats) -> Json {
         ),
         ("mem_bytes".into(), Json::uint(s.mem_bytes)),
     ])
+}
+
+/// Reconstructs [`RunStats`] from a [`stats_to_json`] object plus the
+/// externally-stored workload name.
+///
+/// # Errors
+///
+/// Names the first missing or ill-typed field. Callers treating the JSON
+/// as a cache (checkpoint cells) should treat an error as "absent" and
+/// re-run the cell.
+pub fn stats_from_json(workload: &str, v: &Json) -> Result<RunStats, String> {
+    fn field<'j>(v: &'j Json, key: &str) -> Result<&'j Json, String> {
+        v.get(key).ok_or_else(|| format!("missing field `{key}`"))
+    }
+    fn f64_of(v: &Json, key: &str) -> Result<f64, String> {
+        field(v, key)?
+            .as_f64()
+            .ok_or_else(|| format!("field `{key}` is not a number"))
+    }
+    fn u64_of(v: &Json, key: &str) -> Result<u64, String> {
+        field(v, key)?
+            .as_u64()
+            .ok_or_else(|| format!("field `{key}` is not an unsigned integer"))
+    }
+
+    let mut s = RunStats {
+        workload: workload.to_string(),
+        design: field(v, "design")?
+            .as_str()
+            .ok_or("field `design` is not a string")?
+            .to_string(),
+        cycles: u64_of(v, "cycles")?,
+        l3_hit_rate: f64_of(v, "l3_hit_rate")?,
+        cache_read_queue_latency: f64_of(v, "cache_read_queue_latency")?,
+        mem_bytes: u64_of(v, "mem_bytes")?,
+        ..Default::default()
+    };
+    s.insts_per_core = field(v, "insts_per_core")?
+        .as_arr()
+        .ok_or("field `insts_per_core` is not an array")?
+        .iter()
+        .map(|item| item.as_u64().ok_or("bad entry in `insts_per_core`"))
+        .collect::<Result<_, _>>()?;
+    s.ipc_per_core = field(v, "ipc_per_core")?
+        .as_arr()
+        .ok_or("field `ipc_per_core` is not an array")?
+        .iter()
+        .map(|item| item.as_f64().ok_or("bad entry in `ipc_per_core`"))
+        .collect::<Result<_, _>>()?;
+
+    let l4 = field(v, "l4")?;
+    s.l4.read_lookups = u64_of(l4, "read_lookups")?;
+    s.l4.read_hits = u64_of(l4, "read_hits")?;
+    s.l4.hit_rate = f64_of(l4, "hit_rate")?;
+    s.l4.wb_hit_rate = f64_of(l4, "wb_hit_rate")?;
+    s.l4.hit_latency = f64_of(l4, "hit_latency")?;
+    s.l4.miss_latency = f64_of(l4, "miss_latency")?;
+    s.l4.avg_latency = f64_of(l4, "avg_latency")?;
+    s.l4.fills = u64_of(l4, "fills")?;
+    s.l4.bypasses = u64_of(l4, "bypasses")?;
+    s.l4.miss_probes_avoided = u64_of(l4, "miss_probes_avoided")?;
+    s.l4.wb_probes_avoided = u64_of(l4, "wb_probes_avoided")?;
+    s.l4.parallel_squashed = u64_of(l4, "parallel_squashed")?;
+
+    let bloat = field(v, "bloat")?;
+    let bytes = field(bloat, "bytes")?;
+    for &c in BloatCategory::ALL.iter() {
+        s.bloat.bytes[c as usize] = u64_of(bytes, c.label())?;
+    }
+    s.bloat.useful_lines = u64_of(bloat, "useful_lines")?;
+    Ok(s)
 }
 
 fn row_to_json(row: &ReportRow) -> Json {
@@ -394,6 +746,110 @@ mod tests {
         assert!(json.contains(r#""speedup":1.25"#));
         assert!(json.contains(r#""gmean_all":1.25"#));
         assert!(json.contains(r#""Hit":0"#), "bloat categories present");
+    }
+
+    #[test]
+    fn parse_roundtrips_own_output() {
+        let v = Json::Obj(vec![
+            ("title".into(), Json::Str("tabs\tand \"quotes\"\n".into())),
+            (
+                "nums".into(),
+                Json::Arr(vec![
+                    Json::Num(0.1),
+                    Json::Num(-3.25e-7),
+                    Json::uint((1u64 << 60) + 7),
+                ]),
+            ),
+            ("flag".into(), Json::Bool(false)),
+            ("none".into(), Json::Null),
+            ("empty_obj".into(), Json::Obj(vec![])),
+            ("empty_arr".into(), Json::Arr(vec![])),
+        ]);
+        for text in [v.to_string(), v.to_string_pretty()] {
+            assert_eq!(Json::parse(&text).expect("parse"), v);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in ["", "{", "[1,]", "\"unterminated", "{\"a\" 1}", "1 2", "nul"] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_decodes_escapes() {
+        let v = Json::parse(r#""aA\n\t\\\"\/""#).expect("parse");
+        assert_eq!(v.as_str(), Some("aA\n\t\\\"/"));
+    }
+
+    #[test]
+    fn stats_json_roundtrip_is_exact() {
+        let mut stats = RunStats {
+            workload: "rate:mcf".into(),
+            design: "BEAR".into(),
+            cycles: 123_456_789,
+            insts_per_core: vec![7, (1u64 << 60) + 3, 0],
+            ipc_per_core: vec![0.1, 1.0 / 3.0, 2.5e-11],
+            l3_hit_rate: 0.12345678901234567,
+            cache_read_queue_latency: 17.25,
+            mem_bytes: (1u64 << 55) + 11,
+            ..Default::default()
+        };
+        stats.l4.read_lookups = 42;
+        stats.l4.read_hits = 19;
+        stats.l4.hit_rate = 19.0 / 42.0;
+        stats.l4.wb_hit_rate = 0.75;
+        stats.l4.hit_latency = 51.5;
+        stats.l4.miss_latency = 180.125;
+        stats.l4.avg_latency = 99.0 + 1.0 / 7.0;
+        stats.l4.fills = 23;
+        stats.l4.bypasses = 9;
+        stats.l4.miss_probes_avoided = 4;
+        stats.l4.wb_probes_avoided = 2;
+        stats.l4.parallel_squashed = 1;
+        for (i, b) in stats.bloat.bytes.iter_mut().enumerate() {
+            *b = (i as u64 + 1) * 80;
+        }
+        stats.bloat.useful_lines = 640;
+
+        let text = stats_to_json(&stats).to_string_pretty();
+        let parsed = Json::parse(&text).expect("parse");
+        let back = stats_from_json("rate:mcf", &parsed).expect("deserialize");
+        assert_eq!(back, stats);
+        // And the re-serialization is byte-identical, which is what the
+        // checkpoint/resume path ultimately depends on.
+        assert_eq!(stats_to_json(&back).to_string_pretty(), text);
+    }
+
+    #[test]
+    fn stats_from_json_rejects_missing_fields() {
+        let stats = RunStats::default();
+        let Json::Obj(mut fields) = stats_to_json(&stats) else {
+            panic!("stats serialize to an object");
+        };
+        fields.retain(|(k, _)| k != "cycles");
+        let err = stats_from_json("w", &Json::Obj(fields)).unwrap_err();
+        assert!(err.contains("cycles"), "error was: {err}");
+    }
+
+    #[test]
+    fn failures_serialize_into_reports() {
+        let plan = RunPlan {
+            warmup: 1,
+            measure: 1,
+            scale_shift: 9,
+        };
+        let mut r = Report::new("figXX");
+        r.add_failure(FailureRow {
+            config: "BEAR".into(),
+            workload: "rate:mcf".into(),
+            kind: "panic".into(),
+            error: "worker thread panicked: boom".into(),
+        });
+        let json = r.to_json(&plan).to_string();
+        assert!(json.contains(r#""failures":[{"config":"BEAR""#));
+        assert!(json.contains(r#""kind":"panic""#));
     }
 
     #[test]

@@ -9,28 +9,57 @@
 //! completion order: the output of the parallel path is bit-identical to
 //! the serial path, so experiment logs stay diffable run-over-run.
 //!
+//! # Fault isolation
+//!
+//! A cell that fails — panics, stalls against the watchdog, or rejects its
+//! configuration — must not take the rest of the grid down with it.
+//! [`try_parallel_map`] catches panics per cell and converts them into
+//! typed [`SimError`]s; [`run_suite`] and [`run_matrix`] degrade failed
+//! cells to zeroed placeholder stats while recording a
+//! [`FailureRow`](crate::report::FailureRow) (drained by
+//! [`take_failures`] into the experiment's report), so every other cell
+//! still completes and the merged report says exactly what broke.
+//!
 //! The worker count comes from `BEAR_WORKERS` (default: the machine's
-//! available parallelism). `BEAR_WORKERS=1` forces the serial path.
+//! available parallelism; malformed values warn and fall back).
+//! `BEAR_WORKERS=1` forces the serial path.
 
-use crate::run_one;
+use crate::report::FailureRow;
+use crate::try_run_one;
 use bear_core::config::SystemConfig;
 use bear_core::metrics::RunStats;
+use bear_sim::error::{RunOutcome, SimError};
 use bear_workloads::Workload;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Parses a `BEAR_WORKERS` value: a positive integer (a `0` is clamped to
+/// 1, preserving the historical "minimum one worker" behavior). `None`
+/// means the value is malformed and should be ignored.
+fn parse_workers(value: &str) -> Option<usize> {
+    value.trim().parse::<usize>().ok().map(|n| n.max(1))
+}
+
 /// Number of worker threads to use: `BEAR_WORKERS` if set (minimum 1),
-/// otherwise [`std::thread::available_parallelism`].
+/// otherwise [`std::thread::available_parallelism`]. A malformed
+/// `BEAR_WORKERS` prints a warning to stderr and falls back to the
+/// default rather than aborting a campaign over a typo.
 pub fn workers() -> usize {
-    if let Ok(v) = std::env::var("BEAR_WORKERS") {
-        return v
-            .parse::<usize>()
-            .expect("BEAR_WORKERS must be an integer")
-            .max(1);
+    let fallback = || {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    match std::env::var("BEAR_WORKERS") {
+        Ok(v) => parse_workers(&v).unwrap_or_else(|| {
+            eprintln!(
+                "[warning: ignoring malformed BEAR_WORKERS={v:?}; \
+                 using available parallelism]"
+            );
+            fallback()
+        }),
+        Err(_) => fallback(),
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
 }
 
 /// Applies `f` to every item, using up to [`workers`] threads, and returns
@@ -39,6 +68,9 @@ pub fn workers() -> usize {
 ///
 /// With one worker (or one item) this degenerates to a plain serial map,
 /// which is the reference behavior the parallel path must reproduce.
+///
+/// A panic inside `f` propagates and poisons the whole map; grid code
+/// should prefer [`try_parallel_map`], which isolates it to one cell.
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -71,24 +103,116 @@ where
         .collect()
 }
 
+/// [`parallel_map`] with per-cell panic isolation: a panic inside `f`
+/// becomes `Err(SimError::Panicked)` for that cell while every other cell
+/// runs to completion. Results stay in input order.
+pub fn try_parallel_map<T, R, F>(items: &[T], f: F) -> Vec<RunOutcome<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> RunOutcome<R> + Sync,
+{
+    parallel_map(items, |item| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item))).unwrap_or_else(
+            |payload| {
+                let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                Err(SimError::panicked("cell", message))
+            },
+        )
+    })
+}
+
+/// Failed cells recorded by [`run_suite`]/[`run_matrix`] since the last
+/// [`take_failures`] call.
+static FAILURES: Mutex<Vec<FailureRow>> = Mutex::new(Vec::new());
+
+fn record_failure(cfg: &SystemConfig, workload: &Workload, err: &SimError) {
+    eprintln!(
+        "[cell FAILED: {} × {}: {err}]",
+        cfg.design.label(),
+        workload.name
+    );
+    FAILURES
+        .lock()
+        .expect("failure log poisoned")
+        .push(FailureRow {
+            config: cfg.design.label().to_string(),
+            workload: workload.name.clone(),
+            kind: err.kind().to_string(),
+            error: err.to_string(),
+        });
+}
+
+/// Drains the failures recorded since the last call, sorted by
+/// (config, workload) so the report section is deterministic regardless
+/// of worker completion order.
+pub fn take_failures() -> Vec<FailureRow> {
+    let mut v = std::mem::take(&mut *FAILURES.lock().expect("failure log poisoned"));
+    v.sort_by(|a, b| (&a.config, &a.workload).cmp(&(&b.config, &b.workload)));
+    v
+}
+
+/// Zeroed stats standing in for a failed cell, so grid indexing (and the
+/// tables computed from it) survive; the recorded failure row carries the
+/// real story. Zero IPC makes the cell's speedup read as 0, which is
+/// visibly wrong in any table — by design.
+fn placeholder_stats(cfg: &SystemConfig, workload: &Workload) -> RunStats {
+    let cores = workload.benchmarks.len();
+    RunStats {
+        workload: workload.name.clone(),
+        design: cfg.design.label().to_string(),
+        insts_per_core: vec![0; cores],
+        ipc_per_core: vec![0.0; cores],
+        ..Default::default()
+    }
+}
+
+fn settle(cfg: &SystemConfig, workload: &Workload, outcome: RunOutcome<RunStats>) -> RunStats {
+    match outcome {
+        Ok(stats) => stats,
+        Err(e) => {
+            let e = e.in_context(format!("{}/{}", cfg.design.label(), workload.name));
+            record_failure(cfg, workload, &e);
+            placeholder_stats(cfg, workload)
+        }
+    }
+}
+
 /// Runs one configuration over a suite of workloads in parallel,
-/// returning per-workload stats in suite order.
+/// returning per-workload stats in suite order. Failed cells degrade to
+/// placeholder stats and a recorded failure (see [`take_failures`]).
 pub fn run_suite(cfg: &SystemConfig, workloads: &[Workload]) -> Vec<RunStats> {
-    parallel_map(workloads, |w| run_one(cfg, w))
+    try_parallel_map(workloads, |w| try_run_one(cfg, w))
+        .into_iter()
+        .zip(workloads)
+        .map(|(outcome, w)| settle(cfg, w, outcome))
+        .collect()
 }
 
 /// Runs the full (config × workload) grid in parallel — all cells are
 /// scheduled at once, so a slow workload in one config does not serialize
-/// the others. Returns `result[config_index][workload_index]`.
+/// the others. Returns `result[config_index][workload_index]`. Failed
+/// cells degrade to placeholder stats and a recorded failure.
 pub fn run_matrix(cfgs: &[SystemConfig], workloads: &[Workload]) -> Vec<Vec<RunStats>> {
     let cells: Vec<(usize, usize)> = (0..cfgs.len())
         .flat_map(|c| (0..workloads.len()).map(move |w| (c, w)))
         .collect();
-    let flat = parallel_map(&cells, |&(c, w)| run_one(&cfgs[c], &workloads[w]));
+    let flat = try_parallel_map(&cells, |&(c, w)| try_run_one(&cfgs[c], &workloads[w]));
     let mut out: Vec<Vec<RunStats>> = Vec::with_capacity(cfgs.len());
-    let mut it = flat.into_iter();
+    let mut it = flat.into_iter().zip(&cells);
     for _ in 0..cfgs.len() {
-        out.push(it.by_ref().take(workloads.len()).collect());
+        out.push(
+            it.by_ref()
+                .take(workloads.len())
+                .map(|(outcome, &(c, w))| settle(&cfgs[c], &workloads[w], outcome))
+                .collect(),
+        );
     }
     out
 }
@@ -109,6 +233,67 @@ mod tests {
         let empty: Vec<u64> = Vec::new();
         assert!(parallel_map(&empty, |&x: &u64| x).is_empty());
         assert_eq!(parallel_map(&[7u64], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn parse_workers_accepts_integers_and_rejects_garbage() {
+        assert_eq!(parse_workers("4"), Some(4));
+        assert_eq!(parse_workers(" 2 "), Some(2));
+        assert_eq!(parse_workers("0"), Some(1), "zero clamps to one worker");
+        assert_eq!(parse_workers(""), None);
+        assert_eq!(parse_workers("many"), None);
+        assert_eq!(parse_workers("-3"), None);
+        assert_eq!(parse_workers("2.5"), None);
+    }
+
+    #[test]
+    fn try_parallel_map_isolates_a_panicking_cell() {
+        let items: Vec<u64> = (0..20).collect();
+        let out = try_parallel_map(&items, |&x| {
+            if x == 7 {
+                panic!("cell seven is poisoned");
+            }
+            Ok(x * 2)
+        });
+        assert_eq!(out.len(), 20);
+        for (i, r) in out.iter().enumerate() {
+            if i == 7 {
+                let e = r.as_ref().unwrap_err();
+                assert_eq!(e.kind(), "panic");
+                assert!(e.to_string().contains("cell seven is poisoned"));
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i as u64 * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn failed_cells_degrade_to_placeholders_and_failure_rows() {
+        use bear_core::config::{DesignKind, SystemConfig};
+        // sched_window = 0 is rejected by config validation, so every cell
+        // of this suite fails with a typed error instead of simulating.
+        let mut cfg = SystemConfig::paper_baseline(DesignKind::Alloy);
+        cfg.cache_dram.sched_window = 0;
+        let suite: Vec<Workload> = bear_workloads::rate_workloads()
+            .into_iter()
+            .take(2)
+            .collect();
+        let stats = run_suite(&cfg, &suite);
+        assert_eq!(stats.len(), 2, "grid shape survives the failures");
+        assert_eq!(stats[0].workload, suite[0].name);
+        assert_eq!(stats[0].cycles, 0, "placeholder stats are zeroed");
+        let failures = take_failures();
+        let ours: Vec<&FailureRow> = failures
+            .iter()
+            .filter(|f| f.workload == suite[0].name || f.workload == suite[1].name)
+            .collect();
+        assert_eq!(ours.len(), 2);
+        assert_eq!(ours[0].kind, "config");
+        assert!(ours[0].error.contains("sched_window"));
+        assert!(
+            take_failures().iter().all(|f| f.workload != suite[0].name),
+            "take_failures drains"
+        );
     }
 
     #[test]
@@ -140,7 +325,7 @@ mod tests {
             .into_iter()
             .take(3)
             .collect();
-        let serial: Vec<RunStats> = suite.iter().map(|w| run_one(&cfg, w)).collect();
+        let serial: Vec<RunStats> = suite.iter().map(|w| crate::run_one(&cfg, w)).collect();
         let parallel = run_suite(&cfg, &suite);
         assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
     }

@@ -292,6 +292,20 @@ impl<M: Clone + Default> SetAssocCache<M> {
     pub fn occupancy(&self) -> u64 {
         self.lines.iter().filter(|l| l.valid).count() as u64
     }
+
+    /// Iterates over valid lines as `(line-aligned byte address, dirty,
+    /// metadata)` in storage order. Used by whole-cache invariant scans.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, bool, &M)> + '_ {
+        let ways = self.geom.ways as u64;
+        self.lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.valid)
+            .map(move |(i, l)| {
+                let set = i as u64 / ways;
+                (self.geom.recompose(set, l.tag), l.dirty, &l.meta)
+            })
+    }
 }
 
 #[cfg(test)]
@@ -430,6 +444,20 @@ mod tests {
         c.access(addr(3, 9), false);
         assert!((c.stats.hit_rate() - 0.5).abs() < 1e-12);
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn iter_reports_resident_lines_with_state() {
+        let mut c = small();
+        c.fill(addr(1, 5), true, 7);
+        c.fill(addr(3, 2), false, 9);
+        let mut seen: Vec<_> = c.iter().map(|(a, d, m)| (a, d, *m)).collect();
+        seen.sort_unstable();
+        let mut want = vec![(addr(1, 5), true, 7u8), (addr(3, 2), false, 9u8)];
+        want.sort_unstable();
+        assert_eq!(seen, want);
+        c.invalidate(addr(1, 5));
+        assert_eq!(c.iter().count(), 1);
     }
 
     #[test]

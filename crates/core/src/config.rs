@@ -9,6 +9,7 @@ use crate::bab::BypassPolicy;
 use crate::predictor::PredictorKind;
 use bear_cpu::CoreConfig;
 use bear_dram::config::DramConfig;
+use bear_sim::error::SimError;
 
 /// Which DRAM-cache organization the system uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -169,6 +170,12 @@ pub struct SystemConfig {
     pub warmup_cycles: u64,
     /// Default measured cycles after warmup.
     pub measure_cycles: u64,
+    /// Forward-progress watchdog window in cycles: if no core retires a
+    /// single instruction for this many consecutive cycles,
+    /// [`crate::system::System::run_monitored`] aborts with a typed
+    /// `Stalled` outcome instead of spinning forever. `0` disables the
+    /// watchdog.
+    pub watchdog_window: u64,
 }
 
 impl SystemConfig {
@@ -193,6 +200,7 @@ impl SystemConfig {
             seed: 0x0BEA_2015,
             warmup_cycles: 2_000_000,
             measure_cycles: 4_000_000,
+            watchdog_window: 1_000_000,
         }
     }
 
@@ -223,24 +231,31 @@ impl SystemConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns a [`SimError::Config`] describing the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), SimError> {
         self.cache_dram
             .validate()
-            .map_err(|e| format!("cache_dram: {e}"))?;
+            .map_err(|e| e.in_context("cache_dram"))?;
         self.mem_dram
             .validate()
-            .map_err(|e| format!("mem_dram: {e}"))?;
+            .map_err(|e| e.in_context("mem_dram"))?;
         if self.l3_capacity() >= self.l4_capacity() {
-            return Err("L3 must be smaller than the DRAM cache".into());
+            return Err(SimError::config(
+                "system",
+                "L3 must be smaller than the DRAM cache",
+            ));
         }
         if self.l3_latency == 0 {
-            return Err("L3 latency must be non-zero".into());
+            return Err(SimError::config("system", "L3 latency must be non-zero"));
         }
         if matches!(self.design, DesignKind::InclusiveAlloy)
             && !matches!(self.bear.fill_policy, FillPolicy::AlwaysFill)
         {
-            return Err("inclusive caches cannot bypass fills (Section 5.1)".into());
+            return Err(SimError::config(
+                "system",
+                "inclusive caches cannot bypass fills (Section 5.1)",
+            ));
         }
         Ok(())
     }
@@ -311,6 +326,18 @@ mod tests {
         let mut c = SystemConfig::paper_baseline(DesignKind::Alloy);
         c.l3_capacity_full = c.l4_capacity_full * 2;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_errors_carry_device_context() {
+        let mut c = SystemConfig::paper_baseline(DesignKind::Alloy);
+        c.mem_dram.sched_window = 0;
+        let err = c.validate().unwrap_err();
+        assert_eq!(err.kind(), "config");
+        assert!(
+            format!("{err}").contains("mem_dram"),
+            "error should name the failing device: {err}"
+        );
     }
 
     #[test]

@@ -114,6 +114,18 @@ impl DirectStore {
     pub fn occupancy(&self) -> u64 {
         self.slots.iter().filter(|&&e| e & 1 != 0).count() as u64
     }
+
+    /// Flips the low tag bit of `set`'s occupant (fault injection only).
+    /// Returns whether the set held a valid line.
+    pub fn corrupt_tag(&mut self, set: u64) -> bool {
+        match self.slots.get_mut(set as usize) {
+            Some(e) if *e & 1 != 0 => {
+                *e ^= 1 << 2;
+                true
+            }
+            _ => false,
+        }
+    }
 }
 
 /// One way of an associative set.
@@ -325,6 +337,22 @@ mod tests {
         assert!(s.remove(7));
         assert!(!s.remove(7));
         assert_eq!(s.occupancy(), 0);
+    }
+
+    #[test]
+    fn direct_corrupt_tag_changes_occupant() {
+        let mut s = DirectStore::new(16);
+        assert!(!s.corrupt_tag(5), "empty set has nothing to corrupt");
+        s.install(5 + 16, true); // set 5, tag 1
+        assert!(s.corrupt_tag(5));
+        assert_eq!(
+            s.occupant(5),
+            Some(Occupant {
+                tag: 0,
+                dirty: true
+            })
+        );
+        assert!(!s.corrupt_tag(99), "out-of-range set is a no-op");
     }
 
     #[test]

@@ -10,6 +10,7 @@ use bear_dram::config::DramConfig;
 use bear_dram::device::{Completion, DramDevice};
 use bear_dram::mapping::{AddressMapper, Interleave};
 use bear_dram::request::{DramLocation, DramRequest, TrafficClass};
+use bear_sim::invariants::InvariantSink;
 use bear_sim::time::Cycle;
 use std::collections::VecDeque;
 
@@ -61,6 +62,9 @@ pub struct DeviceHarness {
     cache_retry: VecDeque<DramRequest>,
     mem_retry: VecDeque<DramRequest>,
     scratch: Vec<Completion>,
+    /// Bytes submitted to the cache device since the last stats reset —
+    /// the "expected" side of the byte-conservation invariant.
+    expected_cache_bytes: u64,
 }
 
 impl DeviceHarness {
@@ -73,6 +77,7 @@ impl DeviceHarness {
             cache_retry: VecDeque::new(),
             mem_retry: VecDeque::new(),
             scratch: Vec::with_capacity(16),
+            expected_cache_bytes: 0,
         }
     }
 
@@ -91,6 +96,7 @@ impl DeviceHarness {
         now: Cycle,
     ) {
         debug_assert!(matches!(leg, Leg::CacheProbe | Leg::CacheData));
+        self.expected_cache_bytes += beats * self.cache.config().topology.beat_bytes;
         self.cache_retry.push_back(DramRequest::read(
             Self::encode_id(txn, leg),
             location,
@@ -109,6 +115,7 @@ impl DeviceHarness {
         class: TrafficClass,
         now: Cycle,
     ) {
+        self.expected_cache_bytes += beats * self.cache.config().topology.beat_bytes;
         self.cache_retry.push_back(DramRequest::write(
             Self::encode_id(txn, Leg::PostedWrite),
             location,
@@ -172,12 +179,13 @@ impl DeviceHarness {
 
     fn drain(queue: &mut VecDeque<DramRequest>, device: &mut DramDevice) {
         // In-order per queue; head-of-line blocking is intentional (it is
-        // the backpressure signal).
-        while let Some(req) = queue.front() {
-            if device.can_accept(req.location.channel, req.is_write) {
-                let req = queue.pop_front().expect("front checked");
-                device.try_enqueue(req).expect("can_accept checked");
-            } else {
+        // the backpressure signal). A request the device rejects (full or
+        // out-of-range channel) stays at the head; a permanently rejected
+        // head therefore stalls the queue and surfaces as a watchdog
+        // `Stalled` outcome rather than a panic.
+        while let Some(req) = queue.pop_front() {
+            if let Err(req) = device.try_enqueue(req) {
+                queue.push_front(req);
                 break;
             }
         }
@@ -191,6 +199,58 @@ impl DeviceHarness {
     /// Requests waiting in retry queues (backpressure depth).
     pub fn retry_depth(&self) -> usize {
         self.cache_retry.len() + self.mem_retry.len()
+    }
+
+    /// Bytes submitted to the cache device since the last stats reset.
+    pub fn expected_cache_bytes(&self) -> u64 {
+        self.expected_cache_bytes
+    }
+
+    /// Bytes sitting in the cache-device retry queue.
+    pub fn cache_retry_bytes(&self) -> u64 {
+        let beat_bytes = self.cache.config().topology.beat_bytes;
+        self.cache_retry.iter().map(|r| r.beats * beat_bytes).sum()
+    }
+
+    /// Resets both devices' statistics and re-seeds the expected-bytes
+    /// counter so the byte-conservation invariant stays balanced across a
+    /// reset: transferred bytes restart at zero, so only bytes still
+    /// queued (channel queues + retry queue) remain expected. Requests
+    /// already issued to a bank were accounted at CAS time and drop out of
+    /// both sides.
+    pub fn reset_device_stats(&mut self) {
+        self.cache.reset_stats();
+        self.mem.reset_stats();
+        self.expected_cache_bytes = self.cache.queued_bytes() + self.cache_retry_bytes();
+    }
+
+    /// Perturbs the expected-bytes counter (fault injection only).
+    pub fn corrupt_expected_bytes(&mut self) {
+        self.expected_cache_bytes ^= 0x40;
+    }
+
+    /// Byte-conservation invariant: every byte submitted on the cache bus
+    /// is either transferred (device statistics), queued in a channel, or
+    /// waiting in the retry queue. Holds at tick boundaries for every
+    /// design because all cache-device traffic funnels through
+    /// [`DeviceHarness::cache_read`] / [`DeviceHarness::cache_write`].
+    pub fn check_byte_conservation(&self, now: Cycle, sink: &mut InvariantSink) {
+        if !sink.enabled() {
+            return;
+        }
+        let transferred = self.cache.total_bytes();
+        let queued = self.cache.queued_bytes();
+        let retry = self.cache_retry_bytes();
+        let observed = transferred + queued + retry;
+        let expected = self.expected_cache_bytes;
+        if observed != expected {
+            sink.report("byte-conservation", now.0, || {
+                format!(
+                    "expected {expected} cache-bus bytes but observed {observed} \
+                     (transferred {transferred} + queued {queued} + retry {retry})"
+                )
+            });
+        }
     }
 }
 

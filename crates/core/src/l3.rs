@@ -117,6 +117,20 @@ impl L3Cache {
         self.cache.stats.misses
     }
 
+    /// Iterates over resident lines as `(line address, DCP bit)`. Used by
+    /// the DCP-coherence invariant scan.
+    pub fn resident_lines(&self) -> impl Iterator<Item = (u64, bool)> + '_ {
+        self.cache
+            .iter()
+            .map(|(addr, _, meta)| (addr / 64, meta.dcp))
+    }
+
+    /// Forces the DCP bit of `line` to `value` (fault injection only).
+    /// Returns whether the line was present.
+    pub fn force_dcp(&mut self, line: u64, value: bool) -> bool {
+        self.cache.update_meta(line * 64, |m| m.dcp = value)
+    }
+
     /// Resets hit/miss statistics (contents preserved).
     pub fn reset_stats(&mut self) {
         self.cache.stats = Default::default();
@@ -198,6 +212,19 @@ mod tests {
         c.fill(6, false, true);
         assert!(c.back_invalidate(6).is_none());
         assert!(!c.contains(6));
+    }
+
+    #[test]
+    fn resident_lines_and_forced_dcp() {
+        let mut c = l3();
+        c.fill(5, false, true);
+        c.fill(9, false, false);
+        let mut seen: Vec<_> = c.resident_lines().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(5, true), (9, false)]);
+        assert!(c.force_dcp(9, true));
+        assert_eq!(c.dcp(9), Some(true));
+        assert!(!c.force_dcp(42, true));
     }
 
     #[test]

@@ -27,6 +27,8 @@ use crate::l4::{Delivery, L4Cache, L4Outputs, L4Stats};
 use crate::ntc::{NeighboringTagCache, NtcAnswer};
 use crate::predictor::MapIPredictor;
 use crate::traffic::{BloatCategory, MemTraffic};
+use bear_sim::faultinject::FaultKind;
+use bear_sim::invariants::InvariantSink;
 use bear_sim::time::Cycle;
 use std::collections::HashMap;
 
@@ -568,8 +570,7 @@ impl L4Cache for AlloyController {
         if let Some(ntc) = self.ntc.as_mut() {
             ntc.reset_stats();
         }
-        self.harness.cache.reset_stats();
-        self.harness.mem.reset_stats();
+        self.harness.reset_device_stats();
     }
 
     fn harness(&self) -> &DeviceHarness {
@@ -578,6 +579,61 @@ impl L4Cache for AlloyController {
 
     fn pending_txns(&self) -> usize {
         self.reads.len() + self.writebacks.len()
+    }
+
+    /// NTC-mirror invariant: every NTC entry must agree with the tag
+    /// store's occupant for its set — `ntc_sync` refreshes entries on every
+    /// store mutation, so at tick boundaries the mirror is exact. BW-Opt
+    /// mutates the store without syncing (its NTC is never consulted), so
+    /// the check is scoped to the realistic designs.
+    fn self_check(&self, now: Cycle, sink: &mut InvariantSink) {
+        if !sink.enabled() || self.is_ideal() {
+            return;
+        }
+        let Some(ntc) = self.ntc.as_ref() else { return };
+        for (bank, set, recorded) in ntc.entries() {
+            let actual = self.store.occupant(set).map(|o| (o.tag, o.dirty));
+            if recorded != actual {
+                sink.report("ntc-mirror", now.0, || {
+                    format!(
+                        "NTC bank {bank} set {set} records {recorded:?} \
+                         but the tag store holds {actual:?}"
+                    )
+                });
+            }
+        }
+    }
+
+    fn contains_line(&self, line: u64) -> Option<bool> {
+        Some(self.store.contains(line))
+    }
+
+    fn inject_fault(&mut self, fault: FaultKind) -> bool {
+        match fault {
+            // Corrupt the tag store under a set the NTC currently mirrors
+            // as occupied, so the desync is observable.
+            FaultKind::TagFlip => {
+                let target = self.ntc.as_ref().and_then(|ntc| {
+                    ntc.entries()
+                        .find(|(_, _, occupant)| occupant.is_some())
+                        .map(|(_, set, _)| set)
+                });
+                match target {
+                    Some(set) => self.store.corrupt_tag(set),
+                    None => false,
+                }
+            }
+            FaultKind::NtcDesync => self
+                .ntc
+                .as_mut()
+                .is_some_and(NeighboringTagCache::corrupt_first_entry),
+            FaultKind::ByteAccounting => {
+                self.harness.corrupt_expected_bytes();
+                true
+            }
+            // Handled at the system level (the DCP bit lives in the L3).
+            FaultKind::PresenceFlip => false,
+        }
     }
 }
 

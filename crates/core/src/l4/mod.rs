@@ -15,6 +15,8 @@ pub mod sram_tags;
 
 use crate::config::{DesignKind, SystemConfig};
 use crate::harness::DeviceHarness;
+use bear_sim::faultinject::FaultKind;
+use bear_sim::invariants::InvariantSink;
 use bear_sim::stats::RunningMean;
 use bear_sim::time::Cycle;
 
@@ -151,6 +153,24 @@ pub trait L4Cache {
 
     /// Outstanding transactions (for drain checks in tests).
     fn pending_txns(&self) -> usize;
+
+    /// Runs design-specific structural self-checks, reporting violations to
+    /// `sink`. Controllers without internal redundancy inherit the no-op
+    /// default; the byte-conservation check is design-independent and runs
+    /// at the system level instead.
+    fn self_check(&self, _now: Cycle, _sink: &mut InvariantSink) {}
+
+    /// Whether `line` resides in the DRAM cache, for designs that track
+    /// exact contents (`None` when the design cannot say).
+    fn contains_line(&self, _line: u64) -> Option<bool> {
+        None
+    }
+
+    /// Applies one injected corruption; returns whether a target existed
+    /// (the fault-injection harness re-arms the fault otherwise).
+    fn inject_fault(&mut self, _fault: FaultKind) -> bool {
+        false
+    }
 }
 
 /// Builds the controller for `cfg.design`.

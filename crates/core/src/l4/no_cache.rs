@@ -79,8 +79,7 @@ impl L4Cache for NoCacheController {
 
     fn reset_stats(&mut self) {
         self.stats.reset();
-        self.harness.cache.reset_stats();
-        self.harness.mem.reset_stats();
+        self.harness.reset_device_stats();
     }
 
     fn harness(&self) -> &DeviceHarness {

@@ -366,8 +366,7 @@ macro_rules! delegate_l4 {
 
             fn reset_stats(&mut self) {
                 self.inner.stats.reset();
-                self.inner.harness.cache.reset_stats();
-                self.inner.harness.mem.reset_stats();
+                self.inner.harness.reset_device_stats();
             }
 
             fn harness(&self) -> &DeviceHarness {

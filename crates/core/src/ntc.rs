@@ -157,6 +157,30 @@ impl NeighboringTagCache {
             .any(|e| e.set == set)
     }
 
+    /// Iterates over all recorded entries as `(bank, set, occupant)` where
+    /// the occupant is `Some((tag, dirty))`, or `None` for a set recorded
+    /// as empty. Used by the NTC-mirror invariant scan.
+    pub fn entries(&self) -> impl Iterator<Item = (usize, u64, Option<(u64, bool)>)> + '_ {
+        self.banks.iter().enumerate().flat_map(|(bank, entries)| {
+            entries.iter().map(move |e| {
+                let occupant = (e.tag != u64::MAX).then_some((e.tag, e.dirty));
+                (bank, e.set, occupant)
+            })
+        })
+    }
+
+    /// Flips the low tag bit of the first recorded entry (fault injection
+    /// only). Returns whether an entry existed to corrupt.
+    pub fn corrupt_first_entry(&mut self) -> bool {
+        for entries in &mut self.banks {
+            if let Some(e) = entries.first_mut() {
+                e.tag ^= 1;
+                return true;
+            }
+        }
+        false
+    }
+
     /// Resets statistics (contents are preserved).
     pub fn reset_stats(&mut self) {
         self.hits_present = 0;
@@ -250,6 +274,26 @@ mod tests {
         let b = ntc.storage_bytes();
         assert!((2500..=3500).contains(&b), "storage {b}");
         assert_eq!(ntc.bank_count(), 64);
+    }
+
+    #[test]
+    fn entries_expose_occupants_and_empty_markers() {
+        let mut ntc = NeighboringTagCache::new(2, 4);
+        ntc.record(0, 5, Some(3), true);
+        ntc.record(1, 9, None, false);
+        let mut all: Vec<_> = ntc.entries().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![(0, 5, Some((3, true))), (1, 9, None)]);
+    }
+
+    #[test]
+    fn corrupting_an_entry_changes_its_answer() {
+        let mut ntc = NeighboringTagCache::new(1, 2);
+        assert!(!ntc.corrupt_first_entry());
+        ntc.record(0, 5, Some(4), false);
+        assert!(ntc.corrupt_first_entry());
+        assert_eq!(ntc.lookup(0, 5, 4), NtcAnswer::AbsentClean);
+        assert_eq!(ntc.lookup(0, 5, 5), NtcAnswer::Present);
     }
 
     #[test]

@@ -11,6 +11,9 @@ use crate::l3::{L3Cache, L3Result};
 use crate::l4::{build_controller, L4Cache, L4Outputs};
 use crate::metrics::{BloatBreakdown, L4StatsSnapshot, RunStats};
 use bear_cpu::{Core, LoadToken};
+use bear_sim::error::SimError;
+use bear_sim::faultinject::{FaultKind, FaultPlan};
+use bear_sim::invariants::{CheckMode, InvariantSink, Violation};
 use bear_sim::time::Cycle;
 use bear_workloads::{TraceGenerator, Workload};
 use std::collections::{BTreeMap, HashMap};
@@ -70,6 +73,10 @@ pub struct System {
     pending_lines: HashMap<u64, Vec<Waiter>>,
     clock: Cycle,
     outputs: L4Outputs,
+    /// Runtime invariant checker (panics in debug builds by default).
+    sink: InvariantSink,
+    /// Scheduled state corruptions (testing only; empty otherwise).
+    faults: FaultPlan,
 }
 
 impl std::fmt::Debug for System {
@@ -87,11 +94,23 @@ impl System {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration fails validation.
+    /// Panics if the configuration fails validation; use
+    /// [`System::try_build`] for a recoverable error.
     pub fn build(cfg: &SystemConfig, workload: &Workload) -> Self {
-        if let Err(e) = cfg.validate() {
-            panic!("invalid system configuration: {e}");
+        match Self::try_build(cfg, workload) {
+            Ok(sys) => sys,
+            Err(e) => panic!("invalid system configuration: {e}"),
         }
+    }
+
+    /// Builds the system for `cfg` running `workload`, reporting
+    /// configuration problems as a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] when `cfg` fails validation.
+    pub fn try_build(cfg: &SystemConfig, workload: &Workload) -> Result<Self, SimError> {
+        cfg.validate()?;
         let cores = workload
             .benchmarks
             .iter()
@@ -106,7 +125,7 @@ impl System {
                 Core::new(i as u32, Box::new(trace), cfg.core)
             })
             .collect();
-        System {
+        Ok(System {
             cores,
             l3: L3Cache::new(cfg.l3_capacity(), cfg.l3_ways),
             l4: build_controller(cfg),
@@ -114,8 +133,10 @@ impl System {
             pending_lines: HashMap::new(),
             clock: Cycle::ZERO,
             outputs: L4Outputs::default(),
+            sink: InvariantSink::default(),
+            faults: FaultPlan::none(),
             cfg: cfg.clone(),
-        }
+        })
     }
 
     /// Convenience constructor with a rate-mode single-benchmark workload.
@@ -143,6 +164,22 @@ impl System {
     /// L3 view (for DCP assertions in tests).
     pub fn l3(&self) -> &L3Cache {
         &self.l3
+    }
+
+    /// Sets the invariant-check policy. The default follows the build:
+    /// panic in debug builds, off in release builds.
+    pub fn set_check_mode(&mut self, mode: CheckMode) {
+        self.sink = InvariantSink::new(mode);
+    }
+
+    /// Schedules deterministic state corruptions (fault-injection testing).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// Invariant violations recorded so far ([`CheckMode::Record`]).
+    pub fn violations(&self) -> &[Violation] {
+        self.sink.violations()
     }
 
     fn schedule(&mut self, at: Cycle, ev: Staged) {
@@ -218,9 +255,71 @@ impl System {
         }
     }
 
+    /// Applies one injected corruption; returns whether a target existed.
+    fn apply_fault(&mut self, kind: FaultKind) -> bool {
+        match kind {
+            // Set a resident L3 line's DCP bit even though the line is
+            // absent from the L4 — the corruption DCP coherence guards
+            // against (a stale bit would skip a required writeback probe).
+            FaultKind::PresenceFlip => {
+                let target = self
+                    .l3
+                    .resident_lines()
+                    .find(|&(line, dcp)| !dcp && self.l4.contains_line(line) == Some(false))
+                    .map(|(line, _)| line);
+                match target {
+                    Some(line) => self.l3.force_dcp(line, true),
+                    None => false,
+                }
+            }
+            other => self.l4.inject_fault(other),
+        }
+    }
+
+    /// Runs all invariant checks against the current (tick-boundary)
+    /// state.
+    fn run_invariant_checks(&mut self) {
+        if !self.sink.enabled() {
+            return;
+        }
+        let now = self.clock;
+        self.l4.self_check(now, &mut self.sink);
+        self.l4
+            .harness()
+            .check_byte_conservation(now, &mut self.sink);
+        // DCP coherence: a set presence bit must imply the line is in the
+        // DRAM cache. Only Alloy-with-DCP maintains the bit exactly
+        // (InclusiveAlloy back-invalidates instead of clearing; with DCP
+        // disabled the bit is never consulted and may go stale).
+        if self.cfg.design == DesignKind::Alloy && self.cfg.bear.dcp {
+            for (line, dcp) in self.l3.resident_lines() {
+                if dcp && self.l4.contains_line(line) == Some(false) {
+                    self.sink.report("dcp-coherence", now.0, || {
+                        format!(
+                            "L3 line {line:#x} has its DCP bit set but is absent \
+                             from the DRAM cache"
+                        )
+                    });
+                }
+            }
+        }
+    }
+
     /// Advances the system by one CPU cycle.
     pub fn tick(&mut self) {
         let now = self.clock;
+
+        // 0. Fault injection (testing): corrupt state at the tick boundary
+        //    and re-check immediately, so every applied fault is observed
+        //    before natural churn can repair it. A fault with no target
+        //    yet (e.g. an empty NTC) is re-armed for the next cycle.
+        if let Some(fault) = self.faults.next_due(now.0) {
+            if self.apply_fault(fault.kind) {
+                self.run_invariant_checks();
+            } else {
+                self.faults.retry(fault);
+            }
+        }
 
         // 1. Cores issue at most one memory access each.
         for i in 0..self.cores.len() {
@@ -262,18 +361,79 @@ impl System {
         self.clock += 1;
     }
 
+    /// Queue-occupancy snapshot attached to `Stalled` errors.
+    fn stall_snapshot(&self) -> String {
+        format!(
+            "wheel events {}, pending lines {}, l4 txns {}, device pending {}, retry depth {}",
+            self.wheel.len(),
+            self.pending_lines.len(),
+            self.l4.pending_txns(),
+            self.l4.harness().pending(),
+            self.l4.harness().retry_depth()
+        )
+    }
+
+    /// Ticks `cycles` times with periodic invariant checks and a
+    /// forward-progress watchdog: if the summed retired-instruction count
+    /// stops advancing for `watchdog_window` cycles, the run aborts with
+    /// [`SimError::Stalled`] instead of spinning forever.
+    fn run_phase(&mut self, cycles: u64) -> Result<(), SimError> {
+        /// Cycles between invariant checks and heartbeat samples
+        /// (power of two; checks happen at tick boundaries).
+        const CHECK_STRIDE: u64 = 4096;
+        let window = self.cfg.watchdog_window;
+        let mut last_insts: u64 = self.cores.iter().map(|c| c.retired_insts()).sum();
+        let mut last_progress = self.clock;
+        let end = self.clock + cycles;
+        while self.clock < end {
+            self.tick();
+            if self.clock.0.is_multiple_of(CHECK_STRIDE) {
+                self.run_invariant_checks();
+                if window > 0 {
+                    let insts: u64 = self.cores.iter().map(|c| c.retired_insts()).sum();
+                    if insts != last_insts {
+                        last_insts = insts;
+                        last_progress = self.clock;
+                    } else if self.clock - last_progress >= window {
+                        return Err(SimError::Stalled {
+                            cycle: self.clock.0,
+                            snapshot: self.stall_snapshot(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Runs `warmup` cycles, resets statistics, runs `measure` cycles, and
     /// reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run stalls (watchdog); use [`System::run_monitored`]
+    /// for a recoverable error.
     pub fn run(&mut self, warmup: u64, measure: u64) -> RunStats {
-        for _ in 0..warmup {
-            self.tick();
+        match self.run_monitored(warmup, measure) {
+            Ok(stats) => stats,
+            Err(e) => panic!("simulation failed: {e}"),
         }
+    }
+
+    /// Monitored variant of [`System::run`]: the watchdog converts hangs
+    /// into typed [`SimError::Stalled`] outcomes, and invariant checks run
+    /// every few thousand cycles (per the configured [`CheckMode`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Stalled`] when no core retires an instruction
+    /// for `watchdog_window` consecutive cycles.
+    pub fn run_monitored(&mut self, warmup: u64, measure: u64) -> Result<RunStats, SimError> {
+        self.run_phase(warmup)?;
         self.reset_stats();
         let inst_base: Vec<u64> = self.cores.iter().map(|c| c.retired_insts()).collect();
         let start = self.clock;
-        for _ in 0..measure {
-            self.tick();
-        }
+        self.run_phase(measure)?;
         let elapsed = self.clock - start;
         let insts_per_core: Vec<u64> = self
             .cores
@@ -287,7 +447,7 @@ impl System {
             .collect();
 
         let l4_stats = self.l4.stats();
-        RunStats {
+        Ok(RunStats {
             workload: self
                 .cores
                 .first()
@@ -302,7 +462,7 @@ impl System {
             l3_hit_rate: self.l3.hit_rate(),
             cache_read_queue_latency: self.l4.harness().cache.mean_read_queue_latency(),
             mem_bytes: self.l4.harness().mem.total_bytes(),
-        }
+        })
     }
 
     /// Resets measurement statistics while preserving all architectural
@@ -446,6 +606,75 @@ mod tests {
             assert!(
                 stats.total_ipc() > 0.01,
                 "{design:?} made no progress: {stats:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn try_build_reports_config_errors() {
+        let mut cfg = quick_cfg(DesignKind::Alloy);
+        cfg.cache_dram.sched_window = 0;
+        let w = Workload::rate(bear_workloads::BenchmarkProfile::by_name("mcf").unwrap());
+        let err = System::try_build(&cfg, &w).unwrap_err();
+        assert_eq!(err.kind(), "config");
+        assert!(err.to_string().contains("cache_dram"), "{err}");
+    }
+
+    #[test]
+    fn watchdog_converts_hang_into_stalled_error() {
+        let mut cfg = quick_cfg(DesignKind::Alloy);
+        // A pathological-but-valid refresh configuration: the first
+        // refresh blocks every cache channel for longer than the run, so
+        // all cores eventually wedge behind unserviceable probes.
+        cfg.cache_dram.timings.t_refi = 100;
+        cfg.cache_dram.timings.t_rfc = 10_000_000;
+        cfg.watchdog_window = 8192;
+        let mut sys = System::build_rate(&cfg, "mcf");
+        let err = sys.run_monitored(0, 300_000).unwrap_err();
+        assert_eq!(err.kind(), "stalled");
+        let msg = err.to_string();
+        assert!(msg.contains("retry depth"), "snapshot missing: {msg}");
+    }
+
+    #[test]
+    fn healthy_run_passes_watchdog_and_invariants() {
+        let mut cfg = quick_cfg(DesignKind::Alloy);
+        cfg.bear = BearFeatures::full();
+        let mut sys = System::build_rate(&cfg, "sphinx3");
+        sys.set_check_mode(bear_sim::invariants::CheckMode::Record);
+        let stats = sys
+            .run_monitored(cfg.warmup_cycles, cfg.measure_cycles)
+            .expect("healthy run must not stall");
+        assert!(stats.total_ipc() > 0.05);
+        assert!(
+            sys.violations().is_empty(),
+            "clean run reported violations: {:?}",
+            sys.violations()
+        );
+    }
+
+    #[test]
+    fn every_injected_fault_class_is_detected() {
+        use bear_sim::faultinject::{FaultKind, FaultPlan};
+        let expected = [
+            (FaultKind::TagFlip, "ntc-mirror"),
+            (FaultKind::PresenceFlip, "dcp-coherence"),
+            (FaultKind::NtcDesync, "ntc-mirror"),
+            (FaultKind::ByteAccounting, "byte-conservation"),
+        ];
+        for (kind, invariant) in expected {
+            let mut cfg = quick_cfg(DesignKind::Alloy);
+            cfg.bear = BearFeatures::full();
+            let mut sys = System::build_rate(&cfg, "mcf");
+            sys.set_check_mode(bear_sim::invariants::CheckMode::Record);
+            // Inject mid-warmup, once the NTC/DCP state is populated.
+            sys.set_fault_plan(FaultPlan::single(kind, 30_000));
+            sys.run_monitored(60_000, 20_000)
+                .expect("fault-injected run completes (Record mode)");
+            assert!(
+                sys.violations().iter().any(|v| v.name == invariant),
+                "{kind:?} was not caught by '{invariant}': {:?}",
+                sys.violations()
             );
         }
     }

@@ -137,6 +137,20 @@ impl Channel {
         self.banks.iter().map(|b| b.row_hits).sum()
     }
 
+    /// Bytes represented by queued requests that have *not* yet been
+    /// counted in [`ChannelStats::bytes_by_class`] (accounting happens at
+    /// CAS issue, when a request leaves its queue). Used by the
+    /// byte-conservation invariant to balance bytes submitted against
+    /// bytes transferred.
+    pub fn queued_bytes(&self) -> u64 {
+        let beat_bytes = self.cfg.topology.beat_bytes;
+        self.read_queue
+            .iter()
+            .chain(self.write_queue.iter())
+            .map(|r| r.beats * beat_bytes)
+            .sum()
+    }
+
     /// Advances the channel to CPU cycle `now`: retires finished transfers
     /// into `completions` and issues at most one command.
     pub fn tick(&mut self, now: Cycle, completions: &mut Vec<ChannelCompletion>) {
@@ -227,23 +241,28 @@ impl Channel {
         }
 
         // Pass 1: oldest row-hit whose CAS can issue now and whose data can
-        // start on a free bus.
-        let mut cas_candidate: Option<usize> = None;
+        // start on a free bus. The request is copied out during the scan so
+        // no second (panicking) indexed lookup is needed.
+        let mut cas_candidate: Option<(usize, DramRequest)> = None;
         for (idx, req) in queue.iter().take(window).enumerate() {
-            let bank = &self.banks[req.location.bank_in_channel(banks_per_rank) as usize];
+            let Some(bank) = self
+                .banks
+                .get(req.location.bank_in_channel(banks_per_rank) as usize)
+            else {
+                continue; // out-of-range bank: never schedulable
+            };
             if let BankAction::Cas(ready) = bank.next_action(req.location.row) {
                 if ready <= now {
-                    cas_candidate = Some(idx);
+                    cas_candidate = Some((idx, *req));
                     break;
                 }
             }
         }
 
-        if let Some(idx) = cas_candidate {
-            let burst = self.burst_cycles_of(queue.iter().nth(idx).expect("index valid"));
+        if let Some((idx, req)) = cas_candidate {
+            let burst = self.burst_cycles_of(&req);
             // Data may not start before the bus frees; model the CAS as
             // delayed until the data window fits.
-            let req = *queue.iter().nth(idx).expect("index valid");
             let bank_idx = req.location.bank_in_channel(banks_per_rank) as usize;
             let data_start_unconstrained = now + self.cfg.timings.t_cas;
             if self.bus_free_at <= data_start_unconstrained {
@@ -252,7 +271,9 @@ impl Channel {
                 } else {
                     &mut self.read_queue
                 };
-                let req = queue.remove(idx).expect("index valid");
+                let Some(req) = queue.remove(idx) else {
+                    return; // queue mutated unexpectedly; retry next cycle
+                };
                 let data_start = self.banks[bank_idx].cas(now, burst, &self.cfg.timings);
                 let finish = data_start + burst;
                 self.bus_free_at = finish;
@@ -278,7 +299,9 @@ impl Channel {
             None => return,
         };
         let bank_idx = oldest.location.bank_in_channel(banks_per_rank) as usize;
-        let bank = &mut self.banks[bank_idx];
+        let Some(bank) = self.banks.get_mut(bank_idx) else {
+            return; // out-of-range bank: request can never be scheduled
+        };
         match bank.next_action(oldest.location.row) {
             BankAction::Act(ready) if ready <= now => {
                 bank.activate(oldest.location.row, now, &self.cfg.timings);

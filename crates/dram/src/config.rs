@@ -6,6 +6,7 @@
 //! channel count — the paper's point that stacked DRAM is *faster in
 //! bandwidth, not latency*.
 
+use bear_sim::error::SimError;
 use bear_sim::time::DerivedClock;
 
 /// DRAM core timing parameters in CPU cycles.
@@ -197,23 +198,28 @@ impl DramConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns a [`SimError::Config`] describing the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let err = |reason: &str| Err(SimError::config("dram", reason));
         let t = &self.topology;
         if t.channels == 0 || t.ranks_per_channel == 0 || t.banks_per_rank == 0 {
-            return Err("topology dimensions must be non-zero".into());
+            return err("topology dimensions must be non-zero");
         }
         if t.row_bytes == 0 || t.beat_bytes == 0 || t.beat_cpu_cycles == 0 {
-            return Err("row/beat sizes must be non-zero".into());
+            return err("row/beat sizes must be non-zero");
+        }
+        if self.read_queue_capacity == 0 || self.write_queue_capacity == 0 {
+            return err("queue capacities must be non-zero");
         }
         if self.write_drain_low >= self.write_drain_high {
-            return Err("write_drain_low must be below write_drain_high".into());
+            return err("write_drain_low must be below write_drain_high");
         }
         if self.write_drain_high > self.write_queue_capacity {
-            return Err("write_drain_high exceeds write queue capacity".into());
+            return err("write_drain_high exceeds write queue capacity");
         }
         if self.sched_window == 0 {
-            return Err("sched_window must be non-zero".into());
+            return err("sched_window must be non-zero");
         }
         Ok(())
     }
@@ -318,6 +324,11 @@ mod tests {
             ..base
         };
         assert!(bad_watermark.validate().is_err());
+        let bad_queue = DramConfig {
+            read_queue_capacity: 0,
+            ..base
+        };
+        assert!(bad_queue.validate().is_err());
     }
 
     #[test]

@@ -7,7 +7,8 @@
 
 use crate::channel::{Channel, ChannelCompletion, ChannelStats};
 use crate::config::DramConfig;
-use crate::request::{DramRequest, TrafficClass};
+use crate::request::{DramLocation, DramRequest, TrafficClass};
+use bear_sim::error::SimError;
 use bear_sim::time::Cycle;
 
 /// A completed DRAM transaction.
@@ -28,22 +29,33 @@ pub struct DramDevice {
 }
 
 impl DramDevice {
+    /// Creates an idle device, validating the configuration first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SimError::Config`] from [`DramConfig::validate`].
+    pub fn try_new(cfg: DramConfig) -> Result<Self, SimError> {
+        cfg.validate()?;
+        let channels = (0..cfg.topology.channels)
+            .map(|_| Channel::new(cfg))
+            .collect();
+        Ok(DramDevice {
+            cfg,
+            channels,
+            scratch: Vec::with_capacity(16),
+        })
+    }
+
     /// Creates an idle device.
     ///
     /// # Panics
     ///
-    /// Panics if the configuration fails [`DramConfig::validate`].
+    /// Panics if the configuration fails [`DramConfig::validate`]; use
+    /// [`DramDevice::try_new`] to handle the error instead.
     pub fn new(cfg: DramConfig) -> Self {
-        if let Err(e) = cfg.validate() {
-            panic!("invalid DRAM configuration: {e}");
-        }
-        let channels = (0..cfg.topology.channels)
-            .map(|_| Channel::new(cfg))
-            .collect();
-        DramDevice {
-            cfg,
-            channels,
-            scratch: Vec::with_capacity(16),
+        match Self::try_new(cfg) {
+            Ok(dev) => dev,
+            Err(e) => panic!("invalid DRAM configuration: {e}"),
         }
     }
 
@@ -52,27 +64,32 @@ impl DramDevice {
         &self.cfg
     }
 
+    /// Whether `loc` names a channel/rank/bank that exists in this device's
+    /// topology. Requests with out-of-range locations are rejected by
+    /// [`DramDevice::try_enqueue`].
+    pub fn location_in_range(&self, loc: &DramLocation) -> bool {
+        let t = &self.cfg.topology;
+        loc.channel < t.channels && loc.rank < t.ranks_per_channel && loc.bank < t.banks_per_rank
+    }
+
     /// Whether the target channel can accept a request in the given
-    /// direction right now.
+    /// direction right now. Out-of-range channels never accept.
     pub fn can_accept(&self, channel: u32, is_write: bool) -> bool {
-        self.channels[channel as usize].can_accept(is_write)
+        self.channels
+            .get(channel as usize)
+            .is_some_and(|c| c.can_accept(is_write))
     }
 
     /// Attempts to enqueue; hands the request back if its channel queue is
     /// full (the caller must retry later — this is the backpressure that
-    /// turns bandwidth bloat into stalls).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the request's channel index is out of range.
+    /// turns bandwidth bloat into stalls) or if its location is outside
+    /// the device topology (use [`DramDevice::location_in_range`] to tell
+    /// the two apart).
     pub fn try_enqueue(&mut self, req: DramRequest) -> Result<(), DramRequest> {
-        let ch = req.location.channel as usize;
-        assert!(
-            ch < self.channels.len(),
-            "channel {ch} out of range ({} channels)",
-            self.channels.len()
-        );
-        self.channels[ch].try_enqueue(req)
+        if !self.location_in_range(&req.location) {
+            return Err(req);
+        }
+        self.channels[req.location.channel as usize].try_enqueue(req)
     }
 
     /// Advances all channels to `now`, appending finished transactions to
@@ -120,6 +137,12 @@ impl DramDevice {
     /// Total bytes transferred across all classes and channels.
     pub fn total_bytes(&self) -> u64 {
         self.channels.iter().map(|c| c.stats.total_bytes()).sum()
+    }
+
+    /// Bytes sitting in channel queues, not yet counted by
+    /// [`DramDevice::total_bytes`] (see [`Channel::queued_bytes`]).
+    pub fn queued_bytes(&self) -> u64 {
+        self.channels.iter().map(|c| c.queued_bytes()).sum()
     }
 
     /// Total data-bus busy cycles summed over channels.
@@ -236,16 +259,66 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "channel")]
-    fn out_of_range_channel_panics() {
+    fn out_of_range_location_rejected_not_panicking() {
         let mut dev = DramDevice::new(DramConfig::commodity_memory());
+        let bad = [
+            DramLocation {
+                channel: 99,
+                rank: 0,
+                bank: 0,
+                row: 0,
+            },
+            DramLocation {
+                channel: 0,
+                rank: 7,
+                bank: 0,
+                row: 0,
+            },
+            DramLocation {
+                channel: 0,
+                rank: 0,
+                bank: 64,
+                row: 0,
+            },
+        ];
+        for loc in bad {
+            assert!(!dev.location_in_range(&loc));
+            let rejected = dev.try_enqueue(DramRequest::read(1, loc, 8, TrafficClass(0), Cycle(0)));
+            assert!(rejected.is_err(), "{loc:?} must be rejected");
+        }
+        assert!(!dev.can_accept(99, false));
+        assert_eq!(dev.pending(), 0, "rejected requests must not be queued");
+    }
+
+    #[test]
+    fn try_new_reports_config_error() {
+        let mut cfg = DramConfig::commodity_memory();
+        cfg.sched_window = 0;
+        let err = DramDevice::try_new(cfg).unwrap_err();
+        assert_eq!(err.kind(), "config");
+        assert!(format!("{err}").contains("sched_window"));
+    }
+
+    #[test]
+    fn queued_bytes_tracks_unissued_requests() {
+        let mut dev = DramDevice::new(DramConfig::stacked_cache_8x());
         let loc = DramLocation {
-            channel: 99,
+            channel: 0,
             rank: 0,
             bank: 0,
-            row: 0,
+            row: 1,
         };
-        let _ = dev.try_enqueue(DramRequest::read(1, loc, 8, TrafficClass(0), Cycle(0)));
+        dev.try_enqueue(DramRequest::read(1, loc, 5, TrafficClass(0), Cycle(0)))
+            .unwrap();
+        dev.try_enqueue(DramRequest::write(2, loc, 4, TrafficClass(1), Cycle(0)))
+            .unwrap();
+        // Nothing issued yet: all bytes are "queued", none "transferred".
+        assert_eq!(dev.queued_bytes(), 80 + 64);
+        assert_eq!(dev.total_bytes(), 0);
+        drive(&mut dev, 2, 100_000);
+        // After completion the bytes have moved to the transferred side.
+        assert_eq!(dev.queued_bytes(), 0);
+        assert_eq!(dev.total_bytes(), 144);
     }
 
     #[test]

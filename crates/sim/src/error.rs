@@ -1,0 +1,217 @@
+//! Typed simulation errors.
+//!
+//! Every fallible layer of the workspace — configuration validation, the
+//! DRAM device, the system step loop, and the campaign harness — reports
+//! failures through one enum, [`SimError`], instead of ad-hoc `String`
+//! errors and panics. A campaign cell that fails therefore degrades to a
+//! machine-readable failure row (kind + message) rather than aborting the
+//! whole experiment grid.
+//!
+//! # Example
+//!
+//! ```
+//! use bear_sim::error::{RunOutcome, SimError};
+//!
+//! fn validate(ways: usize) -> RunOutcome<()> {
+//!     if ways == 0 {
+//!         return Err(SimError::config("l3", "ways must be non-zero"));
+//!     }
+//!     Ok(())
+//! }
+//!
+//! let err = validate(0).unwrap_err();
+//! assert_eq!(err.kind(), "config");
+//! assert!(format!("{err}").contains("ways must be non-zero"));
+//! ```
+
+use std::fmt;
+
+/// A typed simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A configuration was rejected before the simulation started.
+    Config {
+        /// Which configuration section was at fault (e.g. `"cache_dram"`).
+        context: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A simulation cell panicked; the panic payload was captured.
+    Panicked {
+        /// What was running when the panic fired (e.g. `"alloy/mcf"`).
+        context: String,
+        /// The panic message (or a placeholder for non-string payloads).
+        message: String,
+    },
+    /// The forward-progress watchdog saw no retired instructions for a
+    /// full window.
+    Stalled {
+        /// Cycle at which the stall was declared.
+        cycle: u64,
+        /// Diagnostic snapshot of queue occupancies at that moment.
+        snapshot: String,
+    },
+    /// A runtime invariant check failed (see [`crate::invariants`]).
+    Invariant {
+        /// Name of the violated invariant.
+        name: String,
+        /// What the checker observed.
+        detail: String,
+    },
+    /// A filesystem operation in the campaign harness failed.
+    Io {
+        /// What the harness was doing (e.g. a file path).
+        context: String,
+        /// The underlying OS error message.
+        message: String,
+    },
+}
+
+impl SimError {
+    /// Builds a [`SimError::Config`].
+    pub fn config(context: impl Into<String>, reason: impl Into<String>) -> Self {
+        SimError::Config {
+            context: context.into(),
+            reason: reason.into(),
+        }
+    }
+
+    /// Builds a [`SimError::Panicked`].
+    pub fn panicked(context: impl Into<String>, message: impl Into<String>) -> Self {
+        SimError::Panicked {
+            context: context.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Builds a [`SimError::Io`].
+    pub fn io(context: impl Into<String>, message: impl Into<String>) -> Self {
+        SimError::Io {
+            context: context.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Builds a [`SimError::Invariant`].
+    pub fn invariant(name: impl Into<String>, detail: impl Into<String>) -> Self {
+        SimError::Invariant {
+            name: name.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// Returns the same error with its `context` field replaced — used when
+    /// an inner validation error is re-reported by an outer config (e.g. a
+    /// DRAM error re-contextualised as `"cache_dram"`).
+    pub fn in_context(self, context: impl Into<String>) -> Self {
+        match self {
+            SimError::Config { reason, .. } => SimError::Config {
+                context: context.into(),
+                reason,
+            },
+            SimError::Panicked { message, .. } => SimError::Panicked {
+                context: context.into(),
+                message,
+            },
+            SimError::Io { message, .. } => SimError::Io {
+                context: context.into(),
+                message,
+            },
+            other => other,
+        }
+    }
+
+    /// Short machine-readable tag for report rows: one of `"config"`,
+    /// `"panic"`, `"stalled"`, `"invariant"`, `"io"`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimError::Config { .. } => "config",
+            SimError::Panicked { .. } => "panic",
+            SimError::Stalled { .. } => "stalled",
+            SimError::Invariant { .. } => "invariant",
+            SimError::Io { .. } => "io",
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config { context, reason } => {
+                write!(f, "invalid configuration ({context}): {reason}")
+            }
+            SimError::Panicked { context, message } => {
+                write!(f, "panic in {context}: {message}")
+            }
+            SimError::Stalled { cycle, snapshot } => {
+                write!(f, "no forward progress by cycle {cycle}: {snapshot}")
+            }
+            SimError::Invariant { name, detail } => {
+                write!(f, "invariant '{name}' violated: {detail}")
+            }
+            SimError::Io { context, message } => {
+                write!(f, "io error ({context}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Outcome of running (or preparing to run) one simulation cell.
+pub type RunOutcome<T> = Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context_and_reason() {
+        let e = SimError::config("mem_dram", "row size must be a power of two");
+        assert_eq!(e.kind(), "config");
+        let s = format!("{e}");
+        assert!(s.contains("mem_dram"));
+        assert!(s.contains("power of two"));
+    }
+
+    #[test]
+    fn in_context_rewrites_config_context() {
+        let e = SimError::config("dram", "zero channels").in_context("cache_dram");
+        assert_eq!(
+            e,
+            SimError::config("cache_dram", "zero channels"),
+            "context should be replaced, reason preserved"
+        );
+        // Stalled has no context field; in_context is a no-op.
+        let s = SimError::Stalled {
+            cycle: 7,
+            snapshot: "q=3".into(),
+        };
+        assert_eq!(s.clone().in_context("x"), s);
+    }
+
+    #[test]
+    fn every_kind_is_distinct() {
+        let kinds = [
+            SimError::config("a", "b").kind(),
+            SimError::panicked("a", "b").kind(),
+            SimError::Stalled {
+                cycle: 0,
+                snapshot: String::new(),
+            }
+            .kind(),
+            SimError::invariant("a", "b").kind(),
+            SimError::io("a", "b").kind(),
+        ];
+        let mut dedup = kinds.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), kinds.len());
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let e: Box<dyn std::error::Error> = Box::new(SimError::io("cells/x.json", "ENOSPC"));
+        assert!(e.to_string().contains("ENOSPC"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Deterministic fault injection.
+//!
+//! The invariant checker ([`crate::invariants`]) is itself only
+//! trustworthy if it demonstrably *fires* when the simulated state is
+//! corrupted. This module plans deterministic mid-run corruptions — tag
+//! bit flips, presence-bit flips, NTC desynchronisation, byte-accounting
+//! perturbation — that the system layer applies at the scheduled cycle.
+//! Tests then assert that every injected fault is caught and reported by
+//! the matching invariant, never silently absorbed into results.
+//!
+//! # Example
+//!
+//! ```
+//! use bear_sim::faultinject::{Fault, FaultKind, FaultPlan};
+//!
+//! let mut plan = FaultPlan::deterministic(7, 1_000, 10_000);
+//! assert_eq!(plan.len(), FaultKind::ALL.len());
+//! assert!(plan.next_due(0).is_none()); // nothing scheduled this early
+//! let first: Fault = plan.next_due(u64::MAX).unwrap();
+//! assert!(first.at_cycle >= 1_000);
+//! ```
+
+use crate::rng::SimRng;
+
+/// A class of state corruption the injector knows how to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Flip a bit in a stored cache tag (caught by the NTC-mirror check).
+    TagFlip,
+    /// Flip a presence/DCP bit so the L3 believes a line is in the L4 when
+    /// it is not (caught by the DCP-coherence check).
+    PresenceFlip,
+    /// Desynchronise a Neighboring-Tag-Cache entry from the tag store it
+    /// mirrors (caught by the NTC-mirror check).
+    NtcDesync,
+    /// Perturb the expected-bytes counter so bus-byte conservation no
+    /// longer balances (caught by the byte-conservation check).
+    ByteAccounting,
+}
+
+impl FaultKind {
+    /// Every corruption class, in injection-priority order.
+    pub const ALL: [FaultKind; 4] = [
+        FaultKind::TagFlip,
+        FaultKind::PresenceFlip,
+        FaultKind::NtcDesync,
+        FaultKind::ByteAccounting,
+    ];
+
+    /// Stable label for diagnostics and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::TagFlip => "tag-flip",
+            FaultKind::PresenceFlip => "presence-flip",
+            FaultKind::NtcDesync => "ntc-desync",
+            FaultKind::ByteAccounting => "byte-accounting",
+        }
+    }
+}
+
+/// One scheduled corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// What to corrupt.
+    pub kind: FaultKind,
+    /// Earliest cycle at which to apply it. If the target state does not
+    /// exist yet (e.g. the NTC is empty), the injector retries on
+    /// subsequent cycles until it lands.
+    pub at_cycle: u64,
+}
+
+/// An ordered schedule of faults, consumed as simulated time advances.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Sorted by `at_cycle`, earliest last (popped from the back).
+    pending: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults (the normal case).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Builds a plan from an explicit fault list (any order).
+    pub fn new(mut faults: Vec<Fault>) -> Self {
+        // Reverse-sorted so `next_due` pops the earliest from the back.
+        faults.sort_by_key(|f| std::cmp::Reverse(f.at_cycle));
+        FaultPlan { pending: faults }
+    }
+
+    /// A plan with a single fault.
+    pub fn single(kind: FaultKind, at_cycle: u64) -> Self {
+        FaultPlan::new(vec![Fault { kind, at_cycle }])
+    }
+
+    /// Schedules one fault of every kind at deterministic,
+    /// seed-reproducible cycles inside `[start, start + window)`.
+    pub fn deterministic(seed: u64, start: u64, window: u64) -> Self {
+        let mut rng = SimRng::new(seed ^ 0xFA_017);
+        let faults = FaultKind::ALL
+            .iter()
+            .map(|&kind| Fault {
+                kind,
+                at_cycle: start + rng.next_below(window.max(1)),
+            })
+            .collect();
+        FaultPlan::new(faults)
+    }
+
+    /// Pops the next fault whose `at_cycle` has been reached, if any.
+    pub fn next_due(&mut self, now: u64) -> Option<Fault> {
+        if self.pending.last().is_some_and(|f| f.at_cycle <= now) {
+            self.pending.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Re-arms a fault that could not be applied (no target state existed
+    /// yet); it becomes due again immediately.
+    pub fn retry(&mut self, fault: Fault) {
+        self.pending.push(Fault {
+            at_cycle: fault.at_cycle,
+            ..fault
+        });
+        self.pending.sort_by_key(|f| std::cmp::Reverse(f.at_cycle));
+    }
+
+    /// Faults not yet applied.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether every fault has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_pop_in_cycle_order() {
+        let mut plan = FaultPlan::new(vec![
+            Fault {
+                kind: FaultKind::NtcDesync,
+                at_cycle: 30,
+            },
+            Fault {
+                kind: FaultKind::TagFlip,
+                at_cycle: 10,
+            },
+            Fault {
+                kind: FaultKind::ByteAccounting,
+                at_cycle: 20,
+            },
+        ]);
+        assert!(plan.next_due(9).is_none());
+        assert_eq!(plan.next_due(10).unwrap().kind, FaultKind::TagFlip);
+        assert!(plan.next_due(15).is_none());
+        assert_eq!(plan.next_due(25).unwrap().kind, FaultKind::ByteAccounting);
+        assert_eq!(plan.next_due(30).unwrap().kind, FaultKind::NtcDesync);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn deterministic_plan_is_reproducible_and_in_window() {
+        let a = FaultPlan::deterministic(42, 5_000, 1_000);
+        let b = FaultPlan::deterministic(42, 5_000, 1_000);
+        assert_eq!(a.pending, b.pending);
+        assert_eq!(a.len(), FaultKind::ALL.len());
+        for f in &a.pending {
+            assert!((5_000..6_000).contains(&f.at_cycle));
+        }
+        let c = FaultPlan::deterministic(43, 5_000, 1_000);
+        assert_ne!(a.pending, c.pending, "different seeds should differ");
+    }
+
+    #[test]
+    fn retry_keeps_fault_due() {
+        let mut plan = FaultPlan::single(FaultKind::PresenceFlip, 100);
+        let f = plan.next_due(100).unwrap();
+        plan.retry(f);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.next_due(101).unwrap().kind, FaultKind::PresenceFlip);
+        assert!(plan.next_due(102).is_none());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<_> = FaultKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), FaultKind::ALL.len());
+    }
+}

@@ -29,11 +29,15 @@
 //! ```
 
 pub mod check;
+pub mod error;
+pub mod faultinject;
+pub mod invariants;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use error::{RunOutcome, SimError};
 pub use queue::BoundedQueue;
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, RunningMean};

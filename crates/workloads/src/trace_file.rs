@@ -217,6 +217,56 @@ mod tests {
     }
 
     #[test]
+    fn empty_and_whitespace_files_parse_to_no_events() {
+        assert_eq!(parse_trace("").unwrap(), vec![]);
+        assert_eq!(parse_trace("\n\n   \n").unwrap(), vec![]);
+        assert_eq!(parse_trace("# only comments\n# here\n").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn truncated_lines_are_rejected_with_their_line_number() {
+        let err = parse_trace("# hdr\n1 40 L 0\n2 80\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.reason.contains("4 fields"), "reason: {}", err.reason);
+        // A single dangling field behaves the same.
+        assert_eq!(parse_trace("7\n").unwrap_err().line, 1);
+    }
+
+    #[test]
+    fn overflowing_numbers_are_rejected_not_wrapped() {
+        // 20 hex digits exceed u64: must be a parse error, never a
+        // silent truncation.
+        let err = parse_trace("1 fffffffffffffffff40 L 0\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.reason.contains("bad hex address"));
+        // Same for the pc field...
+        let err = parse_trace("1 40 L 10000000000000000ff\n").unwrap_err();
+        assert!(err.reason.contains("bad hex pc"));
+        // ...and a gap beyond u32.
+        let err = parse_trace("99999999999 40 L 0\n").unwrap_err();
+        assert!(err.reason.contains("instruction gap"));
+        // Negative gaps are malformed, not wrap-arounds.
+        assert!(parse_trace("-1 40 L 0").is_err());
+    }
+
+    #[test]
+    fn crlf_line_endings_parse_like_lf() {
+        let events = parse_trace("# hdr\r\n1 40 L 0\r\n2 80 S 4\r\n").unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].addr, 0x80);
+        assert!(events[1].is_store);
+    }
+
+    #[test]
+    fn error_line_numbers_count_comments_and_blanks() {
+        // The reported number must match what an editor shows, so skipped
+        // lines still advance the count.
+        let err = parse_trace("# one\n\n# three\n1 41 L 0\n").unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(err.reason.contains("aligned"));
+    }
+
+    #[test]
     fn zero_gap_clamped_to_one() {
         let events = parse_trace("0 0 L 0").unwrap();
         assert_eq!(events[0].inst_gap, 1);

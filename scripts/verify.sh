@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Full offline verification: formatting, lints, and the test suite.
+# Full offline verification: formatting, lints, the test suite, and the
+# fault-tolerance end-to-end checks (fault injection + kill-9 resume).
 # This is what CI runs; it must pass with no network access at all.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -13,4 +14,18 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo test"
 cargo test -q --workspace --offline
 
-echo "OK: fmt, clippy, and tests all passed offline."
+echo "==> fault-injection smoke (debug build = invariant checks armed)"
+# Every injected corruption class must be caught by its invariant, and a
+# healthy run must pass the watchdog with zero violations.
+cargo test -q -p bear-core --offline \
+  every_injected_fault_class_is_detected \
+  healthy_run_passes_watchdog_and_invariants \
+  watchdog_converts_hang_into_stalled_error
+
+echo "==> kill -9 then resume determinism check"
+# A campaign killed mid-flight and resumed must produce a report byte-
+# identical to an uninterrupted one (spawns all_experiments, SIGKILLs it
+# once cells are committed, reruns, diffs).
+cargo test -q -p bear-bench --offline --test resume
+
+echo "OK: fmt, clippy, tests, fault injection, and resume all passed offline."
