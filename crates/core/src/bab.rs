@@ -335,6 +335,46 @@ mod tests {
         assert!(p.follower_uses_pb(), "2% absolute loss is within Δ");
     }
 
+    /// Builds a paper-config policy, runs a crafted duel-set trace with
+    /// `h_pb` PB-monitor hits out of 511, all 512 baseline accesses
+    /// hitting, and returns the resulting mode bit. The final baseline
+    /// access drives `a_base` to the 512 duel threshold, so the duel is
+    /// evaluated exactly once, with counters (m_base=0, a_base=512,
+    /// m_pb=511-h_pb, a_pb=511) — no sampling noise anywhere.
+    fn mode_after_crafted_duel(h_pb: u64) -> bool {
+        let mut p = BypassPolicy::paper_bab();
+        assert!(p.follower_uses_pb(), "PB starts enabled");
+        let base_set = (0..1u64 << 22)
+            .find(|&s| p.group(s) == SetGroup::BaselineMonitor)
+            .unwrap();
+        let pb_set = (0..1u64 << 22)
+            .find(|&s| p.group(s) == SetGroup::BypassMonitor)
+            .unwrap();
+        for i in 0..511 {
+            p.record_access(base_set, true);
+            p.record_access(pb_set, i < h_pb);
+        }
+        p.record_access(base_set, true);
+        p.follower_uses_pb()
+    }
+
+    #[test]
+    fn duel_disengages_exactly_at_delta_one_sixteenth() {
+        // The Δ = 1/16 boundary, pinned to the exact integer comparison
+        // h_pb · a_base · 16 ≥ h_base · a_pb · 15 with h_base = a_base =
+        // 512 and a_pb = 511: PB survives iff h_pb ≥ ⌈511 · 15/16⌉ = 480.
+        assert!(
+            mode_after_crafted_duel(480),
+            "h_pb = 480 (hit-rate loss just inside Δ) must keep PB on"
+        );
+        assert!(
+            !mode_after_crafted_duel(479),
+            "h_pb = 479 (loss just beyond Δ) must disengage PB"
+        );
+        // Far side sanity: a heavy loss also disengages.
+        assert!(!mode_after_crafted_duel(300));
+    }
+
     #[test]
     fn counters_halve_on_threshold() {
         let mut p = BypassPolicy::paper_bab();

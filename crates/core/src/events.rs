@@ -1,0 +1,230 @@
+//! Observation events for the differential oracle.
+//!
+//! When observation is armed (see [`crate::system::System::set_observe`]),
+//! the system layer and every L4 controller emit a totally-ordered stream
+//! of [`ObsEvent`]s at each *functional decision instant*: hit/miss
+//! classification, fills, bypasses, evictions, NTC consultations,
+//! writeback resolution, and the L3-side presence-bit transitions. The
+//! untimed shadow model in `crates/oracle` replays this stream against its
+//! own obviously-correct state and reports any disagreement as a typed
+//! `SimError::Divergence`.
+//!
+//! Events describe *what the cycle model decided*, never *why* — the
+//! oracle independently recomputes the expected outcome from its shadow
+//! state, so a consistent-but-wrong cycle model cannot fool it.
+//!
+//! Emission is off by default and costs nothing in normal runs: every
+//! emission site is gated on a boolean the controllers keep `false` unless
+//! a lockstep harness arms it.
+
+use crate::ntc::NtcAnswer;
+
+/// Why an L4 fill happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillCause {
+    /// A demand miss allocated the line.
+    Demand,
+    /// A writeback to an absent line allocated it (writeback-allocate).
+    Writeback,
+}
+
+/// One functional decision made by the cycle-level model, in observation
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsEvent {
+    /// A core access looked up the L3. Emitted before any resulting L4
+    /// traffic.
+    L3Access {
+        /// Line address (byte address / 64, post-translation).
+        line: u64,
+        /// Whether the access was a store.
+        is_store: bool,
+        /// The L3's hit/miss answer.
+        hit: bool,
+    },
+    /// A dirty L3 victim was handed to the L4 as a writeback.
+    WbSubmitted {
+        /// Line address.
+        line: u64,
+        /// The DCP hint the system attached (`None` when DCP is off).
+        hint: Option<bool>,
+    },
+    /// A capacity eviction displaced a line from the L3 (clean or dirty).
+    L3Evicted {
+        /// Line address.
+        line: u64,
+        /// Whether the victim was dirty (it then proceeds as a writeback).
+        dirty: bool,
+        /// DCP bit at eviction time.
+        dcp: bool,
+    },
+    /// A demand line returned to the L3/core and the L3 fill decision was
+    /// made.
+    Delivered {
+        /// Line address.
+        line: u64,
+        /// Whether the L4 serviced it.
+        l4_hit: bool,
+        /// Whether the line resides in the L4 afterwards (the DCP value an
+        /// L3 fill would record).
+        in_l4: bool,
+        /// Whether the L3 actually filled the line (false when a racing
+        /// fill already installed it).
+        filled_l3: bool,
+        /// Whether the L3 fill starts dirty (a store was merged while the
+        /// miss was outstanding).
+        dirty: bool,
+    },
+    /// An inclusive back-invalidation removed a line from the L3.
+    L3BackInvalidate {
+        /// Line address.
+        line: u64,
+        /// Whether the invalidated line was dirty (and therefore written
+        /// straight to memory).
+        dirty: bool,
+    },
+    /// An L4 eviction notification cleared the line's L3 DCP bit.
+    DcpCleared {
+        /// Line address.
+        line: u64,
+    },
+    /// A line was written directly to main memory, skipping the L4.
+    DirectMemWrite {
+        /// Line address.
+        line: u64,
+    },
+    /// The L4 classified a demand read as hit or miss. Emitted exactly
+    /// where the bypass monitor observes the access, so a shadow dueling
+    /// model sees the same sequence.
+    ReadClassified {
+        /// Line address.
+        line: u64,
+        /// The cycle model's hit/miss verdict.
+        hit: bool,
+    },
+    /// The NTC answered a presence query for a demand read.
+    NtcConsulted {
+        /// Line address queried.
+        line: u64,
+        /// The NTC's answer.
+        answer: NtcAnswer,
+    },
+    /// The L4 installed a line.
+    Filled {
+        /// Line address.
+        line: u64,
+        /// Whether it was installed dirty.
+        dirty: bool,
+        /// What triggered the fill.
+        cause: FillCause,
+    },
+    /// A demand miss chose bypass instead of filling.
+    Bypassed {
+        /// Line address.
+        line: u64,
+    },
+    /// The L4 evicted a line (including evictions the system layer never
+    /// sees, e.g. clean sector blocks).
+    Evicted {
+        /// Line address.
+        line: u64,
+        /// Whether the victim was dirty (written back to memory).
+        dirty: bool,
+    },
+    /// The L4 resolved a submitted writeback.
+    WbResolved {
+        /// Line address.
+        line: u64,
+        /// Whether the line was found present (update-in-place).
+        hit: bool,
+        /// Whether the Writeback Probe was skipped (inclusive hierarchy,
+        /// DCP hint, or SRAM-resident tags).
+        probe_skipped: bool,
+        /// Whether an absent line was allocated (writeback-allocate).
+        allocated: bool,
+    },
+}
+
+impl ObsEvent {
+    /// The line address the event concerns.
+    pub fn line(&self) -> u64 {
+        match *self {
+            ObsEvent::L3Access { line, .. }
+            | ObsEvent::WbSubmitted { line, .. }
+            | ObsEvent::L3Evicted { line, .. }
+            | ObsEvent::Delivered { line, .. }
+            | ObsEvent::L3BackInvalidate { line, .. }
+            | ObsEvent::DcpCleared { line }
+            | ObsEvent::DirectMemWrite { line }
+            | ObsEvent::ReadClassified { line, .. }
+            | ObsEvent::NtcConsulted { line, .. }
+            | ObsEvent::Filled { line, .. }
+            | ObsEvent::Bypassed { line }
+            | ObsEvent::Evicted { line, .. }
+            | ObsEvent::WbResolved { line, .. } => line,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_accessor_covers_every_variant() {
+        let events = [
+            ObsEvent::L3Access {
+                line: 1,
+                is_store: false,
+                hit: true,
+            },
+            ObsEvent::WbSubmitted {
+                line: 1,
+                hint: None,
+            },
+            ObsEvent::Delivered {
+                line: 1,
+                l4_hit: true,
+                in_l4: true,
+                filled_l3: true,
+                dirty: false,
+            },
+            ObsEvent::L3Evicted {
+                line: 1,
+                dirty: true,
+                dcp: true,
+            },
+            ObsEvent::L3BackInvalidate {
+                line: 1,
+                dirty: false,
+            },
+            ObsEvent::DcpCleared { line: 1 },
+            ObsEvent::DirectMemWrite { line: 1 },
+            ObsEvent::ReadClassified {
+                line: 1,
+                hit: false,
+            },
+            ObsEvent::NtcConsulted {
+                line: 1,
+                answer: NtcAnswer::Unknown,
+            },
+            ObsEvent::Filled {
+                line: 1,
+                dirty: true,
+                cause: FillCause::Demand,
+            },
+            ObsEvent::Bypassed { line: 1 },
+            ObsEvent::Evicted {
+                line: 1,
+                dirty: true,
+            },
+            ObsEvent::WbResolved {
+                line: 1,
+                hit: true,
+                probe_skipped: false,
+                allocated: false,
+            },
+        ];
+        assert!(events.iter().all(|e| e.line() == 1));
+    }
+}

@@ -38,6 +38,19 @@ pub struct L3Writeback {
     pub dcp: bool,
 }
 
+/// Any line displaced by an L3 fill, clean or dirty. Clean victims carry
+/// no traffic but must still be visible so the differential oracle can
+/// track L3 membership exactly from the event stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L3Victim {
+    /// Line address.
+    pub line: u64,
+    /// Whether the victim was dirty (and therefore becomes a writeback).
+    pub dirty: bool,
+    /// The line's DCP bit at eviction.
+    pub dcp: bool,
+}
+
 /// The shared LLC model.
 #[derive(Debug)]
 pub struct L3Cache {
@@ -64,12 +77,21 @@ impl L3Cache {
     }
 
     /// Fills `line` after a miss. `dirty` marks store-triggered fills;
-    /// `in_l4` initializes the DCP bit. Returns the dirty victim's
-    /// writeback, if any.
-    pub fn fill(&mut self, line: u64, dirty: bool, in_l4: bool) -> Option<L3Writeback> {
+    /// `in_l4` initializes the DCP bit. Returns the displaced victim
+    /// (clean or dirty), if any.
+    ///
+    /// A dirty victim's [`L3Victim::dcp`] becomes its writeback's
+    /// probe-skip hint, so a stale bit here silently corrupts the DRAM
+    /// cache. Two independent checks guard this instant: the system's
+    /// `dcp-at-eviction` invariant compares the bit against the DRAM
+    /// cache's actual contents the moment the victim is displaced, and
+    /// the differential oracle re-derives the bit from its shadow
+    /// hierarchy when the `WbSubmitted` event is observed.
+    pub fn fill(&mut self, line: u64, dirty: bool, in_l4: bool) -> Option<L3Victim> {
         let victim = self.cache.fill(line * 64, dirty, L3Meta { dcp: in_l4 })?;
-        victim.dirty.then_some(L3Writeback {
+        Some(L3Victim {
             line: victim.addr / 64,
+            dirty: victim.dirty,
             dcp: victim.meta.dcp,
         })
     }
@@ -162,17 +184,20 @@ mod tests {
         c.access(5, true);
         // Conflict-evict line 5 (8 sets: same set = line % 8).
         c.fill(5 + 8, false, false);
-        let wb = c.fill(5 + 16, false, false).expect("dirty victim");
+        let wb = c.fill(5 + 16, false, false).expect("victim");
         assert_eq!(wb.line, 5);
+        assert!(wb.dirty);
         assert!(wb.dcp, "DCP travels with the writeback");
     }
 
     #[test]
-    fn clean_evictions_produce_no_writeback() {
+    fn clean_evictions_are_visible_but_not_dirty() {
         let mut c = l3();
         c.fill(3, false, false);
         c.fill(3 + 8, false, false);
-        assert!(c.fill(3 + 16, false, false).is_none());
+        let v = c.fill(3 + 16, false, false).expect("clean victim visible");
+        assert_eq!(v.line, 3);
+        assert!(!v.dirty, "clean victim must not claim a writeback");
     }
 
     #[test]
@@ -180,8 +205,9 @@ mod tests {
         let mut c = l3();
         c.fill(2, true, true);
         c.fill(2 + 8, false, false);
-        let wb = c.fill(2 + 16, false, false).expect("dirty victim");
+        let wb = c.fill(2 + 16, false, false).expect("victim");
         assert_eq!(wb.line, 2);
+        assert!(wb.dirty);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 use crate::bab::BypassPolicy;
 use crate::config::{DesignKind, SystemConfig};
 use crate::contents::DirectStore;
+use crate::events::{FillCause, ObsEvent};
 use crate::harness::{DeviceHarness, Leg, RoutedCompletion};
 use crate::l4::placement::SetPlacement;
 use crate::l4::{Delivery, L4Cache, L4Outputs, L4Stats};
@@ -78,6 +79,11 @@ pub struct AlloyController {
     next_txn: u64,
     stats: L4Stats,
     completions: Vec<RoutedCompletion>,
+    /// Oracle observation: when armed, functional decisions are staged here
+    /// (submit-time decisions have no `L4Outputs` in scope) and drained into
+    /// `out.events` at the end of each tick, preserving decision order.
+    observe: bool,
+    staged_events: Vec<ObsEvent>,
 }
 
 impl AlloyController {
@@ -134,12 +140,20 @@ impl AlloyController {
             next_txn: 0,
             stats: L4Stats::default(),
             completions: Vec::with_capacity(16),
+            observe: false,
+            staged_events: Vec::new(),
         }
     }
 
     fn alloc_txn(&mut self) -> u64 {
         self.next_txn += 1;
         self.next_txn
+    }
+
+    fn emit(&mut self, ev: ObsEvent) {
+        if self.observe {
+            self.staged_events.push(ev);
+        }
     }
 
     fn is_ideal(&self) -> bool {
@@ -190,12 +204,27 @@ impl AlloyController {
         if let Some((victim_line, victim_dirty)) = self.store.install(line, dirty) {
             self.stats.evictions += 1;
             out.evictions.push(victim_line);
+            self.emit(ObsEvent::Evicted {
+                line: victim_line,
+                dirty: victim_dirty,
+            });
             if victim_dirty {
                 let txn = self.alloc_txn();
                 self.harness
                     .mem_write(txn, victim_line, MemTraffic::VictimWrite.class(), now);
             }
         }
+        self.emit(ObsEvent::Filled {
+            line,
+            dirty,
+            // Alloy demand fills install clean; only writeback-allocate
+            // installs dirty.
+            cause: if dirty {
+                FillCause::Writeback
+            } else {
+                FillCause::Demand
+            },
+        });
         self.ntc_sync(set);
     }
 
@@ -218,6 +247,7 @@ impl AlloyController {
             }
         } else {
             self.stats.bypasses += 1;
+            self.emit(ObsEvent::Bypassed { line: txn.line });
         }
         out.deliveries.push(Delivery {
             line: txn.line,
@@ -238,6 +268,10 @@ impl AlloyController {
         txn.probe_hit = Some(hit);
         self.predictor.train(txn.core, txn.pc, hit);
         self.bypass.record_access(set, hit);
+        self.emit(ObsEvent::ReadClassified {
+            line: txn.line,
+            hit,
+        });
 
         if hit {
             self.stats.read_hits += 1;
@@ -309,7 +343,14 @@ impl AlloyController {
         };
         let (set, _) = self.store.decompose(txn.line);
         self.ntc_observe(set);
-        if self.store.contains(txn.line) {
+        let hit = self.store.contains(txn.line);
+        self.emit(ObsEvent::WbResolved {
+            line: txn.line,
+            hit,
+            probe_skipped: false,
+            allocated: !hit && self.writeback_allocate,
+        });
+        if hit {
             self.stats.wb_hits += 1;
             self.store.mark_dirty(txn.line);
             self.ntc_sync(set);
@@ -347,8 +388,14 @@ impl L4Cache for AlloyController {
 
         if self.is_ideal() {
             // BW-Opt: perfect knowledge, 64 B hit transfers, free misses.
+            // Hits classify (and record their duel access) at probe
+            // completion like every other design; classifying here too
+            // would double-count the access.
             let hit = self.store.contains(line);
-            self.bypass.record_access(set, hit);
+            if !hit {
+                self.bypass.record_access(set, hit);
+                self.emit(ObsEvent::ReadClassified { line, hit });
+            }
             if hit {
                 self.reads.insert(
                     txn_id,
@@ -397,7 +444,11 @@ impl L4Cache for AlloyController {
 
         // NTC consultation precedes the predictor (Section 6.1).
         let ntc_answer = match self.ntc.as_mut() {
-            Some(ntc) => ntc.lookup(self.placement.global_bank(set), set, tag),
+            Some(ntc) => {
+                let answer = ntc.lookup(self.placement.global_bank(set), set, tag);
+                self.emit(ObsEvent::NtcConsulted { line, answer });
+                answer
+            }
             None => NtcAnswer::Unknown,
         };
 
@@ -466,6 +517,7 @@ impl L4Cache for AlloyController {
             // with the known outcome.
             self.predictor.train(core, pc, false);
             self.bypass.record_access(set, false);
+            self.emit(ObsEvent::ReadClassified { line, hit: false });
         }
     }
 
@@ -475,12 +527,23 @@ impl L4Cache for AlloyController {
 
         if self.is_ideal() {
             // Free secondary operations: contents updated logically.
-            if self.store.contains(line) {
+            let hit = self.store.contains(line);
+            self.emit(ObsEvent::WbResolved {
+                line,
+                hit,
+                probe_skipped: true,
+                allocated: !hit && self.writeback_allocate,
+            });
+            if hit {
                 self.stats.wb_hits += 1;
                 self.store.mark_dirty(line);
             } else if self.writeback_allocate {
                 if let Some((victim_line, victim_dirty)) = self.store.install(line, true) {
                     self.stats.evictions += 1;
+                    self.emit(ObsEvent::Evicted {
+                        line: victim_line,
+                        dirty: victim_dirty,
+                    });
                     if victim_dirty {
                         let t = self.alloc_txn();
                         self.harness.mem_write(
@@ -491,6 +554,11 @@ impl L4Cache for AlloyController {
                         );
                     }
                 }
+                self.emit(ObsEvent::Filled {
+                    line,
+                    dirty: true,
+                    cause: FillCause::Writeback,
+                });
             } else {
                 let t = self.alloc_txn();
                 self.harness
@@ -504,6 +572,12 @@ impl L4Cache for AlloyController {
         let known_present = self.design == DesignKind::InclusiveAlloy
             || (self.dcp_enabled && dcp_hint == Some(true));
         if known_present && self.store.contains(line) {
+            self.emit(ObsEvent::WbResolved {
+                line,
+                hit: true,
+                probe_skipped: true,
+                allocated: false,
+            });
             self.stats.wb_hits += 1;
             self.stats.wb_probes_avoided += 1;
             self.store.mark_dirty(line);
@@ -557,6 +631,9 @@ impl L4Cache for AlloyController {
             }
         }
         self.completions = completions;
+        if self.observe {
+            out.events.append(&mut self.staged_events);
+        }
     }
 
     fn stats(&self) -> &L4Stats {
@@ -634,6 +711,10 @@ impl L4Cache for AlloyController {
             // Handled at the system level (the DCP bit lives in the L3).
             FaultKind::PresenceFlip => false,
         }
+    }
+
+    fn set_observe(&mut self, on: bool) {
+        self.observe = on;
     }
 }
 

@@ -10,6 +10,7 @@
 
 use crate::config::{DesignKind, SystemConfig};
 use crate::contents::AssocStore;
+use crate::events::{FillCause, ObsEvent};
 use crate::harness::{DeviceHarness, Leg, RoutedCompletion};
 use crate::l4::placement::SetPlacement;
 use crate::l4::{Delivery, L4Cache, L4Outputs, L4Stats};
@@ -60,6 +61,8 @@ pub struct LohHillController {
     next_txn: u64,
     stats: L4Stats,
     completions: Vec<RoutedCompletion>,
+    observe: bool,
+    staged_events: Vec<ObsEvent>,
 }
 
 impl LohHillController {
@@ -86,12 +89,20 @@ impl LohHillController {
             next_txn: 0,
             stats: L4Stats::default(),
             completions: Vec::with_capacity(16),
+            observe: false,
+            staged_events: Vec::new(),
         }
     }
 
     fn alloc_txn(&mut self) -> u64 {
         self.next_txn += 1;
         self.next_txn
+    }
+
+    fn emit(&mut self, ev: ObsEvent) {
+        if self.observe {
+            self.staged_events.push(ev);
+        }
     }
 
     fn locate(&self, line: u64) -> DramLocation {
@@ -114,6 +125,22 @@ impl LohHillController {
         let loc = self.locate(line);
         let victim = self.store.install(line, dirty);
         self.missmap.insert(line * 64);
+        if let Some(v) = victim {
+            self.emit(ObsEvent::Evicted {
+                line: v.line,
+                dirty: v.dirty,
+            });
+        }
+        self.emit(ObsEvent::Filled {
+            line,
+            dirty,
+            // Demand fills install clean; only writeback-allocate dirty.
+            cause: if dirty {
+                FillCause::Writeback
+            } else {
+                FillCause::Demand
+            },
+        });
         let t = self.alloc_txn();
         self.harness
             .cache_write(t, loc, FILL_BEATS, class.class(), now);
@@ -142,7 +169,9 @@ impl LohHillController {
         match staged {
             Staged::Read { line, submitted } => {
                 let txn = self.alloc_txn();
-                if self.missmap.contains(line * 64) {
+                let hit = self.missmap.contains(line * 64);
+                self.emit(ObsEvent::ReadClassified { line, hit });
+                if hit {
                     // Known hit: one row access returns tags + data.
                     self.reads.insert(
                         txn,
@@ -175,7 +204,17 @@ impl LohHillController {
                 }
             }
             Staged::Writeback { line } => {
-                if self.missmap.contains(line * 64) {
+                let hit = self.missmap.contains(line * 64);
+                self.emit(ObsEvent::WbResolved {
+                    line,
+                    hit,
+                    // The MissMap resolves presence exactly on-chip; the
+                    // tag-group read is way discovery, not a probe of
+                    // uncertain outcome.
+                    probe_skipped: true,
+                    allocated: !hit,
+                });
+                if hit {
                     self.stats.wb_hits += 1;
                     // Way discovery: read the tag group; then write data +
                     // tag/LRU state.
@@ -286,6 +325,9 @@ impl L4Cache for LohHillController {
             }
         }
         self.completions = completions;
+        if self.observe {
+            out.events.append(&mut self.staged_events);
+        }
     }
 
     fn stats(&self) -> &L4Stats {
@@ -303,6 +345,14 @@ impl L4Cache for LohHillController {
 
     fn pending_txns(&self) -> usize {
         self.reads.len() + self.staged.len()
+    }
+
+    fn contains_line(&self, line: u64) -> Option<bool> {
+        Some(self.store.contains(line))
+    }
+
+    fn set_observe(&mut self, on: bool) {
+        self.observe = on;
     }
 }
 

@@ -14,6 +14,7 @@ pub mod placement;
 pub mod sram_tags;
 
 use crate::config::{DesignKind, SystemConfig};
+use crate::events::ObsEvent;
 use crate::harness::DeviceHarness;
 use bear_sim::faultinject::FaultKind;
 use bear_sim::invariants::InvariantSink;
@@ -40,13 +41,18 @@ pub struct L4Outputs {
     /// Lines evicted from the DRAM cache this tick (drives DCP clearing and
     /// inclusive back-invalidation).
     pub evictions: Vec<u64>,
+    /// Oracle observation events emitted this tick, in decision order.
+    /// Always empty unless observation was armed via
+    /// [`L4Cache::set_observe`].
+    pub events: Vec<ObsEvent>,
 }
 
 impl L4Outputs {
-    /// Clears both lists for reuse across ticks.
+    /// Clears all lists for reuse across ticks.
     pub fn clear(&mut self) {
         self.deliveries.clear();
         self.evictions.clear();
+        self.events.clear();
     }
 }
 
@@ -171,6 +177,12 @@ pub trait L4Cache {
     fn inject_fault(&mut self, _fault: FaultKind) -> bool {
         false
     }
+
+    /// Arms (or disarms) oracle observation: when on, the controller emits
+    /// [`ObsEvent`]s into [`L4Outputs::events`] at every functional
+    /// decision instant. Off by default; the default impl ignores the
+    /// request (valid only for controllers that emit no events).
+    fn set_observe(&mut self, _on: bool) {}
 }
 
 /// Builds the controller for `cfg.design`.

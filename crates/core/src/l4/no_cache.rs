@@ -5,6 +5,7 @@
 //! evictions write back to it.
 
 use crate::config::SystemConfig;
+use crate::events::ObsEvent;
 use crate::harness::{DeviceHarness, Leg, RoutedCompletion};
 use crate::l4::{Delivery, L4Cache, L4Outputs, L4Stats};
 use crate::traffic::MemTraffic;
@@ -19,6 +20,8 @@ pub struct NoCacheController {
     next_txn: u64,
     stats: L4Stats,
     completions: Vec<RoutedCompletion>,
+    observe: bool,
+    staged_events: Vec<ObsEvent>,
 }
 
 impl NoCacheController {
@@ -30,6 +33,14 @@ impl NoCacheController {
             next_txn: 0,
             stats: L4Stats::default(),
             completions: Vec::new(),
+            observe: false,
+            staged_events: Vec::new(),
+        }
+    }
+
+    fn emit(&mut self, ev: ObsEvent) {
+        if self.observe {
+            self.staged_events.push(ev);
         }
     }
 }
@@ -37,6 +48,8 @@ impl NoCacheController {
 impl L4Cache for NoCacheController {
     fn submit_read(&mut self, line: u64, _pc: u64, _core: u32, now: Cycle) {
         self.stats.read_lookups += 1;
+        // There is no cache: every demand read is a miss by construction.
+        self.emit(ObsEvent::ReadClassified { line, hit: false });
         self.next_txn += 1;
         self.reads.insert(self.next_txn, (line, now));
         self.harness
@@ -45,6 +58,12 @@ impl L4Cache for NoCacheController {
 
     fn submit_writeback(&mut self, line: u64, _dcp_hint: Option<bool>, now: Cycle) {
         self.stats.wb_lookups += 1;
+        self.emit(ObsEvent::WbResolved {
+            line,
+            hit: false,
+            probe_skipped: true,
+            allocated: false,
+        });
         self.submit_direct_mem_write(line, now);
     }
 
@@ -71,6 +90,9 @@ impl L4Cache for NoCacheController {
             }
         }
         self.completions = completions;
+        if self.observe {
+            out.events.append(&mut self.staged_events);
+        }
     }
 
     fn stats(&self) -> &L4Stats {
@@ -88,6 +110,14 @@ impl L4Cache for NoCacheController {
 
     fn pending_txns(&self) -> usize {
         self.reads.len()
+    }
+
+    fn contains_line(&self, _line: u64) -> Option<bool> {
+        Some(false)
+    }
+
+    fn set_observe(&mut self, on: bool) {
+        self.observe = on;
     }
 }
 

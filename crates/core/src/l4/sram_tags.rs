@@ -10,6 +10,7 @@
 //! 4 KB sector can push up to 64 dirty blocks.
 
 use crate::config::{DesignKind, SystemConfig};
+use crate::events::{FillCause, ObsEvent};
 use crate::harness::{DeviceHarness, Leg, RoutedCompletion};
 use crate::l4::placement::SetPlacement;
 use crate::l4::{Delivery, L4Cache, L4Outputs, L4Stats};
@@ -60,6 +61,8 @@ struct SramTagController {
     /// Evictions produced by submit-path writebacks, re-emitted on the
     /// next tick (the trait reports evictions through `tick` outputs).
     pending_evictions: Vec<u64>,
+    observe: bool,
+    staged_events: Vec<ObsEvent>,
 }
 
 impl TisController {
@@ -122,12 +125,20 @@ impl SramTagController {
             stats: L4Stats::default(),
             completions: Vec::with_capacity(16),
             pending_evictions: Vec::new(),
+            observe: false,
+            staged_events: Vec::new(),
         }
     }
 
     fn alloc_txn(&mut self) -> u64 {
         self.next_txn += 1;
         self.next_txn
+    }
+
+    fn emit(&mut self, ev: ObsEvent) {
+        if self.observe {
+            self.staged_events.push(ev);
+        }
     }
 
     /// Data location: lines are striped row-by-row in line order.
@@ -151,6 +162,13 @@ impl SramTagController {
                     let vline = v.addr / 64;
                     self.stats.evictions += 1;
                     out.evictions.push(vline);
+                    if self.observe {
+                        // Direct field push: `t` still borrows `self.tags`.
+                        self.staged_events.push(ObsEvent::Evicted {
+                            line: vline,
+                            dirty: v.dirty,
+                        });
+                    }
                     if v.dirty {
                         let txn = self.next_txn + 1;
                         self.next_txn = txn;
@@ -185,6 +203,12 @@ impl SramTagController {
                         for i in 0..v.dirty_blocks as u64 {
                             let vline = first_vline + i;
                             out.evictions.push(vline);
+                            if self.observe {
+                                self.staged_events.push(ObsEvent::Evicted {
+                                    line: vline,
+                                    dirty: true,
+                                });
+                            }
                             let txn = self.next_txn + 1;
                             self.next_txn = txn;
                             self.harness.cache_read(
@@ -208,11 +232,26 @@ impl SramTagController {
                         // DCP-style listeners stay coherent.
                         for i in v.dirty_blocks as u64..v.valid_blocks as u64 {
                             out.evictions.push(first_vline + i);
+                            if self.observe {
+                                self.staged_events.push(ObsEvent::Evicted {
+                                    line: first_vline + i,
+                                    dirty: false,
+                                });
+                            }
                         }
                     }
                 }
             },
         }
+        self.emit(ObsEvent::Filled {
+            line,
+            dirty,
+            cause: if dirty {
+                FillCause::Writeback
+            } else {
+                FillCause::Demand
+            },
+        });
     }
 
     fn submit_read(&mut self, line: u64, now: Cycle) {
@@ -221,6 +260,7 @@ impl SramTagController {
             TagModel::Tis(t) => t.access(line * 64, false).is_some(),
             TagModel::Sector(s) => s.probe(line * 64) == SectorProbe::BlockHit,
         };
+        self.emit(ObsEvent::ReadClassified { line, hit });
         let txn = self.alloc_txn();
         self.reads.insert(
             txn,
@@ -247,7 +287,14 @@ impl SramTagController {
 
     fn submit_writeback(&mut self, line: u64, now: Cycle, out: &mut L4Outputs) {
         self.stats.wb_lookups += 1;
-        if self.present(line) {
+        let hit = self.present(line);
+        self.emit(ObsEvent::WbResolved {
+            line,
+            hit,
+            probe_skipped: true, // on-chip tags: presence known without probing
+            allocated: !hit,
+        });
+        if hit {
             self.stats.wb_hits += 1;
             self.stats.wb_probes_avoided += 1; // on-chip tags: no probe ever
             match &mut self.tags {
@@ -326,6 +373,9 @@ impl SramTagController {
             }
         }
         self.completions = completions;
+        if self.observe {
+            out.events.append(&mut self.staged_events);
+        }
     }
 }
 
@@ -375,6 +425,17 @@ macro_rules! delegate_l4 {
 
             fn pending_txns(&self) -> usize {
                 self.inner.reads.len()
+            }
+
+            fn contains_line(&self, line: u64) -> Option<bool> {
+                Some(match &self.inner.tags {
+                    TagModel::Tis(t) => t.contains(line * 64),
+                    TagModel::Sector(s) => s.peek(line * 64) == SectorProbe::BlockHit,
+                })
+            }
+
+            fn set_observe(&mut self, on: bool) {
+                self.inner.observe = on;
             }
         }
     };

@@ -40,6 +40,7 @@
 pub mod bab;
 pub mod config;
 pub mod contents;
+pub mod events;
 pub mod harness;
 pub mod l3;
 pub mod l4;

@@ -7,6 +7,7 @@
 //! CPU-cycle tick with a delay wheel for latency-staged events.
 
 use crate::config::{DesignKind, SystemConfig};
+use crate::events::ObsEvent;
 use crate::l3::{L3Cache, L3Result};
 use crate::l4::{build_controller, L4Cache, L4Outputs};
 use crate::metrics::{BloatBreakdown, L4StatsSnapshot, RunStats};
@@ -15,7 +16,7 @@ use bear_sim::error::SimError;
 use bear_sim::faultinject::{FaultKind, FaultPlan};
 use bear_sim::invariants::{CheckMode, InvariantSink, Violation};
 use bear_sim::time::Cycle;
-use bear_workloads::{TraceGenerator, Workload};
+use bear_workloads::{TraceGenerator, TraceSource, Workload};
 use std::collections::{BTreeMap, HashMap};
 
 /// Address-space stride separating per-core footprints (mirrors the
@@ -34,7 +35,7 @@ const PAGE_BITS: u64 = 52;
 /// virtual memory system provides the same property. Spatial locality
 /// within each 4 KB page is preserved.
 #[inline]
-fn translate(addr: u64) -> u64 {
+pub fn translate(addr: u64) -> u64 {
     const MASK: u64 = (1 << PAGE_BITS) - 1;
     let mut page = (addr >> 12) & MASK;
     let offset = addr & 0xFFF;
@@ -77,6 +78,14 @@ pub struct System {
     sink: InvariantSink,
     /// Scheduled state corruptions (testing only; empty otherwise).
     faults: FaultPlan,
+    /// Oracle observation: when armed, the system and the L4 controller
+    /// emit [`ObsEvent`]s describing every functional decision.
+    observe: bool,
+    /// Events accumulated since the last [`System::drain_events`] call,
+    /// in decision order.
+    events: Vec<ObsEvent>,
+    /// When set, cores stop issuing new accesses (drain/quiesce support).
+    cores_halted: bool,
 }
 
 impl std::fmt::Debug for System {
@@ -125,7 +134,32 @@ impl System {
                 Core::new(i as u32, Box::new(trace), cfg.core)
             })
             .collect();
-        Ok(System {
+        Ok(Self::assemble(cfg, cores))
+    }
+
+    /// Builds the system from explicit trace sources, one core per source.
+    ///
+    /// This is the oracle/fuzzer entry point: adversarial traces are not
+    /// benchmark profiles, so they cannot ride through [`Workload`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] when `cfg` fails validation.
+    pub fn build_with_sources(
+        cfg: &SystemConfig,
+        sources: Vec<Box<dyn TraceSource>>,
+    ) -> Result<Self, SimError> {
+        cfg.validate()?;
+        let cores = sources
+            .into_iter()
+            .enumerate()
+            .map(|(i, src)| Core::new(i as u32, src, cfg.core))
+            .collect();
+        Ok(Self::assemble(cfg, cores))
+    }
+
+    fn assemble(cfg: &SystemConfig, cores: Vec<Core>) -> Self {
+        System {
             cores,
             l3: L3Cache::new(cfg.l3_capacity(), cfg.l3_ways),
             l4: build_controller(cfg),
@@ -135,8 +169,11 @@ impl System {
             outputs: L4Outputs::default(),
             sink: InvariantSink::default(),
             faults: FaultPlan::none(),
+            observe: false,
+            events: Vec::new(),
+            cores_halted: false,
             cfg: cfg.clone(),
-        })
+        }
     }
 
     /// Convenience constructor with a rate-mode single-benchmark workload.
@@ -182,6 +219,64 @@ impl System {
         self.sink.violations()
     }
 
+    /// Arms (or disarms) oracle observation on the system and the L4
+    /// controller. While armed, every functional decision appends an
+    /// [`ObsEvent`]; drain them each tick with [`System::drain_events`].
+    pub fn set_observe(&mut self, on: bool) {
+        self.observe = on;
+        self.l4.set_observe(on);
+        if !on {
+            self.events.clear();
+        }
+    }
+
+    /// Takes the events accumulated since the previous call, in decision
+    /// order. Empty unless observation is armed.
+    pub fn drain_events(&mut self) -> Vec<ObsEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Stops the cores from issuing further memory accesses, so in-flight
+    /// traffic can drain (see [`System::quiesce`]).
+    pub fn halt_cores(&mut self) {
+        self.cores_halted = true;
+    }
+
+    /// Whether every queue in the memory system is empty.
+    pub fn is_drained(&self) -> bool {
+        self.wheel.is_empty()
+            && self.pending_lines.is_empty()
+            && self.l4.pending_txns() == 0
+            && self.l4.harness().pending() == 0
+    }
+
+    /// Halts the cores and ticks until the memory system drains, up to
+    /// `budget` cycles. Returns whether it fully drained — exact
+    /// end-of-run audits (byte accounting, counter totals) are only
+    /// meaningful on a drained system.
+    pub fn quiesce(&mut self, budget: u64) -> bool {
+        self.halt_cores();
+        for _ in 0..budget {
+            if self.is_drained() {
+                return true;
+            }
+            self.tick();
+        }
+        self.is_drained()
+    }
+
+    /// Read-only view of the L4 controller (oracle audits read stats and
+    /// device byte counters through this).
+    pub fn l4_cache(&self) -> &dyn L4Cache {
+        self.l4.as_ref()
+    }
+
+    fn emit(&mut self, ev: ObsEvent) {
+        if self.observe {
+            self.events.push(ev);
+        }
+    }
+
     fn schedule(&mut self, at: Cycle, ev: Staged) {
         self.wheel.entry(at.0).or_default().push(ev);
     }
@@ -190,7 +285,13 @@ impl System {
     fn l3_access(&mut self, core: u32, token: LoadToken, addr: u64, is_store: bool, pc: u64) {
         let line = translate(addr) / 64;
         let lat = self.cfg.l3_latency;
-        match self.l3.access(line, is_store) {
+        let result = self.l3.access(line, is_store);
+        self.emit(ObsEvent::L3Access {
+            line,
+            is_store,
+            hit: matches!(result, L3Result::Hit),
+        });
+        match result {
             L3Result::Hit => {
                 self.schedule(self.clock + lat, Staged::Complete { core, token });
             }
@@ -220,16 +321,31 @@ impl System {
             .unwrap_or_default();
         let any_store = waiters.iter().any(|w| w.is_store);
         let dcp_bit = delivery.in_l4;
-        if !self.l3.contains(delivery.line) {
-            if let Some(wb) = self.l3.fill(delivery.line, any_store, dcp_bit) {
-                let hint = wb.dcp;
-                self.schedule(
-                    self.clock + 1,
-                    Staged::SubmitWriteback {
-                        line: wb.line,
-                        dcp: hint,
-                    },
-                );
+        let fills_l3 = !self.l3.contains(delivery.line);
+        self.emit(ObsEvent::Delivered {
+            line: delivery.line,
+            l4_hit: delivery.l4_hit,
+            in_l4: delivery.in_l4,
+            filled_l3: fills_l3,
+            dirty: any_store,
+        });
+        if fills_l3 {
+            if let Some(victim) = self.l3.fill(delivery.line, any_store, dcp_bit) {
+                self.emit(ObsEvent::L3Evicted {
+                    line: victim.line,
+                    dirty: victim.dirty,
+                    dcp: victim.dcp,
+                });
+                if victim.dirty {
+                    self.check_dcp_at_eviction(victim.line, victim.dcp);
+                    self.schedule(
+                        self.clock + 1,
+                        Staged::SubmitWriteback {
+                            line: victim.line,
+                            dcp: victim.dcp,
+                        },
+                    );
+                }
             }
         }
         for w in waiters {
@@ -237,18 +353,42 @@ impl System {
         }
     }
 
+    /// Point-of-eviction DCP agreement check: the presence bit shipped
+    /// with a dirty L3 eviction must not claim "present" for a line the
+    /// DRAM cache can prove absent — a stale bit here silently skips a
+    /// required writeback probe. Checked at the eviction instant (not the
+    /// periodic sweep) so the report carries the exact cycle the bad hint
+    /// was generated. Only Alloy-with-DCP maintains the bit exactly.
+    fn check_dcp_at_eviction(&mut self, line: u64, dcp: bool) {
+        if !self.sink.enabled() || self.cfg.design != DesignKind::Alloy || !self.cfg.bear.dcp {
+            return;
+        }
+        if dcp && self.l4.contains_line(line) == Some(false) {
+            self.sink.report("dcp-at-eviction", self.clock.0, || {
+                format!(
+                    "dirty L3 eviction of line {line:#x} carries DCP=present \
+                     but the DRAM cache holds no such line"
+                )
+            });
+        }
+    }
+
     /// Applies one L4 eviction notification.
     fn apply_eviction(&mut self, line: u64) {
         match self.cfg.design {
-            DesignKind::InclusiveAlloy => {
-                if let Some(wb) = self.l3.back_invalidate(line) {
+            DesignKind::InclusiveAlloy => match self.l3.back_invalidate(line) {
+                Some(wb) => {
+                    self.emit(ObsEvent::L3BackInvalidate { line, dirty: true });
+                    self.emit(ObsEvent::DirectMemWrite { line: wb.line });
                     // The dirty on-chip copy can no longer write back into
                     // the DRAM cache: it goes straight to memory.
                     self.l4.submit_direct_mem_write(wb.line, self.clock);
                 }
-            }
+                None => self.emit(ObsEvent::L3BackInvalidate { line, dirty: false }),
+            },
             _ => {
                 if self.cfg.bear.dcp {
+                    self.emit(ObsEvent::DcpCleared { line });
                     self.l3.clear_dcp(line);
                 }
             }
@@ -321,10 +461,13 @@ impl System {
             }
         }
 
-        // 1. Cores issue at most one memory access each.
-        for i in 0..self.cores.len() {
-            if let Some(req) = self.cores[i].tick(now) {
-                self.l3_access(req.core, req.token, req.addr, req.is_store, req.pc);
+        // 1. Cores issue at most one memory access each (unless halted for
+        //    a drain).
+        if !self.cores_halted {
+            for i in 0..self.cores.len() {
+                if let Some(req) = self.cores[i].tick(now) {
+                    self.l3_access(req.core, req.token, req.addr, req.is_store, req.pc);
+                }
             }
         }
 
@@ -340,21 +483,32 @@ impl System {
                     }
                     Staged::SubmitWriteback { line, dcp } => {
                         let hint = self.cfg.bear.dcp.then_some(dcp);
+                        self.emit(ObsEvent::WbSubmitted { line, hint });
                         self.l4.submit_writeback(line, hint, now);
                     }
                 }
             }
         }
 
-        // 3. Memory system.
+        // 3. Memory system. Controller events merge in before the
+        //    delivery/eviction processing that reacts to them, keeping the
+        //    per-line decision order intact for the oracle. Eviction
+        //    notifications apply before deliveries: the L4 state change
+        //    they describe already happened inside `tick`, and a same-tick
+        //    delivery may displace an L3 line whose DCP bit this batch is
+        //    about to clear — the clear must win, or the victim's
+        //    writeback ships a stale probe-skip hint.
         let mut outputs = std::mem::take(&mut self.outputs);
         outputs.clear();
         self.l4.tick(now, &mut outputs);
-        for d in outputs.deliveries.drain(..) {
-            self.apply_delivery(d);
+        if self.observe {
+            self.events.append(&mut outputs.events);
         }
         for line in outputs.evictions.drain(..) {
             self.apply_eviction(line);
+        }
+        for d in outputs.deliveries.drain(..) {
+            self.apply_delivery(d);
         }
         self.outputs = outputs;
 
@@ -677,6 +831,67 @@ mod tests {
                 sys.violations()
             );
         }
+    }
+
+    #[test]
+    fn dcp_at_eviction_reports_stale_presence_bit() {
+        let mut cfg = quick_cfg(DesignKind::Alloy);
+        cfg.bear = BearFeatures::bab_dcp();
+        let mut sys = System::build_rate(&cfg, "sphinx3");
+        sys.set_check_mode(bear_sim::invariants::CheckMode::Record);
+        // A line the DRAM cache has never seen: provably absent.
+        let line = 0xDEAD;
+        assert_eq!(sys.l4.contains_line(line), Some(false));
+        // A truthful "absent" hint passes; a stale "present" hint reports.
+        sys.check_dcp_at_eviction(line, false);
+        assert!(sys.violations().is_empty());
+        sys.check_dcp_at_eviction(line, true);
+        assert!(
+            sys.violations().iter().any(|v| v.name == "dcp-at-eviction"),
+            "stale DCP bit at eviction must be reported: {:?}",
+            sys.violations()
+        );
+    }
+
+    #[test]
+    fn observation_emits_ordered_events_and_disarms_cleanly() {
+        use crate::events::ObsEvent;
+        let mut cfg = quick_cfg(DesignKind::Alloy);
+        cfg.bear = BearFeatures::full();
+        let mut sys = System::build_rate(&cfg, "sphinx3");
+        sys.set_observe(true);
+        let mut events = Vec::new();
+        for _ in 0..30_000 {
+            sys.tick();
+            events.append(&mut sys.drain_events());
+        }
+        for probe in [
+            events
+                .iter()
+                .any(|e| matches!(e, ObsEvent::L3Access { .. })),
+            events
+                .iter()
+                .any(|e| matches!(e, ObsEvent::ReadClassified { .. })),
+            events
+                .iter()
+                .any(|e| matches!(e, ObsEvent::Delivered { .. })),
+        ] {
+            assert!(probe, "expected event class missing from {}", events.len());
+        }
+        sys.set_observe(false);
+        sys.tick();
+        assert!(sys.drain_events().is_empty(), "disarmed system still emits");
+    }
+
+    #[test]
+    fn quiesce_drains_all_queues() {
+        let cfg = quick_cfg(DesignKind::Alloy);
+        let mut sys = System::build_rate(&cfg, "mcf");
+        for _ in 0..20_000 {
+            sys.tick();
+        }
+        assert!(sys.quiesce(500_000), "system failed to drain");
+        assert!(sys.is_drained());
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! Event tallies accumulated by the shadow while it replays a run.
+//!
+//! These are the oracle's independent re-count of everything the cycle
+//! model also counts: after a quiesced run they must reconcile exactly
+//! with the controller's [`bear_core::l4::L4Stats`] and with the byte
+//! meters on both DRAM devices (see [`crate::audit`]).
+
+/// Independent tallies of the observation stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventCounts {
+    /// `ReadClassified` events (one per demand lookup).
+    pub reads: u64,
+    /// `ReadClassified { hit: true }` events.
+    pub read_hits: u64,
+    /// `NtcConsulted { answer: AbsentClean }` events — each one elides a
+    /// Miss Probe on the cache device.
+    pub ntc_absent_clean: u64,
+    /// `Filled { cause: Demand }` events.
+    pub filled_demand: u64,
+    /// `Filled { cause: Writeback }` events.
+    pub filled_writeback: u64,
+    /// `Bypassed` events.
+    pub bypassed: u64,
+    /// `Evicted` events.
+    pub evictions: u64,
+    /// `Evicted { dirty: true }` events.
+    pub evicted_dirty: u64,
+    /// `WbResolved` events (one per writeback lookup).
+    pub wb_resolved: u64,
+    /// `WbResolved { hit: true }` events.
+    pub wb_hits: u64,
+    /// `WbResolved { hit: false, allocated: true }` events.
+    pub wb_miss_allocated: u64,
+    /// `WbResolved { hit: false, allocated: false }` events.
+    pub wb_miss_unallocated: u64,
+    /// `WbResolved { probe_skipped: false }` events — each one cost a
+    /// Writeback Probe on the cache device.
+    pub wb_probes: u64,
+    /// `DirectMemWrite` events (writebacks routed straight to memory).
+    pub direct_mem_writes: u64,
+}

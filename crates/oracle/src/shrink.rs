@@ -1,0 +1,130 @@
+//! Automatic divergence shrinking (delta debugging).
+//!
+//! Given a diverging trace and a deterministic replay predicate, the
+//! shrinker removes events while the divergence persists, converging on
+//! a near-minimal reproducer — usually a handful of accesses out of the
+//! thousands the fuzzer generated. The algorithm is classic ddmin
+//! (Zeller's delta debugging) with a greedy one-at-a-time tail pass;
+//! replays are bounded so shrinking a pathological case cannot stall a
+//! campaign.
+
+use bear_workloads::TraceEvent;
+
+/// Upper bound on replay invocations per shrink.
+const MAX_REPLAYS: usize = 600;
+
+/// Outcome of a shrink pass.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// The minimized trace (still diverging under the predicate).
+    pub events: Vec<TraceEvent>,
+    /// Replays spent.
+    pub replays: usize,
+}
+
+/// Minimizes `events` under `diverges` (which must return `true` for the
+/// full input and be deterministic). Returns the smallest still-diverging
+/// trace found within the replay budget.
+pub fn shrink<F>(events: &[TraceEvent], mut diverges: F) -> Shrunk
+where
+    F: FnMut(&[TraceEvent]) -> bool,
+{
+    debug_assert!(diverges(events), "shrink input must diverge");
+    let mut current: Vec<TraceEvent> = events.to_vec();
+    let mut replays = 0usize;
+    let mut granularity = 2usize;
+    while current.len() >= 2 && granularity <= current.len() && replays < MAX_REPLAYS {
+        let chunk = current.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut start = 0usize;
+        while start < current.len() && replays < MAX_REPLAYS {
+            let end = (start + chunk).min(current.len());
+            // Complement: everything except [start, end).
+            let mut candidate = Vec::with_capacity(current.len() - (end - start));
+            candidate.extend_from_slice(&current[..start]);
+            candidate.extend_from_slice(&current[end..]);
+            replays += 1;
+            if !candidate.is_empty() && diverges(&candidate) {
+                current = candidate;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                // Restart the sweep at the same granularity.
+                start = 0;
+            } else {
+                start = end;
+            }
+        }
+        if !reduced {
+            if granularity >= current.len() {
+                break;
+            }
+            granularity = (granularity * 2).min(current.len());
+        }
+    }
+    // Greedy single-event polish: ddmin at full granularity can still
+    // leave removable events behind when chunks straddled them.
+    let mut i = 0;
+    while i < current.len() && current.len() > 1 && replays < MAX_REPLAYS {
+        let mut candidate = current.clone();
+        candidate.remove(i);
+        replays += 1;
+        if diverges(&candidate) {
+            current = candidate;
+        } else {
+            i += 1;
+        }
+    }
+    Shrunk {
+        events: current,
+        replays,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(addr: u64) -> TraceEvent {
+        TraceEvent {
+            inst_gap: 1,
+            addr,
+            is_store: false,
+            pc: 0,
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_triggering_event() {
+        let trace: Vec<TraceEvent> = (0..500).map(|i| ev(i * 64)).collect();
+        // Divergence "caused" by the presence of address 0x4000.
+        let s = shrink(&trace, |t| t.iter().any(|e| e.addr == 0x4000));
+        assert_eq!(s.events.len(), 1);
+        assert_eq!(s.events[0].addr, 0x4000);
+        assert!(s.replays <= MAX_REPLAYS);
+    }
+
+    #[test]
+    fn shrinks_conjunction_to_both_events() {
+        let trace: Vec<TraceEvent> = (0..300).map(|i| ev(i * 64)).collect();
+        let s = shrink(&trace, |t| {
+            t.iter().any(|e| e.addr == 0x40) && t.iter().any(|e| e.addr == 0x2000)
+        });
+        assert_eq!(s.events.len(), 2);
+        let addrs: Vec<u64> = s.events.iter().map(|e| e.addr).collect();
+        assert!(addrs.contains(&0x40) && addrs.contains(&0x2000));
+    }
+
+    #[test]
+    fn order_dependent_divergence_keeps_order() {
+        let trace: Vec<TraceEvent> = (0..200).map(|i| ev(i * 64)).collect();
+        // Requires 0x1000 to appear before 0x3000.
+        let s = shrink(&trace, |t| {
+            let a = t.iter().position(|e| e.addr == 0x1000);
+            let b = t.iter().position(|e| e.addr == 0x3000);
+            matches!((a, b), (Some(a), Some(b)) if a < b)
+        });
+        assert_eq!(s.events.len(), 2);
+        assert_eq!(s.events[0].addr, 0x1000);
+        assert_eq!(s.events[1].addr, 0x3000);
+    }
+}

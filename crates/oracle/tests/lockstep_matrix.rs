@@ -1,0 +1,145 @@
+//! The oracle's acceptance suite: zero divergences across the whole
+//! design × feature × pattern matrix, real-workload lockstep, and proof
+//! that a deliberately corrupted model is caught and shrunk to a
+//! near-minimal reproducer.
+
+use bear_core::config::DesignKind;
+use bear_core::system::System;
+use bear_oracle::fuzz::{
+    campaign_cases, quick_config, run_campaign, run_case, run_trace, trace_for, FeatureSet,
+    FuzzCase,
+};
+use bear_oracle::lockstep::run_lockstep;
+use bear_oracle::repro::Repro;
+use bear_oracle::shrink::shrink;
+use bear_sim::faultinject::FaultKind;
+use bear_workloads::{AdversarialPattern, Workload};
+
+/// Every design (at baseline features) and every Alloy feature rung,
+/// against every adversarial pattern, must run divergence-free.
+#[test]
+fn adversarial_matrix_runs_divergence_free() {
+    let report = run_campaign(&campaign_cases(&[0xF00D]), None);
+    let failures: Vec<String> = report
+        .divergences
+        .iter()
+        .map(|d| {
+            format!(
+                "{}/{}/{} seed {}: {}",
+                d.case.design.label(),
+                d.case.features.label(),
+                d.case.pattern.label(),
+                d.case.seed,
+                d.error
+            )
+        })
+        .collect();
+    assert!(failures.is_empty(), "divergences:\n{}", failures.join("\n"));
+    assert_eq!(report.cases_run, 4 * 12);
+    assert!(
+        report.events_checked > 40_000,
+        "matrix checked only {} events — observation broken?",
+        report.events_checked
+    );
+}
+
+/// Lockstep over organic benchmark traffic (the in-tree workload suite's
+/// generators, not just adversarial scripts) for the headline designs.
+#[test]
+fn real_workloads_run_divergence_free() {
+    for design in [
+        DesignKind::Alloy,
+        DesignKind::LohHill,
+        DesignKind::TagsInSram,
+        DesignKind::SectorCache,
+    ] {
+        for (features, profile) in [(FeatureSet::Full, "mcf"), (FeatureSet::None, "libquantum")] {
+            // Non-Alloy designs ignore BEAR features; keep them at
+            // baseline so the config validates for every pairing.
+            let features = if design == DesignKind::Alloy {
+                features
+            } else {
+                FeatureSet::None
+            };
+            let cfg = quick_config(design, features);
+            let profile = bear_workloads::BenchmarkProfile::by_name(profile).unwrap();
+            let mut sys = System::build(&cfg, &Workload::rate(profile));
+            let report = run_lockstep(&mut sys, 25_000, 200_000).unwrap_or_else(|e| {
+                panic!("{}/{}: {e}", design.label(), features.label());
+            });
+            assert!(report.drained, "{} did not quiesce", design.label());
+            assert!(report.events_checked > 0);
+        }
+    }
+}
+
+/// A deliberately corrupted tag must be caught by the oracle alone (the
+/// model's own checks are off) and shrink to a ≤ 64-access reproducer.
+#[test]
+fn seeded_tag_flip_is_caught_and_shrinks_small() {
+    // The tag flip targets a set the NTC currently mirrors — i.e. the
+    // successor of an accessed set — so the aliasing pattern (which works
+    // adjacent set pairs) guarantees the corrupted set stays in the
+    // trace's working set and the stale tag is re-read.
+    let case = FuzzCase::new(
+        DesignKind::Alloy,
+        FeatureSet::Full,
+        AdversarialPattern::NtcNeighborAlias,
+        3,
+    )
+    .with_fault(FaultKind::TagFlip, 2_000);
+    let events = trace_for(&case);
+    let err = run_trace(&case, &events).expect_err("oracle must catch the injected tag flip");
+    assert_eq!(err.kind(), "divergence");
+    let shrunk = shrink(&events, |t| run_trace(&case, t).is_err());
+    assert!(
+        shrunk.events.len() <= 64,
+        "shrunk repro still has {} accesses",
+        shrunk.events.len()
+    );
+    // The minimized trace still reproduces, and survives the repro file
+    // round trip.
+    let err = run_trace(&case, &shrunk.events).expect_err("shrunk trace must still diverge");
+    let repro = Repro::from_case(&case, &err, shrunk.events.clone());
+    let parsed = Repro::parse(&repro.to_text()).unwrap();
+    assert_eq!(parsed, repro);
+    run_trace(&parsed.to_case(), &parsed.events).expect_err("parsed repro must still diverge");
+}
+
+/// A presence-bit flip (stale DCP) must likewise be oracle-visible: the
+/// corrupted hint either breaks the hint check or an illegal probe skip.
+#[test]
+fn seeded_presence_flip_is_caught() {
+    let case = FuzzCase::new(
+        DesignKind::Alloy,
+        FeatureSet::BabDcp,
+        AdversarialPattern::DirtyEvictionFlood,
+        5,
+    )
+    .with_fault(FaultKind::PresenceFlip, 1_500);
+    let err = run_case(&case).expect_err("oracle must catch the stale presence bit");
+    assert_eq!(err.kind(), "divergence");
+}
+
+/// Divergence-seeded campaigns write shrunk repro files into
+/// `<out>/repros/`.
+#[test]
+fn campaign_writes_repro_files_for_divergences() {
+    let dir = std::env::temp_dir().join(format!("bear-oracle-test-{}", std::process::id()));
+    let case = FuzzCase::new(
+        DesignKind::Alloy,
+        FeatureSet::Full,
+        AdversarialPattern::NtcNeighborAlias,
+        3,
+    )
+    .with_fault(FaultKind::TagFlip, 2_000);
+    let report = run_campaign(std::slice::from_ref(&case), Some(&dir));
+    assert_eq!(report.divergences.len(), 1);
+    let div = &report.divergences[0];
+    assert!(div.shrunk_len <= 64);
+    let path = div.repro_path.as_ref().expect("repro file written");
+    assert!(path.starts_with(dir.join("repros")));
+    let parsed = Repro::parse(&std::fs::read_to_string(path).unwrap()).unwrap();
+    assert_eq!(parsed.events.len(), div.shrunk_len);
+    std::fs::remove_dir_all(&dir).ok();
+}

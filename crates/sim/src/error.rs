@@ -65,6 +65,19 @@ pub enum SimError {
         /// The underlying OS error message.
         message: String,
     },
+    /// The cycle-level model and the untimed shadow oracle disagreed on a
+    /// functional outcome (hit/miss classification, presence state, bypass
+    /// legality, or cumulative byte accounting).
+    Divergence {
+        /// Cycle at which the disagreement was observed.
+        cycle: u64,
+        /// Which oracle check fired (e.g. `"read-classification"`).
+        check: String,
+        /// What the cycle-level model reported.
+        cycle_view: String,
+        /// What the shadow oracle expected.
+        oracle_view: String,
+    },
 }
 
 impl SimError {
@@ -100,6 +113,21 @@ impl SimError {
         }
     }
 
+    /// Builds a [`SimError::Divergence`].
+    pub fn divergence(
+        cycle: u64,
+        check: impl Into<String>,
+        cycle_view: impl Into<String>,
+        oracle_view: impl Into<String>,
+    ) -> Self {
+        SimError::Divergence {
+            cycle,
+            check: check.into(),
+            cycle_view: cycle_view.into(),
+            oracle_view: oracle_view.into(),
+        }
+    }
+
     /// Returns the same error with its `context` field replaced — used when
     /// an inner validation error is re-reported by an outer config (e.g. a
     /// DRAM error re-contextualised as `"cache_dram"`).
@@ -122,7 +150,7 @@ impl SimError {
     }
 
     /// Short machine-readable tag for report rows: one of `"config"`,
-    /// `"panic"`, `"stalled"`, `"invariant"`, `"io"`.
+    /// `"panic"`, `"stalled"`, `"invariant"`, `"io"`, `"divergence"`.
     pub fn kind(&self) -> &'static str {
         match self {
             SimError::Config { .. } => "config",
@@ -130,6 +158,7 @@ impl SimError {
             SimError::Stalled { .. } => "stalled",
             SimError::Invariant { .. } => "invariant",
             SimError::Io { .. } => "io",
+            SimError::Divergence { .. } => "divergence",
         }
     }
 }
@@ -151,6 +180,18 @@ impl fmt::Display for SimError {
             }
             SimError::Io { context, message } => {
                 write!(f, "io error ({context}): {message}")
+            }
+            SimError::Divergence {
+                cycle,
+                check,
+                cycle_view,
+                oracle_view,
+            } => {
+                write!(
+                    f,
+                    "oracle divergence at cycle {cycle} ({check}): \
+                     cycle model saw [{cycle_view}], oracle expected [{oracle_view}]"
+                )
             }
         }
     }
@@ -202,11 +243,23 @@ mod tests {
             .kind(),
             SimError::invariant("a", "b").kind(),
             SimError::io("a", "b").kind(),
+            SimError::divergence(0, "a", "b", "c").kind(),
         ];
         let mut dedup = kinds.to_vec();
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), kinds.len());
+    }
+
+    #[test]
+    fn divergence_display_carries_both_views() {
+        let e = SimError::divergence(512, "read-classification", "miss", "hit (line 0x40)");
+        assert_eq!(e.kind(), "divergence");
+        let s = format!("{e}");
+        assert!(s.contains("cycle 512"));
+        assert!(s.contains("read-classification"));
+        assert!(s.contains("miss"), "cycle model's view must be shown");
+        assert!(s.contains("hit (line 0x40)"), "oracle's view must be shown");
     }
 
     #[test]

@@ -56,6 +56,12 @@ impl FaultKind {
             FaultKind::ByteAccounting => "byte-accounting",
         }
     }
+
+    /// Parses a [`FaultKind::label`] back into the kind — used when reading
+    /// serialized fuzz reproducers. Returns `None` for unknown labels.
+    pub fn from_label(label: &str) -> Option<FaultKind> {
+        FaultKind::ALL.into_iter().find(|k| k.label() == label)
+    }
 }
 
 /// One scheduled corruption.
@@ -195,5 +201,13 @@ mod tests {
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), FaultKind::ALL.len());
+    }
+
+    #[test]
+    fn labels_round_trip_through_from_label() {
+        for kind in FaultKind::ALL {
+            assert_eq!(FaultKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(FaultKind::from_label("not-a-fault"), None);
     }
 }

@@ -60,9 +60,12 @@ pub enum CheckMode {
 
 impl CheckMode {
     /// The default for the current build profile: [`CheckMode::Panic`] in
-    /// debug builds, [`CheckMode::Off`] in release builds.
+    /// debug builds, [`CheckMode::Off`] in release builds. Enabling the
+    /// `oracle-checks` cargo feature forces [`CheckMode::Panic`] regardless
+    /// of profile, so release-mode fuzz/oracle campaigns keep the
+    /// corruption detectors armed at full simulation speed.
     pub fn default_for_build() -> Self {
-        if cfg!(debug_assertions) {
+        if cfg!(debug_assertions) || cfg!(feature = "oracle-checks") {
             CheckMode::Panic
         } else {
             CheckMode::Off
@@ -176,7 +179,7 @@ mod tests {
     #[test]
     fn build_default_matches_profile() {
         let mode = CheckMode::default_for_build();
-        if cfg!(debug_assertions) {
+        if cfg!(debug_assertions) || cfg!(feature = "oracle-checks") {
             assert_eq!(mode, CheckMode::Panic);
         } else {
             assert_eq!(mode, CheckMode::Off);

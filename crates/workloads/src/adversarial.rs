@@ -1,0 +1,278 @@
+//! Adversarial workload generation for the differential oracle.
+//!
+//! Randomized benchmark-shaped traffic ([`crate::TraceGenerator`]) explores
+//! the common paths; the fuzzer's job is the *uncommon* ones. Each
+//! [`AdversarialPattern`] concentrates accesses on a structural weak point
+//! of the BEAR hierarchy — direct-mapped set conflicts, dirty-eviction
+//! writeback storms, BAB duel-set mode thrashing, NTC neighbor-entry
+//! aliasing — so that a handful of thousand accesses exercises state
+//! transitions that organic traffic reaches only after millions.
+//!
+//! The generators are pure functions of `(pattern, pool, len, seed)`:
+//! identical inputs produce identical traces (seeded from
+//! [`bear_sim::rng::SimRng`]), which is what makes divergence shrinking and
+//! repro files possible. The *pool* is the set of byte addresses the
+//! pattern plays with; callers that know the physical translation craft
+//! pools whose lines collide in DRAM-cache sets or alias as NTC
+//! neighbors — this crate stays address-agnostic.
+
+use crate::generator::{TraceEvent, TraceSource};
+use bear_sim::rng::SimRng;
+
+/// Families of adversarial access patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdversarialPattern {
+    /// Rapid cycling over set-colliding lines: every access conflict-misses
+    /// a direct-mapped set, stressing fill/evict/bypass decisions and the
+    /// NTC's view of constantly-changing occupants.
+    SetConflictStorm,
+    /// Store-heavy sweeps wider than the L3: a continuous stream of dirty
+    /// L3 evictions stresses the writeback path (probes, DCP hints,
+    /// write-allocate victims).
+    DirtyEvictionFlood,
+    /// Alternating reuse-friendly and scan phases on the same lines: the
+    /// BAB duel flips its mode bit repeatedly, exercising fills and
+    /// bypasses in close succession on the same sets.
+    DuelSetThrash,
+    /// Ping-pong between neighboring sets with rotating tags: NTC entries
+    /// are recorded, aliased, and invalidated in tight succession.
+    NtcNeighborAlias,
+}
+
+impl AdversarialPattern {
+    /// All patterns, in campaign order.
+    pub const ALL: [AdversarialPattern; 4] = [
+        AdversarialPattern::SetConflictStorm,
+        AdversarialPattern::DirtyEvictionFlood,
+        AdversarialPattern::DuelSetThrash,
+        AdversarialPattern::NtcNeighborAlias,
+    ];
+
+    /// Stable label used in repro files and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            AdversarialPattern::SetConflictStorm => "set-conflict-storm",
+            AdversarialPattern::DirtyEvictionFlood => "dirty-eviction-flood",
+            AdversarialPattern::DuelSetThrash => "duel-set-thrash",
+            AdversarialPattern::NtcNeighborAlias => "ntc-neighbor-alias",
+        }
+    }
+
+    /// Recovers a pattern from its [`AdversarialPattern::label`].
+    pub fn from_label(label: &str) -> Option<AdversarialPattern> {
+        Self::ALL.into_iter().find(|p| p.label() == label)
+    }
+
+    /// Generates `len` events over `pool` (64 B-aligned byte addresses),
+    /// deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool` is empty.
+    pub fn generate(self, pool: &[u64], len: usize, seed: u64) -> Vec<TraceEvent> {
+        assert!(!pool.is_empty(), "adversarial pool must not be empty");
+        // Salt the stream per pattern so campaigns sharing one seed do not
+        // replay correlated random choices across patterns.
+        let mut rng = SimRng::new(seed ^ (self.label().len() as u64) << 56 ^ 0xAD5E_7215);
+        let mut out = Vec::with_capacity(len);
+        match self {
+            AdversarialPattern::SetConflictStorm => {
+                // Tight rotation with occasional random jumps: the same few
+                // sets see a new tag almost every access.
+                let mut at = 0usize;
+                for _ in 0..len {
+                    at = if rng.chance(0.85) {
+                        (at + 1) % pool.len()
+                    } else {
+                        rng.next_below(pool.len() as u64) as usize
+                    };
+                    out.push(TraceEvent {
+                        inst_gap: 1 + rng.next_below(3) as u32,
+                        addr: pool[at],
+                        is_store: rng.chance(0.2),
+                        pc: 0x4000 + (at as u64 % 8) * 64,
+                    });
+                }
+            }
+            AdversarialPattern::DirtyEvictionFlood => {
+                // Two passes over each address: a store dirties the L3
+                // line, a later conflict pushes it out dirty. High store
+                // fraction keeps the writeback queue saturated.
+                for i in 0..len {
+                    let at = if rng.chance(0.7) {
+                        i % pool.len()
+                    } else {
+                        rng.next_below(pool.len() as u64) as usize
+                    };
+                    out.push(TraceEvent {
+                        inst_gap: 1,
+                        addr: pool[at],
+                        is_store: rng.chance(0.9),
+                        pc: 0x8000 + (at as u64 % 4) * 64,
+                    });
+                }
+            }
+            AdversarialPattern::DuelSetThrash => {
+                // Alternate phases: a reuse loop over a tiny prefix of the
+                // pool (hit-friendly), then a scan across the whole pool
+                // (miss-heavy). Each boundary pushes the duel toward the
+                // opposite verdict.
+                let phase = 48usize;
+                let hot = pool.len().div_ceil(8).max(1);
+                for i in 0..len {
+                    let scanning = (i / phase) % 2 == 1;
+                    let at = if scanning {
+                        rng.next_below(pool.len() as u64) as usize
+                    } else {
+                        i % hot
+                    };
+                    out.push(TraceEvent {
+                        inst_gap: 1 + rng.next_below(2) as u32,
+                        addr: pool[at],
+                        is_store: rng.chance(0.1),
+                        pc: 0xC000 + if scanning { 64 } else { 0 },
+                    });
+                }
+            }
+            AdversarialPattern::NtcNeighborAlias => {
+                // Visit pool entries in adjacent pairs (even/odd), flipping
+                // between them so each probe streams the other's tag into
+                // the NTC right before that tag changes. Stores mix dirty
+                // occupants into the recorded entries.
+                let pairs = (pool.len() / 2).max(1);
+                for _ in 0..len {
+                    let pair = rng.next_below(pairs as u64) as usize;
+                    let side = rng.next_below(2) as usize;
+                    let at = (2 * pair + side).min(pool.len() - 1);
+                    out.push(TraceEvent {
+                        inst_gap: 1 + rng.next_below(2) as u32,
+                        addr: pool[at],
+                        is_store: rng.chance(0.3),
+                        pc: 0x1_0000 + (pair as u64 % 8) * 64,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A finite scripted trace replayed as an endless loop.
+///
+/// [`TraceSource`] contractually never exhausts, so the script wraps
+/// around; fuzz campaigns and shrunk repros bound their runs by cycles, not
+/// by trace length.
+#[derive(Debug, Clone)]
+pub struct ScriptedTrace {
+    name: String,
+    events: Vec<TraceEvent>,
+    at: usize,
+}
+
+impl ScriptedTrace {
+    /// Wraps `events` (non-empty) as a looping trace source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `events` is empty.
+    pub fn new(name: impl Into<String>, events: Vec<TraceEvent>) -> Self {
+        assert!(!events.is_empty(), "scripted trace must not be empty");
+        ScriptedTrace {
+            name: name.into(),
+            events,
+            at: 0,
+        }
+    }
+
+    /// The underlying script.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+}
+
+impl TraceSource for ScriptedTrace {
+    fn next_event(&mut self) -> TraceEvent {
+        let ev = self.events[self.at];
+        self.at = (self.at + 1) % self.events.len();
+        ev
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> Vec<u64> {
+        (0..32u64).map(|i| i * 4096).collect()
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        for p in AdversarialPattern::ALL {
+            let a = p.generate(&pool(), 500, 42);
+            let b = p.generate(&pool(), 500, 42);
+            let c = p.generate(&pool(), 500, 43);
+            assert_eq!(a, b, "{p:?} not deterministic");
+            assert_ne!(a, c, "{p:?} ignores its seed");
+            assert_eq!(a.len(), 500);
+        }
+    }
+
+    #[test]
+    fn events_stay_within_pool_and_are_aligned() {
+        let pool = pool();
+        for p in AdversarialPattern::ALL {
+            for ev in p.generate(&pool, 300, 7) {
+                assert!(pool.contains(&ev.addr), "{p:?} left the pool");
+                assert_eq!(ev.addr % 64, 0);
+                assert!(ev.inst_gap >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn patterns_differ_in_store_intensity() {
+        let pool = pool();
+        let stores = |p: AdversarialPattern| {
+            p.generate(&pool, 2000, 9)
+                .iter()
+                .filter(|e| e.is_store)
+                .count()
+        };
+        let flood = stores(AdversarialPattern::DirtyEvictionFlood);
+        let thrash = stores(AdversarialPattern::DuelSetThrash);
+        assert!(
+            flood > 4 * thrash,
+            "flood {flood} must be store-heavy vs thrash {thrash}"
+        );
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for p in AdversarialPattern::ALL {
+            assert_eq!(AdversarialPattern::from_label(p.label()), Some(p));
+        }
+        assert_eq!(AdversarialPattern::from_label("nope"), None);
+    }
+
+    #[test]
+    fn scripted_trace_loops() {
+        let evs = AdversarialPattern::SetConflictStorm.generate(&pool(), 3, 1);
+        let mut t = ScriptedTrace::new("loop", evs.clone());
+        assert_eq!(t.name(), "loop");
+        for i in 0..9 {
+            assert_eq!(t.next_event(), evs[i % 3]);
+        }
+        assert_eq!(t.events().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_script_rejected() {
+        ScriptedTrace::new("x", Vec::new());
+    }
+}

@@ -21,11 +21,13 @@
 //! assert!(ev.inst_gap >= 1);
 //! ```
 
+pub mod adversarial;
 pub mod generator;
 pub mod profile;
 pub mod suites;
 pub mod trace_file;
 
+pub use adversarial::{AdversarialPattern, ScriptedTrace};
 pub use generator::{TraceEvent, TraceGenerator, TraceSource};
 pub use profile::{BenchmarkProfile, IntensityClass};
 pub use suites::{

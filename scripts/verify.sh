@@ -17,7 +17,7 @@ cargo test -q --workspace --offline
 echo "==> fault-injection smoke (debug build = invariant checks armed)"
 # Every injected corruption class must be caught by its invariant, and a
 # healthy run must pass the watchdog with zero violations.
-cargo test -q -p bear-core --offline \
+cargo test -q -p bear-core --offline -- \
   every_injected_fault_class_is_detected \
   healthy_run_passes_watchdog_and_invariants \
   watchdog_converts_hang_into_stalled_error
@@ -28,4 +28,23 @@ echo "==> kill -9 then resume determinism check"
 # once cells are committed, reruns, diffs).
 cargo test -q -p bear-bench --offline --test resume
 
-echo "OK: fmt, clippy, tests, fault injection, and resume all passed offline."
+echo "==> oracle-checks feature build (release fuzz runs arm the invariants)"
+# The feature must forward down the stack: building the oracle crate with
+# it enables InvariantSink panics even in release.
+cargo test -q -p bear-oracle --offline --features oracle-checks --lib
+
+echo "==> fuzz smoke (differential oracle, fixed seeds, bounded)"
+# A release-mode sweep of the design x feature x pattern matrix under the
+# shadow oracle: any divergence fails the build. Fixed seeds and bounded
+# cycles keep this step deterministic and under a minute.
+cargo build -q --release -p bear-bench --bin fuzz --offline \
+  --features bear-oracle/oracle-checks
+./target/release/fuzz --seeds 190,61453 --cycles 25000
+# Self-test: an injected tag corruption must make the sweep fail.
+if ./target/release/fuzz --seeds 190 --cycles 10000 --fault tag-flip@2000 \
+  > /dev/null 2>&1; then
+  echo "ERROR: fuzz smoke failed to catch an injected tag flip" >&2
+  exit 1
+fi
+
+echo "OK: fmt, clippy, tests, fault injection, resume, and fuzz smoke all passed offline."

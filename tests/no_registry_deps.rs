@@ -19,7 +19,11 @@ fn workspace_manifests() -> Vec<PathBuf> {
             out.push(manifest);
         }
     }
-    assert!(out.len() >= 7, "expected the root + >=6 crate manifests");
+    assert!(
+        out.len() >= 8,
+        "expected the root + >=7 crate manifests (sim, dram, cache, \
+         workloads, cpu, core, oracle, ...)"
+    );
     out
 }
 
