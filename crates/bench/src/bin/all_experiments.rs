@@ -9,12 +9,18 @@
 //!   committed cells and produces byte-identical reports.
 //! - `--only LIST` — run a comma-separated subset of the experiment ids
 //!   (e.g. `--only fig07,table5`).
+//! - `--telemetry [--sample-window N]` — write one windowed time-series
+//!   JSONL file per cell under `DIR/telemetry/` (requires `--out`).
+//!
+//! While running, a stderr heartbeat reports each completed cell
+//! (`[cell i/N (...) elapsed ..s, ETA ..s]`) so long campaigns are
+//! observable without waiting for a step to finish.
 
 use bear_bench::checkpoint::{self, CellStore};
 use bear_bench::cli;
 use bear_bench::experiments as ex;
 use bear_bench::report::Report;
-use bear_bench::RunPlan;
+use bear_bench::{runner, telemetry, RunPlan};
 use std::time::Instant;
 
 /// One experiment step: report id plus its entry point.
@@ -49,6 +55,8 @@ fn main() {
             );
         }
     }
+    telemetry::set_active(args.telemetry_sink());
+    runner::set_heartbeat(true);
     for (name, f) in steps {
         if !args.selected(name) {
             continue;
@@ -64,5 +72,7 @@ fn main() {
             t0.elapsed().as_secs_f64()
         );
     }
+    runner::set_heartbeat(false);
+    telemetry::set_active(None);
     checkpoint::set_active(None);
 }

@@ -59,8 +59,10 @@ pub fn cell_hash(cfg: &SystemConfig, workload: &Workload) -> u64 {
 }
 
 /// Filesystem-safe, human-skimmable cell file stem:
-/// `<design>-<workload>-<hash>`.
-fn cell_stem(cfg: &SystemConfig, workload: &Workload) -> String {
+/// `<design>-<workload>-<hash>`. Shared with the telemetry sink so a
+/// cell's checkpoint and its `telemetry/<stem>.jsonl` time series carry
+/// the same name.
+pub fn cell_stem(cfg: &SystemConfig, workload: &Workload) -> String {
     let slug: String = format!("{}-{}", cfg.design.label(), workload.name)
         .chars()
         .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })

@@ -1,15 +1,21 @@
 //! Shared command-line plumbing for the experiment binaries.
 //!
-//! Every binary accepts the same flag:
+//! Every binary accepts the same flags:
 //!
 //! - `--out DIR` (or `--out=DIR`) — after printing its human-readable
 //!   tables, write the experiment's JSON [`Report`](crate::report::Report)
 //!   to `DIR/<experiment>.json`.
+//! - `--telemetry` — additionally write one windowed time-series JSONL
+//!   file per simulated cell under `DIR/telemetry/` (requires `--out`;
+//!   see [`crate::telemetry`]).
+//! - `--sample-window N` — telemetry window length in cycles (default
+//!   10k; only meaningful with `--telemetry`).
 //!
 //! Report-path notices go to **stderr** so stdout stays byte-identical
 //! with and without `--out` (experiment logs are diffed verbatim).
 
 use crate::report::Report;
+use crate::telemetry::TelemetrySink;
 use crate::{runner, RunPlan};
 use std::path::PathBuf;
 
@@ -45,15 +51,20 @@ pub fn parse_out_dir(args: impl Iterator<Item = String>) -> Option<PathBuf> {
     out
 }
 
-/// Arguments of the campaign driver (`all_experiments`): the shared
-/// `--out DIR` plus `--only LIST` (comma-separated experiment ids) to
-/// rerun a subset of steps.
+/// Arguments of the experiment binaries: the shared `--out DIR`,
+/// telemetry switches, and (campaign driver only) `--only LIST`
+/// (comma-separated experiment ids) to rerun a subset of steps.
 #[derive(Debug, Default, PartialEq, Eq)]
 pub struct CampaignArgs {
     /// Report/checkpoint directory (`--out`).
     pub out: Option<PathBuf>,
     /// Experiment ids to run (`--only`); `None` runs everything.
     pub only: Option<Vec<String>>,
+    /// Collect windowed telemetry for every simulated cell
+    /// (`--telemetry`; requires `--out`).
+    pub telemetry: bool,
+    /// Telemetry window override in cycles (`--sample-window N`).
+    pub sample_window: Option<u64>,
 }
 
 impl CampaignArgs {
@@ -63,20 +74,44 @@ impl CampaignArgs {
             .as_ref()
             .is_none_or(|names| names.iter().any(|n| n == id))
     }
+
+    /// The telemetry sink these arguments request, or `None` without
+    /// `--telemetry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `--telemetry` was given without `--out` — the samples
+    /// need a directory to land in.
+    pub fn telemetry_sink(&self) -> Option<TelemetrySink> {
+        if !self.telemetry {
+            return None;
+        }
+        let out = self.out.as_deref().unwrap_or_else(|| {
+            panic!("--telemetry requires --out DIR (samples land in DIR/telemetry/)")
+        });
+        Some(TelemetrySink::new(out, self.sample_window))
+    }
 }
 
-/// Extracts `--out DIR` and `--only LIST` from an argument list.
-///
-/// # Panics
-///
-/// Panics (with a usage message) on a flag without its value or on any
-/// unrecognized argument, matching [`parse_out_dir`]'s behavior.
-pub fn parse_campaign_args(args: impl Iterator<Item = String>) -> CampaignArgs {
+/// Shared flag loop behind [`parse_out_dir`]-style parsing: `--only` is
+/// accepted only for the campaign driver.
+fn parse_flags(
+    args: impl Iterator<Item = String>,
+    allow_only: bool,
+    supported: &str,
+) -> CampaignArgs {
     fn split_only(list: &str) -> Vec<String> {
         list.split(',')
             .filter(|s| !s.is_empty())
             .map(str::to_string)
             .collect()
+    }
+    fn parse_window(v: &str) -> u64 {
+        let n: u64 = v
+            .parse()
+            .unwrap_or_else(|_| panic!("--sample-window must be an integer (cycles), got `{v}`"));
+        assert!(n > 0, "--sample-window must be positive");
+        n
     }
     let mut parsed = CampaignArgs::default();
     let mut args = args.peekable();
@@ -88,28 +123,65 @@ pub fn parse_campaign_args(args: impl Iterator<Item = String>) -> CampaignArgs {
             parsed.out = Some(PathBuf::from(dir));
         } else if let Some(dir) = arg.strip_prefix("--out=") {
             parsed.out = Some(PathBuf::from(dir));
-        } else if arg == "--only" {
+        } else if allow_only && arg == "--only" {
             let list = args
                 .next()
                 .unwrap_or_else(|| panic!("--only requires a comma-separated experiment list"));
             parsed.only = Some(split_only(&list));
-        } else if let Some(list) = arg.strip_prefix("--only=") {
+        } else if let Some(list) = arg.strip_prefix("--only=").filter(|_| allow_only) {
             parsed.only = Some(split_only(list));
+        } else if arg == "--telemetry" {
+            parsed.telemetry = true;
+        } else if arg == "--sample-window" {
+            let v = args
+                .next()
+                .unwrap_or_else(|| panic!("--sample-window requires a cycle count"));
+            parsed.sample_window = Some(parse_window(&v));
+        } else if let Some(v) = arg.strip_prefix("--sample-window=") {
+            parsed.sample_window = Some(parse_window(v));
         } else {
-            panic!("unrecognized argument `{arg}` (supported: --out DIR, --only LIST)");
+            panic!("unrecognized argument `{arg}` (supported: {supported})");
         }
     }
     parsed
 }
 
+/// Extracts the single-binary flags (`--out DIR`, `--telemetry`,
+/// `--sample-window N`) from an argument list.
+///
+/// # Panics
+///
+/// Panics (with a usage message) on a flag without its value or on any
+/// unrecognized argument, matching [`parse_out_dir`]'s behavior.
+pub fn parse_single_args(args: impl Iterator<Item = String>) -> CampaignArgs {
+    parse_flags(args, false, "--out DIR, --telemetry, --sample-window N")
+}
+
+/// Extracts the campaign-driver flags (`--out DIR`, `--only LIST`,
+/// `--telemetry`, `--sample-window N`) from an argument list.
+///
+/// # Panics
+///
+/// Panics (with a usage message) on a flag without its value or on any
+/// unrecognized argument, matching [`parse_out_dir`]'s behavior.
+pub fn parse_campaign_args(args: impl Iterator<Item = String>) -> CampaignArgs {
+    parse_flags(
+        args,
+        true,
+        "--out DIR, --only LIST, --telemetry, --sample-window N",
+    )
+}
+
 /// Entry point for a single-experiment binary: builds the plan from the
-/// environment, runs `f`, and honors `--out DIR`.
+/// environment, runs `f`, and honors `--out DIR` / `--telemetry`.
 pub fn run_single(experiment: &str, f: fn(&RunPlan, &mut Report)) {
-    let out = parse_out_dir(std::env::args().skip(1));
+    let args = parse_single_args(std::env::args().skip(1));
     let plan = RunPlan::from_env();
+    crate::telemetry::set_active(args.telemetry_sink());
     let mut report = Report::new(experiment);
     f(&plan, &mut report);
-    write_report(&mut report, out.as_deref(), &plan);
+    write_report(&mut report, args.out.as_deref(), &plan);
+    crate::telemetry::set_active(None);
 }
 
 /// Folds any cell failures recorded during the experiment into `report`,
@@ -177,6 +249,46 @@ mod tests {
         assert_eq!(b.only, Some(vec!["fig03".to_string()]));
         let all = parse_campaign_args(args(&[]));
         assert!(all.selected("anything"));
+    }
+
+    #[test]
+    fn telemetry_flags_parse_in_both_forms() {
+        let a = parse_campaign_args(args(&["--out=r", "--telemetry", "--sample-window", "5000"]));
+        assert!(a.telemetry);
+        assert_eq!(a.sample_window, Some(5000));
+        let sink = a.telemetry_sink().expect("sink requested");
+        let bear_telemetry::TelemetryConfig::On(opts) = sink.config() else {
+            panic!("sink config must be On");
+        };
+        assert_eq!(opts.sample_window, 5000);
+        let b = parse_single_args(args(&["--sample-window=250"]));
+        assert_eq!(b.sample_window, Some(250));
+        assert!(!b.telemetry);
+        assert!(b.telemetry_sink().is_none(), "window alone arms nothing");
+    }
+
+    #[test]
+    #[should_panic(expected = "--telemetry requires --out")]
+    fn telemetry_without_out_is_rejected() {
+        parse_single_args(args(&["--telemetry"])).telemetry_sink();
+    }
+
+    #[test]
+    #[should_panic(expected = "--sample-window must be an integer")]
+    fn malformed_sample_window_is_rejected() {
+        parse_single_args(args(&["--sample-window", "soon"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "--sample-window must be positive")]
+    fn zero_sample_window_is_rejected() {
+        parse_single_args(args(&["--sample-window=0"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "unrecognized argument")]
+    fn single_binaries_reject_only() {
+        parse_single_args(args(&["--only=fig03"]));
     }
 
     #[test]

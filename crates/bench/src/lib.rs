@@ -33,6 +33,7 @@ pub mod experiments;
 pub mod microbench;
 pub mod report;
 pub mod runner;
+pub mod telemetry;
 
 use bear_sim::error::RunOutcome;
 
@@ -148,6 +149,11 @@ pub fn run_one(cfg: &SystemConfig, workload: &Workload) -> RunStats {
 /// cell is persisted before returning — this is what makes interrupted
 /// campaigns resumable.
 ///
+/// When a campaign activated a [`telemetry`] sink, each freshly simulated
+/// cell is armed for windowed sampling and its time series written next
+/// to the reports. Cached cells skip both arming and writing, so a
+/// resumed campaign never duplicates or tears a cell's sample file.
+///
 /// # Errors
 ///
 /// Anything [`System::try_build`](bear_core::system::System::try_build)
@@ -155,12 +161,16 @@ pub fn run_one(cfg: &SystemConfig, workload: &Workload) -> RunStats {
 /// (in debug builds) invariant violations.
 pub fn try_run_one(cfg: &SystemConfig, workload: &Workload) -> RunOutcome<RunStats> {
     if let Some(cached) = checkpoint::load_active(cfg, workload) {
+        runner::heartbeat(cfg, workload);
         return Ok(cached);
     }
     let mut sys = System::try_build(cfg, workload)?;
+    telemetry::arm_active(&mut sys);
     let mut stats = sys.run_monitored(cfg.warmup_cycles, cfg.measure_cycles)?;
     stats.workload = workload.name.clone();
+    telemetry::write_active(cfg, workload, &mut sys);
     checkpoint::store_active(cfg, workload, &stats);
+    runner::heartbeat(cfg, workload);
     Ok(stats)
 }
 

@@ -32,6 +32,7 @@ use bear_sim::error::{RunOutcome, SimError};
 use bear_workloads::Workload;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Parses a `BEAR_WORKERS` value: a positive integer (a `0` is clamped to
 /// 1, preserving the historical "minimum one worker" behavior). `None`
@@ -128,6 +129,62 @@ where
     })
 }
 
+/// Campaign-wide progress counters behind the stderr heartbeat.
+#[derive(Debug)]
+struct Progress {
+    /// Cells completed (fresh or checkpoint-cached) since activation.
+    done: usize,
+    /// Cells scheduled so far: grows as each suite/matrix is submitted,
+    /// since the campaign's full cell count isn't known up front.
+    total: usize,
+    start: Instant,
+}
+
+/// Heartbeat state; `None` (the default) keeps the runner silent.
+static PROGRESS: Mutex<Option<Progress>> = Mutex::new(None);
+
+/// Enables (or disables) the per-cell stderr heartbeat and resets its
+/// counters. A long campaign driver turns this on so an observer can see
+/// `[cell i/N ...]` lines with elapsed time and a completion estimate;
+/// one-shot binaries leave it off.
+pub fn set_heartbeat(enabled: bool) {
+    *PROGRESS.lock().expect("progress state poisoned") = enabled.then(|| Progress {
+        done: 0,
+        total: 0,
+        start: Instant::now(),
+    });
+}
+
+/// Registers `n` more cells with the heartbeat, if enabled.
+fn progress_begin(n: usize) {
+    if let Some(p) = PROGRESS.lock().expect("progress state poisoned").as_mut() {
+        p.total += n;
+    }
+}
+
+/// One-line stderr heartbeat, emitted per completed cell when enabled:
+/// `cell i/N`, which cell finished, elapsed wall-clock, and an ETA
+/// extrapolated from the mean cell time so far (checkpoint-cached cells
+/// complete instantly and pull the estimate down — by design, since a
+/// resumed campaign really is that much closer to done).
+pub(crate) fn heartbeat(cfg: &SystemConfig, workload: &Workload) {
+    let mut guard = PROGRESS.lock().expect("progress state poisoned");
+    let Some(p) = guard.as_mut() else {
+        return;
+    };
+    p.done += 1;
+    let elapsed = p.start.elapsed().as_secs_f64();
+    let remaining = p.total.saturating_sub(p.done);
+    let eta = elapsed / p.done as f64 * remaining as f64;
+    eprintln!(
+        "[cell {}/{} ({} × {}) elapsed {elapsed:.1}s, ETA {eta:.1}s]",
+        p.done,
+        p.total.max(p.done),
+        cfg.design.label(),
+        workload.name,
+    );
+}
+
 /// Failed cells recorded by [`run_suite`]/[`run_matrix`] since the last
 /// [`take_failures`] call.
 static FAILURES: Mutex<Vec<FailureRow>> = Mutex::new(Vec::new());
@@ -188,6 +245,7 @@ fn settle(cfg: &SystemConfig, workload: &Workload, outcome: RunOutcome<RunStats>
 /// returning per-workload stats in suite order. Failed cells degrade to
 /// placeholder stats and a recorded failure (see [`take_failures`]).
 pub fn run_suite(cfg: &SystemConfig, workloads: &[Workload]) -> Vec<RunStats> {
+    progress_begin(workloads.len());
     try_parallel_map(workloads, |w| try_run_one(cfg, w))
         .into_iter()
         .zip(workloads)
@@ -203,6 +261,7 @@ pub fn run_matrix(cfgs: &[SystemConfig], workloads: &[Workload]) -> Vec<Vec<RunS
     let cells: Vec<(usize, usize)> = (0..cfgs.len())
         .flat_map(|c| (0..workloads.len()).map(move |w| (c, w)))
         .collect();
+    progress_begin(cells.len());
     let flat = try_parallel_map(&cells, |&(c, w)| try_run_one(&cfgs[c], &workloads[w]));
     let mut out: Vec<Vec<RunStats>> = Vec::with_capacity(cfgs.len());
     let mut it = flat.into_iter().zip(&cells);

@@ -119,6 +119,13 @@ impl BypassPolicy {
         !self.dueling || self.use_pb
     }
 
+    /// Current duel counters `[baseline misses, baseline accesses,
+    /// PB misses, PB accesses]` (telemetry snapshot; all zero without
+    /// dueling).
+    pub fn duel_counters(&self) -> [u16; 4] {
+        self.counters
+    }
+
     /// Records the outcome of a demand lookup on `set` (dueling bookkeeping).
     pub fn record_access(&mut self, set: u64, hit: bool) {
         if !self.dueling {

@@ -115,6 +115,17 @@ impl DirectStore {
         self.slots.iter().filter(|&&e| e & 1 != 0).count() as u64
     }
 
+    /// `(valid, dirty)` set counts in one scan (O(n); telemetry sampling).
+    pub fn occupancy_and_dirty(&self) -> (u64, u64) {
+        let mut valid = 0;
+        let mut dirty = 0;
+        for &e in &self.slots {
+            valid += e & 1;
+            dirty += (e >> 1) & (e & 1);
+        }
+        (valid, dirty)
+    }
+
     /// Flips the low tag bit of `set`'s occupant (fault injection only).
     /// Returns whether the set held a valid line.
     pub fn corrupt_tag(&mut self, set: u64) -> bool {

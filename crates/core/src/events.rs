@@ -146,6 +146,25 @@ pub enum ObsEvent {
 }
 
 impl ObsEvent {
+    /// Short stable name of the variant, for trace tracks and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ObsEvent::L3Access { .. } => "L3Access",
+            ObsEvent::WbSubmitted { .. } => "WbSubmitted",
+            ObsEvent::L3Evicted { .. } => "L3Evicted",
+            ObsEvent::Delivered { .. } => "Delivered",
+            ObsEvent::L3BackInvalidate { .. } => "L3BackInvalidate",
+            ObsEvent::DcpCleared { .. } => "DcpCleared",
+            ObsEvent::DirectMemWrite { .. } => "DirectMemWrite",
+            ObsEvent::ReadClassified { .. } => "ReadClassified",
+            ObsEvent::NtcConsulted { .. } => "NtcConsulted",
+            ObsEvent::Filled { .. } => "Filled",
+            ObsEvent::Bypassed { .. } => "Bypassed",
+            ObsEvent::Evicted { .. } => "Evicted",
+            ObsEvent::WbResolved { .. } => "WbResolved",
+        }
+    }
+
     /// The line address the event concerns.
     pub fn line(&self) -> u64 {
         match *self {

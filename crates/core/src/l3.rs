@@ -139,6 +139,11 @@ impl L3Cache {
         self.cache.stats.misses
     }
 
+    /// Demand hits observed.
+    pub fn hits(&self) -> u64 {
+        self.cache.stats.hits
+    }
+
     /// Iterates over resident lines as `(line address, DCP bit)`. Used by
     /// the DCP-coherence invariant scan.
     pub fn resident_lines(&self) -> impl Iterator<Item = (u64, bool)> + '_ {

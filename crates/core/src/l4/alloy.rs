@@ -24,7 +24,7 @@ use crate::contents::DirectStore;
 use crate::events::{FillCause, ObsEvent};
 use crate::harness::{DeviceHarness, Leg, RoutedCompletion};
 use crate::l4::placement::SetPlacement;
-use crate::l4::{Delivery, L4Cache, L4Outputs, L4Stats};
+use crate::l4::{ControllerProbe, Delivery, L4Cache, L4Outputs, L4Stats};
 use crate::ntc::{NeighboringTagCache, NtcAnswer};
 use crate::predictor::MapIPredictor;
 use crate::traffic::{BloatCategory, MemTraffic};
@@ -652,6 +652,32 @@ impl L4Cache for AlloyController {
 
     fn harness(&self) -> &DeviceHarness {
         &self.harness
+    }
+
+    fn harness_mut(&mut self) -> &mut DeviceHarness {
+        &mut self.harness
+    }
+
+    fn telemetry_probe(&self) -> Option<ControllerProbe> {
+        let (occupied_lines, dirty_lines) = self.store.occupancy_and_dirty();
+        let mut probe = ControllerProbe {
+            occupied_lines,
+            dirty_lines,
+            capacity_lines: self.store.sets(),
+            bab_psel: self.bypass.duel_counters(),
+            bab_engaged: self.bypass.follower_uses_pb(),
+            bab_bypassed: self.bypass.bypassed,
+            bab_filled: self.bypass.filled,
+            predictor_correct: self.predictor.correct,
+            predictor_wrong: self.predictor.wrong,
+            ..ControllerProbe::default()
+        };
+        if let Some(ntc) = &self.ntc {
+            probe.ntc_hits_present = ntc.hits_present;
+            probe.ntc_hits_absent = ntc.hits_absent;
+            probe.ntc_unknowns = ntc.unknowns;
+        }
+        Some(probe)
     }
 
     fn pending_txns(&self) -> usize {

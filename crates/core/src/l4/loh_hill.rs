@@ -343,6 +343,10 @@ impl L4Cache for LohHillController {
         &self.harness
     }
 
+    fn harness_mut(&mut self) -> &mut DeviceHarness {
+        &mut self.harness
+    }
+
     fn pending_txns(&self) -> usize {
         self.reads.len() + self.staged.len()
     }

@@ -125,6 +125,39 @@ impl L4Stats {
     }
 }
 
+/// Point-in-time controller internals exposed to the telemetry sampler.
+///
+/// Everything here is a cheap snapshot of state the controller already
+/// keeps; designs that lack a given mechanism leave its fields zero.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ControllerProbe {
+    /// Valid lines currently resident.
+    pub occupied_lines: u64,
+    /// Resident lines that are dirty.
+    pub dirty_lines: u64,
+    /// Total lines the organization can hold.
+    pub capacity_lines: u64,
+    /// BAB duel counters `[baseline misses, baseline accesses, PB misses,
+    /// PB accesses]`.
+    pub bab_psel: [u16; 4],
+    /// Whether the BAB followers currently apply probabilistic bypass.
+    pub bab_engaged: bool,
+    /// Cumulative fills bypassed by the bypass policy.
+    pub bab_bypassed: u64,
+    /// Cumulative fills performed by the bypass policy.
+    pub bab_filled: u64,
+    /// NTC answers: line known present.
+    pub ntc_hits_present: u64,
+    /// NTC answers: line known absent.
+    pub ntc_hits_absent: u64,
+    /// NTC answers: unknown (probe required).
+    pub ntc_unknowns: u64,
+    /// MAP-I predictions that proved correct.
+    pub predictor_correct: u64,
+    /// MAP-I predictions that proved wrong.
+    pub predictor_wrong: u64,
+}
+
 /// Interface every DRAM-cache organization implements.
 ///
 /// The controller owns both DRAM devices (stacked cache and commodity
@@ -156,6 +189,16 @@ pub trait L4Cache {
 
     /// Device harness (byte accounting lives on the devices).
     fn harness(&self) -> &DeviceHarness;
+
+    /// Mutable device harness (the telemetry layer arms/drains the DRAM
+    /// transfer log through this).
+    fn harness_mut(&mut self) -> &mut DeviceHarness;
+
+    /// Point-in-time snapshot of controller internals for the telemetry
+    /// sampler. `None` for designs that expose nothing beyond [`L4Stats`].
+    fn telemetry_probe(&self) -> Option<ControllerProbe> {
+        None
+    }
 
     /// Outstanding transactions (for drain checks in tests).
     fn pending_txns(&self) -> usize;

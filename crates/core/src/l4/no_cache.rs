@@ -108,6 +108,10 @@ impl L4Cache for NoCacheController {
         &self.harness
     }
 
+    fn harness_mut(&mut self) -> &mut DeviceHarness {
+        &mut self.harness
+    }
+
     fn pending_txns(&self) -> usize {
         self.reads.len()
     }

@@ -423,6 +423,10 @@ macro_rules! delegate_l4 {
                 &self.inner.harness
             }
 
+            fn harness_mut(&mut self) -> &mut DeviceHarness {
+                &mut self.inner.harness
+            }
+
             fn pending_txns(&self) -> usize {
                 self.inner.reads.len()
             }

@@ -49,6 +49,8 @@ pub mod ntc;
 pub mod overhead;
 pub mod predictor;
 pub mod system;
+#[cfg(feature = "telemetry")]
+pub mod telemetry;
 pub mod traffic;
 
 pub use config::{BearFeatures, DesignKind, SystemConfig};

@@ -26,6 +26,11 @@ const CORE_ADDR_STRIDE: u64 = 1 << 40;
 /// Page-space width of the modeled physical address space.
 const PAGE_BITS: u64 = 52;
 
+/// Per-channel capacity of the DRAM-cache transfer log while telemetry
+/// tracing is armed (newest records win; trace export is windowed anyway).
+#[cfg(feature = "telemetry")]
+const TRANSFER_LOG_CAPACITY: usize = 1 << 16;
+
 /// Virtual-to-physical translation: a deterministic page-granular
 /// permutation built from bijective steps on the 52-bit page domain
 /// (xorshift, then multiply by an odd constant, then xorshift). The
@@ -86,6 +91,10 @@ pub struct System {
     events: Vec<ObsEvent>,
     /// When set, cores stop issuing new accesses (drain/quiesce support).
     cores_halted: bool,
+    /// Telemetry state while armed (`None` costs one pointer check per
+    /// tick; absent entirely without the `telemetry` feature).
+    #[cfg(feature = "telemetry")]
+    telemetry: Option<Box<crate::telemetry::TelemetryState>>,
 }
 
 impl std::fmt::Debug for System {
@@ -172,6 +181,8 @@ impl System {
             observe: false,
             events: Vec::new(),
             cores_halted: false,
+            #[cfg(feature = "telemetry")]
+            telemetry: None,
             cfg: cfg.clone(),
         }
     }
@@ -269,6 +280,121 @@ impl System {
     /// device byte counters through this).
     pub fn l4_cache(&self) -> &dyn L4Cache {
         self.l4.as_ref()
+    }
+
+    /// Arms or disarms telemetry (feature `telemetry`).
+    ///
+    /// Arming with tracing also arms oracle observation (the event stream
+    /// feeds the telemetry ring buffer, which drains it every tick) and
+    /// the DRAM-cache transfer log. Telemetry is purely passive: it reads
+    /// counters the simulator maintains anyway and never feeds anything
+    /// back, so armed and disarmed runs retire identical instruction
+    /// streams and report identical statistics (a bench guard test pins
+    /// this).
+    #[cfg(feature = "telemetry")]
+    pub fn set_telemetry(&mut self, cfg: bear_telemetry::TelemetryConfig) {
+        match cfg {
+            bear_telemetry::TelemetryConfig::Off => {
+                if self.telemetry.take().is_some_and(|t| t.trace_armed()) {
+                    self.set_observe(false);
+                    self.l4.harness_mut().cache.set_transfer_log(None);
+                }
+            }
+            bear_telemetry::TelemetryConfig::On(opts) => {
+                if opts.trace {
+                    self.set_observe(true);
+                    self.l4
+                        .harness_mut()
+                        .cache
+                        .set_transfer_log(Some(TRANSFER_LOG_CAPACITY));
+                }
+                self.telemetry = Some(Box::new(crate::telemetry::TelemetryState::new(opts)));
+            }
+        }
+    }
+
+    /// Hands out everything armed telemetry collected, disarming it.
+    /// `None` when telemetry was never armed.
+    #[cfg(feature = "telemetry")]
+    pub fn take_telemetry(&mut self) -> Option<crate::telemetry::TelemetryReport> {
+        let state = self.telemetry.take()?;
+        let transfers = if state.trace_armed() {
+            self.set_observe(false);
+            let records = self.l4.harness_mut().cache.take_transfer_records();
+            self.l4.harness_mut().cache.set_transfer_log(None);
+            records
+        } else {
+            Vec::new()
+        };
+        Some(state.into_report(transfers))
+    }
+
+    /// Recent `(cycle, event)` pairs from the telemetry ring buffer,
+    /// oldest first (divergence context; empty unless tracing is armed).
+    #[cfg(feature = "telemetry")]
+    pub fn recent_telemetry_events(&self) -> Vec<(u64, ObsEvent)> {
+        self.telemetry
+            .as_ref()
+            .map(|t| t.recent_events())
+            .unwrap_or_default()
+    }
+
+    /// Starts a tick-phase timer when profiling is armed.
+    #[cfg(feature = "telemetry")]
+    fn prof_start(&self) -> Option<std::time::Instant> {
+        match &self.telemetry {
+            Some(t) if t.profile_armed() => Some(std::time::Instant::now()),
+            _ => None,
+        }
+    }
+
+    /// Charges the elapsed phase to `name` and restarts the timer.
+    #[cfg(feature = "telemetry")]
+    fn prof_lap(&mut self, t0: &mut Option<std::time::Instant>, name: &'static str) {
+        if let (Some(prev), Some(t)) = (t0.as_mut(), self.telemetry.as_deref_mut()) {
+            let now = std::time::Instant::now();
+            t.profiler
+                .record(name, now.duration_since(*prev).as_nanos() as u64);
+            *prev = now;
+        }
+    }
+
+    /// Per-tick telemetry hook, called after the clock increment: feeds
+    /// the event ring and closes sample windows when due.
+    #[cfg(feature = "telemetry")]
+    fn telemetry_after_tick(&mut self) {
+        if self.telemetry.is_none() {
+            return;
+        }
+        // Take/put the box so the state can borrow the rest of the system.
+        let mut t = self.telemetry.take().expect("checked above");
+        t.after_tick(
+            self.clock.0,
+            &mut self.events,
+            &self.cores,
+            &self.l3,
+            self.l4.as_ref(),
+        );
+        self.telemetry = Some(t);
+    }
+
+    /// Starts sample windowing at the warmup→measure boundary (counters
+    /// were just reset, so the base snapshot is zero).
+    #[cfg(feature = "telemetry")]
+    fn telemetry_begin_measure(&mut self) {
+        if let Some(mut t) = self.telemetry.take() {
+            t.begin_measure(self.clock.0, &self.cores, &self.l3, self.l4.as_ref());
+            self.telemetry = Some(t);
+        }
+    }
+
+    /// Flushes the final (partial) sample window at measure end.
+    #[cfg(feature = "telemetry")]
+    fn telemetry_end_measure(&mut self) {
+        if let Some(mut t) = self.telemetry.take() {
+            t.end_measure(self.clock.0, &self.cores, &self.l3, self.l4.as_ref());
+            self.telemetry = Some(t);
+        }
     }
 
     fn emit(&mut self, ev: ObsEvent) {
@@ -448,6 +574,8 @@ impl System {
     /// Advances the system by one CPU cycle.
     pub fn tick(&mut self) {
         let now = self.clock;
+        #[cfg(feature = "telemetry")]
+        let mut prof = self.prof_start();
 
         // 0. Fault injection (testing): corrupt state at the tick boundary
         //    and re-check immediately, so every applied fault is observed
@@ -470,6 +598,8 @@ impl System {
                 }
             }
         }
+        #[cfg(feature = "telemetry")]
+        self.prof_lap(&mut prof, "cores+l3");
 
         // 2. Delay-wheel events due now.
         if let Some(events) = self.wheel.remove(&now.0) {
@@ -489,6 +619,8 @@ impl System {
                 }
             }
         }
+        #[cfg(feature = "telemetry")]
+        self.prof_lap(&mut prof, "wheel");
 
         // 3. Memory system. Controller events merge in before the
         //    delivery/eviction processing that reacts to them, keeping the
@@ -501,6 +633,8 @@ impl System {
         let mut outputs = std::mem::take(&mut self.outputs);
         outputs.clear();
         self.l4.tick(now, &mut outputs);
+        #[cfg(feature = "telemetry")]
+        self.prof_lap(&mut prof, "l4+dram");
         if self.observe {
             self.events.append(&mut outputs.events);
         }
@@ -511,8 +645,15 @@ impl System {
             self.apply_delivery(d);
         }
         self.outputs = outputs;
+        #[cfg(feature = "telemetry")]
+        self.prof_lap(&mut prof, "deliver");
 
         self.clock += 1;
+        #[cfg(feature = "telemetry")]
+        {
+            self.telemetry_after_tick();
+            self.prof_lap(&mut prof, "telemetry");
+        }
     }
 
     /// Queue-occupancy snapshot attached to `Stalled` errors.
@@ -585,9 +726,13 @@ impl System {
     pub fn run_monitored(&mut self, warmup: u64, measure: u64) -> Result<RunStats, SimError> {
         self.run_phase(warmup)?;
         self.reset_stats();
+        #[cfg(feature = "telemetry")]
+        self.telemetry_begin_measure();
         let inst_base: Vec<u64> = self.cores.iter().map(|c| c.retired_insts()).collect();
         let start = self.clock;
         self.run_phase(measure)?;
+        #[cfg(feature = "telemetry")]
+        self.telemetry_end_measure();
         let elapsed = self.clock - start;
         let insts_per_core: Vec<u64> = self
             .cores
@@ -892,6 +1037,85 @@ mod tests {
         }
         assert!(sys.quiesce(500_000), "system failed to drain");
         assert!(sys.is_drained());
+    }
+
+    /// Sample-window edge cases (ISSUE 4): windows align to the
+    /// warmup→measure boundary, the last partial window is flushed, and
+    /// counters reset between windows so per-window sums equal the
+    /// end-of-run aggregates.
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn telemetry_windows_align_flush_and_sum_to_totals() {
+        use bear_telemetry::TelemetryConfig;
+        let mut cfg = quick_cfg(DesignKind::Alloy);
+        cfg.bear = BearFeatures::full();
+        let window = 7_000; // Not a divisor of measure: forces a partial tail.
+        let mut sys = System::build_rate(&cfg, "gcc");
+        sys.set_telemetry(TelemetryConfig::sampling(window));
+        let stats = sys.run(cfg.warmup_cycles, cfg.measure_cycles);
+        let report = sys.take_telemetry().expect("telemetry was armed");
+        let samples = &report.samples;
+
+        // Window geometry: aligned to the measure boundary, contiguous,
+        // full-length except the flushed partial tail.
+        let expected = cfg.measure_cycles.div_ceil(window) as usize;
+        assert_eq!(samples.len(), expected);
+        assert_eq!(samples[0].start_cycle, cfg.warmup_cycles);
+        let last = samples.last().unwrap();
+        assert_eq!(last.end_cycle, cfg.warmup_cycles + cfg.measure_cycles);
+        assert_eq!(
+            last.end_cycle - last.start_cycle,
+            cfg.measure_cycles % window,
+            "tail window must be the partial remainder"
+        );
+        for (i, s) in samples.iter().enumerate() {
+            assert_eq!(s.window, i as u64);
+            if i + 1 < samples.len() {
+                assert_eq!(s.end_cycle - s.start_cycle, window, "window {i} length");
+                assert_eq!(s.end_cycle, samples[i + 1].start_cycle, "window {i} gap");
+            }
+        }
+
+        // Counters reset between windows: sums reproduce run aggregates.
+        let sum = |f: fn(&bear_telemetry::Sample) -> u64| samples.iter().map(f).sum::<u64>();
+        assert_eq!(sum(|s| s.insts_retired), stats.insts_per_core.iter().sum());
+        assert_eq!(sum(|s| s.read_lookups), stats.l4.read_lookups);
+        assert_eq!(sum(|s| s.read_hits), stats.l4.read_hits);
+        assert_eq!(sum(|s| s.useful_lines), stats.bloat.useful_lines);
+        assert_eq!(sum(|s| s.mem_bytes), stats.mem_bytes);
+        assert_eq!(
+            sum(|s| s.cache_bytes_by_class.iter().sum()),
+            stats.bloat.total_bytes()
+        );
+        // Something actually happened in the middle of the run, not just
+        // at the edges.
+        assert!(samples[1].read_lookups > 0, "mid-run window saw traffic");
+        let probe_carrying = samples.iter().filter(|s| s.capacity_lines > 0).count();
+        assert_eq!(probe_carrying, samples.len(), "Alloy exposes a probe");
+    }
+
+    /// Telemetry must be invisible to the simulation: stats with sampling,
+    /// tracing, and profiling all armed are identical to a disarmed run.
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn telemetry_off_and_on_report_identical_stats() {
+        use bear_telemetry::TelemetryConfig;
+        let mut cfg = quick_cfg(DesignKind::Alloy);
+        cfg.bear = BearFeatures::full();
+        let mut plain = System::build_rate(&cfg, "mcf");
+        let plain_stats = plain.run(cfg.warmup_cycles, cfg.measure_cycles);
+
+        let mut armed = System::build_rate(&cfg, "mcf");
+        armed.set_telemetry(TelemetryConfig::full(5_000));
+        let armed_stats = armed.run(cfg.warmup_cycles, cfg.measure_cycles);
+        assert_eq!(plain_stats, armed_stats);
+
+        let report = armed.take_telemetry().expect("armed");
+        assert!(!report.samples.is_empty());
+        assert!(!report.events.is_empty(), "tracing captured events");
+        assert!(!report.transfers.is_empty(), "tracing captured DRAM bursts");
+        assert!(!report.profile.is_empty(), "profiling recorded phases");
+        assert!(armed.take_telemetry().is_none(), "take disarms");
     }
 
     #[test]

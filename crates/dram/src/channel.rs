@@ -34,6 +34,47 @@ pub struct ChannelCompletion {
     pub finish: Cycle,
 }
 
+/// A data-bus burst captured for trace export (telemetry only).
+///
+/// Records are produced when a CAS issues, i.e. at the same instant byte
+/// accounting happens, so a trace covers exactly the transfers the stats
+/// counted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferRecord {
+    /// Channel index (stamped by [`crate::device::DramDevice`] when the
+    /// log is collected; always 0 inside a [`Channel`]).
+    pub channel: u32,
+    /// Bank within the channel.
+    pub bank: u32,
+    /// Write (true) or read (false) burst.
+    pub is_write: bool,
+    /// Traffic class of the request.
+    pub class: TrafficClass,
+    /// First cycle of the data burst.
+    pub start: Cycle,
+    /// Cycle the last beat finished transferring.
+    pub finish: Cycle,
+}
+
+/// Bounded transfer log: keeps the newest `cap` records.
+#[derive(Debug)]
+struct TransferLog {
+    cap: usize,
+    buf: std::collections::VecDeque<TransferRecord>,
+}
+
+impl TransferLog {
+    fn push(&mut self, rec: TransferRecord) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(rec);
+    }
+}
+
 /// Per-channel statistics.
 #[derive(Debug, Clone, Default)]
 pub struct ChannelStats {
@@ -80,6 +121,8 @@ pub struct Channel {
     draining: bool,
     /// Next scheduled refresh (NEVER when refresh is disabled).
     next_refresh: Cycle,
+    /// Optional bounded capture of data bursts (armed by telemetry).
+    transfer_log: Option<TransferLog>,
     /// Statistics.
     pub stats: ChannelStats,
 }
@@ -102,8 +145,48 @@ impl Channel {
             } else {
                 Cycle::NEVER
             },
+            transfer_log: None,
             stats: ChannelStats::default(),
             cfg,
+        }
+    }
+
+    /// Arms (`Some(capacity)`) or disarms (`None`) the transfer log. The
+    /// log keeps only the newest `capacity` records.
+    pub fn set_transfer_log(&mut self, capacity: Option<usize>) {
+        self.transfer_log = capacity.map(|cap| TransferLog {
+            cap,
+            buf: std::collections::VecDeque::with_capacity(cap.min(1024)),
+        });
+    }
+
+    /// Drains captured transfer records (oldest first). The log stays
+    /// armed.
+    pub fn take_transfer_records(&mut self) -> Vec<TransferRecord> {
+        match &mut self.transfer_log {
+            Some(log) => log.buf.drain(..).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Appends one queue-depth entry per bank (queued plus in-flight
+    /// requests) to `out`, in bank order.
+    pub fn bank_depths(&self, out: &mut Vec<u32>) {
+        let banks = self.cfg.topology.banks_per_channel() as usize;
+        let banks_per_rank = self.cfg.topology.banks_per_rank;
+        let base = out.len();
+        out.resize(base + banks, 0);
+        let queued = self
+            .read_queue
+            .iter()
+            .chain(self.write_queue.iter())
+            .map(|r| &r.location);
+        let flying = self.in_flight.iter().map(|f| &f.request.location);
+        for loc in queued.chain(flying) {
+            let bank = loc.bank_in_channel(banks_per_rank) as usize;
+            if let Some(slot) = out.get_mut(base + bank) {
+                *slot += 1;
+            }
         }
     }
 
@@ -279,6 +362,16 @@ impl Channel {
                 self.bus_free_at = finish;
                 self.stats.bus_busy_cycles += burst;
                 self.account_bytes(&req);
+                if let Some(log) = &mut self.transfer_log {
+                    log.push(TransferRecord {
+                        channel: 0,
+                        bank: bank_idx as u32,
+                        is_write: req.is_write,
+                        class: req.class,
+                        start: data_start,
+                        finish,
+                    });
+                }
                 if !req.is_write {
                     self.stats.read_queue_latency_sum += data_start - req.arrival;
                 }

@@ -5,7 +5,7 @@
 //! by `bear-core` (stacked cache and commodity memory) differ only in their
 //! [`crate::config::DramConfig`].
 
-use crate::channel::{Channel, ChannelCompletion, ChannelStats};
+use crate::channel::{Channel, ChannelCompletion, ChannelStats, TransferRecord};
 use crate::config::DramConfig;
 use crate::request::{DramLocation, DramRequest, TrafficClass};
 use bear_sim::error::SimError;
@@ -161,6 +161,40 @@ impl DramDevice {
         for ch in &mut self.channels {
             ch.stats.reset();
         }
+    }
+
+    /// Arms (`Some(per_channel_capacity)`) or disarms (`None`) transfer
+    /// logging on every channel (telemetry trace export).
+    pub fn set_transfer_log(&mut self, capacity: Option<usize>) {
+        for ch in &mut self.channels {
+            ch.set_transfer_log(capacity);
+        }
+    }
+
+    /// Drains every channel's transfer log, stamping each record with its
+    /// channel index. Records are sorted by burst start time.
+    pub fn take_transfer_records(&mut self) -> Vec<TransferRecord> {
+        let mut out = Vec::new();
+        for (idx, ch) in self.channels.iter_mut().enumerate() {
+            out.extend(ch.take_transfer_records().into_iter().map(|mut r| {
+                r.channel = idx as u32;
+                r
+            }));
+        }
+        out.sort_by_key(|r| (r.start, r.channel, r.bank));
+        out
+    }
+
+    /// Snapshot of per-bank queue depth (queued plus in-flight requests),
+    /// indexed `channel * banks_per_channel + bank`.
+    pub fn bank_queue_depths(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(
+            self.channels.len() * self.cfg.topology.banks_per_channel() as usize,
+        );
+        for ch in &self.channels {
+            ch.bank_depths(&mut out);
+        }
+        out
     }
 
     /// Mean read queue latency (arrival to first data beat), in CPU cycles.
@@ -339,6 +373,65 @@ mod tests {
         ))
         .unwrap();
         assert_eq!(dev.next_event_hint(Cycle(10)), Cycle(11));
+    }
+
+    #[test]
+    fn transfer_log_captures_bursts_when_armed() {
+        let mut dev = DramDevice::new(DramConfig::stacked_cache_8x());
+        let loc = DramLocation {
+            channel: 2,
+            rank: 0,
+            bank: 3,
+            row: 1,
+        };
+        // Disarmed: nothing captured.
+        dev.try_enqueue(DramRequest::read(1, loc, 5, TrafficClass(2), Cycle(0)))
+            .unwrap();
+        drive(&mut dev, 1, 10_000);
+        assert!(dev.take_transfer_records().is_empty());
+
+        dev.set_transfer_log(Some(64));
+        dev.try_enqueue(DramRequest::read(2, loc, 5, TrafficClass(2), Cycle(0)))
+            .unwrap();
+        dev.try_enqueue(DramRequest::write(3, loc, 4, TrafficClass(4), Cycle(0)))
+            .unwrap();
+        drive(&mut dev, 3, 100_000);
+        let recs = dev.take_transfer_records();
+        assert_eq!(recs.len(), 2);
+        assert!(recs.windows(2).all(|w| w[0].start <= w[1].start));
+        let read = recs.iter().find(|r| !r.is_write).unwrap();
+        assert_eq!(read.channel, 2);
+        assert_eq!(read.bank, 3);
+        assert_eq!(read.class, TrafficClass(2));
+        assert!(read.finish > read.start);
+        // Draining leaves the log armed but empty.
+        assert!(dev.take_transfer_records().is_empty());
+    }
+
+    #[test]
+    fn bank_queue_depths_reflect_pending_requests() {
+        let mut dev = DramDevice::new(DramConfig::stacked_cache_8x());
+        let banks_per_channel = dev.config().topology.banks_per_channel() as usize;
+        let channels = dev.config().topology.channels as usize;
+        let idle = dev.bank_queue_depths();
+        assert_eq!(idle.len(), channels * banks_per_channel);
+        assert!(idle.iter().all(|&d| d == 0));
+
+        let loc = DramLocation {
+            channel: 1,
+            rank: 0,
+            bank: 2,
+            row: 7,
+        };
+        for id in 0..3 {
+            dev.try_enqueue(DramRequest::read(id, loc, 5, TrafficClass(0), Cycle(0)))
+                .unwrap();
+        }
+        let depths = dev.bank_queue_depths();
+        assert_eq!(depths[banks_per_channel + 2], 3);
+        assert_eq!(depths.iter().map(|&d| d as usize).sum::<usize>(), 3);
+        drive(&mut dev, 3, 100_000);
+        assert!(dev.bank_queue_depths().iter().all(|&d| d == 0));
     }
 
     #[test]

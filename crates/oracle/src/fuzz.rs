@@ -7,7 +7,7 @@
 //! ([`crate::shrink`]) and written out as a repro file
 //! ([`crate::repro`]).
 
-use crate::lockstep::{run_lockstep, LockstepReport};
+use crate::lockstep::{run_lockstep_traced, DivergenceContext, LockstepReport};
 use crate::pools::{footprint_pool, neighbor_pair_pool, set_collision_pool};
 use crate::repro::Repro;
 use crate::shrink::shrink;
@@ -165,17 +165,39 @@ pub fn trace_for(case: &FuzzCase) -> Vec<TraceEvent> {
 /// Returns the first divergence (or a config error for an invalid
 /// design/feature pairing).
 pub fn run_trace(case: &FuzzCase, events: &[TraceEvent]) -> Result<LockstepReport, SimError> {
-    let cfg = quick_config(case.design, case.features);
-    let src: Box<dyn TraceSource> =
-        Box::new(ScriptedTrace::new(case.pattern.label(), events.to_vec()));
-    let mut sys = System::build_with_sources(&cfg, vec![src])?;
-    if let Some((kind, at_cycle)) = case.fault {
-        sys.set_fault_plan(FaultPlan::single(kind, at_cycle));
-        // The injected corruption must be caught by the oracle, not by
-        // the model's own internal checks.
-        sys.set_check_mode(CheckMode::Off);
-    }
-    run_lockstep(&mut sys, case.cycles, case.quiesce_budget)
+    run_trace_traced(case, events).map_err(|ctx| ctx.error)
+}
+
+/// [`run_trace`], but a divergence carries the recent-event history the
+/// repro file embeds as its `context:` section.
+///
+/// # Errors
+///
+/// As [`run_trace`], boxed with the recent-event ring.
+pub fn run_trace_traced(
+    case: &FuzzCase,
+    events: &[TraceEvent],
+) -> Result<LockstepReport, Box<DivergenceContext>> {
+    let build = || -> Result<System, SimError> {
+        let cfg = quick_config(case.design, case.features);
+        let src: Box<dyn TraceSource> =
+            Box::new(ScriptedTrace::new(case.pattern.label(), events.to_vec()));
+        let mut sys = System::build_with_sources(&cfg, vec![src])?;
+        if let Some((kind, at_cycle)) = case.fault {
+            sys.set_fault_plan(FaultPlan::single(kind, at_cycle));
+            // The injected corruption must be caught by the oracle, not by
+            // the model's own internal checks.
+            sys.set_check_mode(CheckMode::Off);
+        }
+        Ok(sys)
+    };
+    let mut sys = build().map_err(|error| {
+        Box::new(DivergenceContext {
+            error,
+            recent_events: Vec::new(),
+        })
+    })?;
+    run_lockstep_traced(&mut sys, case.cycles, case.quiesce_budget)
 }
 
 /// Generates the case's trace and replays it under the oracle.
@@ -244,10 +266,10 @@ pub fn run_campaign(cases: &[FuzzCase], out_dir: Option<&Path>) -> CampaignRepor
     for case in cases {
         report.cases_run += 1;
         let events = trace_for(case);
-        match run_trace(case, &events) {
+        match run_trace_traced(case, &events) {
             Ok(r) => report.events_checked += r.events_checked,
-            Err(error) => {
-                let div = shrink_divergence(case, &events, error, out_dir);
+            Err(ctx) => {
+                let div = shrink_divergence(case, &events, *ctx, out_dir);
                 report.divergences.push(div);
             }
         }
@@ -255,25 +277,33 @@ pub fn run_campaign(cases: &[FuzzCase], out_dir: Option<&Path>) -> CampaignRepor
     report
 }
 
-/// Shrinks one diverging trace and writes its repro file.
+/// Shrinks one diverging trace and writes its repro file, embedding the
+/// last events observed before the (minimized) divergence as the repro's
+/// `context:` section.
 pub fn shrink_divergence(
     case: &FuzzCase,
     events: &[TraceEvent],
-    original: SimError,
+    original: DivergenceContext,
     out_dir: Option<&Path>,
 ) -> CampaignDivergence {
     let shrunk = shrink(events, |t| run_trace(case, t).is_err());
     // Re-run the minimized trace to capture the divergence it actually
-    // reproduces (shrinking may surface an earlier check).
-    let error = match run_trace(case, &shrunk.events) {
-        Err(e) => e,
+    // reproduces (shrinking may surface an earlier check) together with
+    // the event history leading up to it.
+    let ctx = match run_trace_traced(case, &shrunk.events) {
+        Err(c) => *c,
         Ok(_) => original,
     };
-    let repro = Repro::from_case(case, &error, shrunk.events.clone());
+    let context = ctx
+        .recent_events
+        .iter()
+        .map(|(cycle, ev)| format!("{cycle} {ev:?}"))
+        .collect();
+    let repro = Repro::from_case(case, &ctx.error, shrunk.events.clone(), context);
     let repro_path = out_dir.and_then(|dir| repro.write_to(&dir.join("repros")).ok());
     CampaignDivergence {
         case: *case,
-        error,
+        error: ctx.error,
         shrunk_len: shrunk.events.len(),
         repro_path,
     }

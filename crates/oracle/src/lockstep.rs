@@ -7,8 +7,10 @@
 
 use crate::audit::{audit_bytes, audit_counters};
 use crate::shadow::Shadow;
+use bear_core::events::ObsEvent;
 use bear_core::system::System;
 use bear_sim::error::SimError;
+use bear_telemetry::{RingBuffer, DEFAULT_RING_CAPACITY};
 
 /// Summary of a clean (divergence-free) lockstep run.
 #[derive(Debug, Clone, Copy)]
@@ -21,6 +23,18 @@ pub struct LockstepReport {
     /// so; an undrained run skips them rather than reporting phantom
     /// mismatches against in-flight traffic).
     pub drained: bool,
+}
+
+/// A divergence plus the newest `(cycle, event)` pairs that led up to it
+/// — the observable history a repro file embeds so a human can see what
+/// the model was doing when the check fired.
+#[derive(Debug)]
+pub struct DivergenceContext {
+    /// The failed check.
+    pub error: SimError,
+    /// The last events fed to the shadow, oldest first (bounded by
+    /// [`DEFAULT_RING_CAPACITY`]).
+    pub recent_events: Vec<(u64, ObsEvent)>,
 }
 
 /// Runs `sys` for `cycles` ticks under the oracle, then quiesces and
@@ -38,6 +52,36 @@ pub fn run_lockstep(
     cycles: u64,
     quiesce_budget: u64,
 ) -> Result<LockstepReport, SimError> {
+    run_lockstep_traced(sys, cycles, quiesce_budget).map_err(|ctx| ctx.error)
+}
+
+/// [`run_lockstep`], but a divergence carries the event history that
+/// preceded it (see [`DivergenceContext`]). The fuzzer uses this to put
+/// the last [`DEFAULT_RING_CAPACITY`] events into every repro file.
+///
+/// # Errors
+///
+/// As [`run_lockstep`], boxed with the recent-event ring.
+pub fn run_lockstep_traced(
+    sys: &mut System,
+    cycles: u64,
+    quiesce_budget: u64,
+) -> Result<LockstepReport, Box<DivergenceContext>> {
+    let mut ring = RingBuffer::new(DEFAULT_RING_CAPACITY);
+    lockstep_inner(sys, cycles, quiesce_budget, &mut ring).map_err(|error| {
+        Box::new(DivergenceContext {
+            error,
+            recent_events: ring.into_vec(),
+        })
+    })
+}
+
+fn lockstep_inner(
+    sys: &mut System,
+    cycles: u64,
+    quiesce_budget: u64,
+    ring: &mut RingBuffer<(u64, ObsEvent)>,
+) -> Result<LockstepReport, SimError> {
     let mut shadow = Shadow::new(sys.config());
     let mut events_checked = 0u64;
     sys.set_observe(true);
@@ -45,6 +89,7 @@ pub fn run_lockstep(
         sys.tick();
         let now = sys.now().0;
         for ev in sys.drain_events() {
+            ring.push((now, ev));
             shadow.apply(now, &ev)?;
             events_checked += 1;
         }
@@ -60,6 +105,7 @@ pub fn run_lockstep(
         sys.tick();
         let now = sys.now().0;
         for ev in sys.drain_events() {
+            ring.push((now, ev));
             shadow.apply(now, &ev)?;
             events_checked += 1;
         }

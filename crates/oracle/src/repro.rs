@@ -17,7 +17,14 @@
 //! accesses: 2
 //! 1 0x7f8040 L 0x4000
 //! 2 0x13c0c0 S 0x4040
+//! context: 1
+//! 2113 ReadClassified { line: 8354, predicted_hit: true, was_hit: false }
 //! ```
+//!
+//! The optional trailing `context:` section holds the last `(cycle,
+//! event)` pairs the oracle observed before the divergence (up to the
+//! telemetry ring capacity, 256) — human-readable breadcrumbs only; the
+//! replay is fully determined by the fields above it.
 
 use crate::fuzz::{FeatureSet, FuzzCase, ALL_DESIGNS};
 use bear_core::config::DesignKind;
@@ -45,6 +52,9 @@ pub struct Repro {
     pub check: String,
     /// The minimized access sequence.
     pub events: Vec<TraceEvent>,
+    /// Human-readable `cycle EventDebug` lines for the last events
+    /// observed before the divergence (may be empty; not replayed).
+    pub context: Vec<String>,
 }
 
 fn design_from_label(label: &str) -> Option<DesignKind> {
@@ -52,8 +62,14 @@ fn design_from_label(label: &str) -> Option<DesignKind> {
 }
 
 impl Repro {
-    /// Packages a shrunk trace from the campaign.
-    pub fn from_case(case: &FuzzCase, error: &SimError, events: Vec<TraceEvent>) -> Self {
+    /// Packages a shrunk trace from the campaign, with the recent-event
+    /// `context` lines the oracle captured before the divergence.
+    pub fn from_case(
+        case: &FuzzCase,
+        error: &SimError,
+        events: Vec<TraceEvent>,
+        context: Vec<String>,
+    ) -> Self {
         let check = match error {
             SimError::Divergence { check, .. } => check.clone(),
             other => other.kind().to_string(),
@@ -67,6 +83,7 @@ impl Repro {
             cycles: case.cycles,
             check,
             events,
+            context,
         }
     }
 
@@ -112,6 +129,13 @@ impl Repro {
                 if ev.is_store { 'S' } else { 'L' },
                 ev.pc
             ));
+        }
+        if !self.context.is_empty() {
+            out.push_str(&format!("context: {}\n", self.context.len()));
+            for line in &self.context {
+                out.push_str(line);
+                out.push('\n');
+            }
         }
         out
     }
@@ -179,7 +203,7 @@ impl Repro {
             u64::from_str_radix(digits, 16).map_err(|e| bad(format!("bad hex {s:?}: {e}")))
         };
         let mut events = Vec::with_capacity(accesses);
-        for line in lines {
+        for line in lines.by_ref().take(accesses) {
             let mut parts = line.split_whitespace();
             let (Some(gap), Some(addr), Some(op), Some(pc), None) = (
                 parts.next(),
@@ -209,6 +233,29 @@ impl Repro {
                 events.len()
             )));
         }
+        // Optional trailing context section (verbatim breadcrumb lines).
+        let mut context = Vec::new();
+        if let Some(line) = lines.next() {
+            let count = line
+                .strip_prefix("context: ")
+                .ok_or_else(|| {
+                    bad(format!(
+                        "expected 'context: N' or end of file, got {line:?}"
+                    ))
+                })?
+                .parse::<usize>()
+                .map_err(|e| bad(format!("bad context count in {line:?}: {e}")))?;
+            context.extend(lines.by_ref().take(count).map(str::to_string));
+            if context.len() != count {
+                return Err(bad(format!(
+                    "context count mismatch: header says {count}, found {}",
+                    context.len()
+                )));
+            }
+            if let Some(junk) = lines.next() {
+                return Err(bad(format!("trailing junk after context: {junk:?}")));
+            }
+        }
         Ok(Repro {
             design,
             features,
@@ -218,6 +265,7 @@ impl Repro {
             cycles,
             check,
             events,
+            context,
         })
     }
 
@@ -265,6 +313,7 @@ mod tests {
                     pc: 0x4040,
                 },
             ],
+            context: vec![],
         }
     }
 
@@ -292,6 +341,37 @@ mod tests {
         let text = r.to_text().replace(" S ", " X ");
         assert!(Repro::parse(&text).is_err());
         assert!(Repro::parse("nonsense").is_err());
+    }
+
+    #[test]
+    fn context_section_round_trips() {
+        let r = Repro {
+            context: vec![
+                "2113 ReadClassified { line: 8354, predicted_hit: true, was_hit: false }".into(),
+                "2114 Filled { line: 8354 }".into(),
+            ],
+            ..sample()
+        };
+        let text = r.to_text();
+        assert!(text.contains("context: 2\n"));
+        assert_eq!(Repro::parse(&text).unwrap(), r);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_context() {
+        let r = Repro {
+            context: vec!["100 Filled { line: 1 }".into()],
+            ..sample()
+        };
+        // Claimed more context lines than present.
+        let text = r.to_text().replace("context: 1", "context: 2");
+        assert!(Repro::parse(&text).is_err());
+        // Trailing junk after the context section.
+        let text = format!("{}unexpected\n", r.to_text());
+        assert!(Repro::parse(&text).is_err());
+        // Trailing lines where a context header was expected.
+        let text = format!("{}not-a-section\n", sample().to_text());
+        assert!(Repro::parse(&text).is_err());
     }
 
     #[test]

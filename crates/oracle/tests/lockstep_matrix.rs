@@ -98,9 +98,20 @@ fn seeded_tag_flip_is_caught_and_shrinks_small() {
         shrunk.events.len()
     );
     // The minimized trace still reproduces, and survives the repro file
-    // round trip.
-    let err = run_trace(&case, &shrunk.events).expect_err("shrunk trace must still diverge");
-    let repro = Repro::from_case(&case, &err, shrunk.events.clone());
+    // round trip — context (the oracle's recent-event ring) included.
+    let ctx = bear_oracle::run_trace_traced(&case, &shrunk.events)
+        .expect_err("shrunk trace must still diverge");
+    assert!(
+        !ctx.recent_events.is_empty(),
+        "a divergence must carry its preceding events"
+    );
+    assert!(ctx.recent_events.len() <= 256, "context ring is bounded");
+    let context: Vec<String> = ctx
+        .recent_events
+        .iter()
+        .map(|(cycle, ev)| format!("{cycle} {ev:?}"))
+        .collect();
+    let repro = Repro::from_case(&case, &ctx.error, shrunk.events.clone(), context);
     let parsed = Repro::parse(&repro.to_text()).unwrap();
     assert_eq!(parsed, repro);
     run_trace(&parsed.to_case(), &parsed.events).expect_err("parsed repro must still diverge");
@@ -141,5 +152,9 @@ fn campaign_writes_repro_files_for_divergences() {
     assert!(path.starts_with(dir.join("repros")));
     let parsed = Repro::parse(&std::fs::read_to_string(path).unwrap()).unwrap();
     assert_eq!(parsed.events.len(), div.shrunk_len);
+    assert!(
+        !parsed.context.is_empty(),
+        "campaign repros embed the recent-event context"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,0 +1,91 @@
+//! A bounded ring buffer that keeps the most recent items.
+
+use std::collections::VecDeque;
+
+/// Fixed-capacity buffer: pushing beyond capacity evicts the oldest item.
+///
+/// Used for the "last 256 `ObsEvent`s" trace/divergence context — the
+/// interesting part of an event stream is almost always its tail.
+#[derive(Debug, Clone)]
+pub struct RingBuffer<T> {
+    cap: usize,
+    buf: VecDeque<T>,
+}
+
+impl<T> RingBuffer<T> {
+    /// A ring holding at most `cap` items (`cap == 0` keeps nothing).
+    pub fn new(cap: usize) -> Self {
+        RingBuffer {
+            cap,
+            buf: VecDeque::with_capacity(cap),
+        }
+    }
+
+    /// Appends `item`, evicting the oldest entry when full.
+    pub fn push(&mut self, item: T) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(item);
+    }
+
+    /// Number of retained items.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum number of retained items.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Iterates oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+
+    /// Consumes the ring, returning retained items oldest → newest.
+    pub fn into_vec(self) -> Vec<T> {
+        self.buf.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_only_the_newest() {
+        let mut r = RingBuffer::new(3);
+        for i in 0..10 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.into_vec(), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn under_capacity_keeps_everything_in_order() {
+        let mut r = RingBuffer::new(8);
+        r.push('a');
+        r.push('b');
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![&'a', &'b']);
+        assert!(!r.is_empty());
+        assert_eq!(r.capacity(), 8);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut r = RingBuffer::new(0);
+        r.push(1);
+        assert!(r.is_empty());
+    }
+}

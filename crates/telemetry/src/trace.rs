@@ -1,0 +1,156 @@
+//! Incremental Chrome Trace Event Format builder.
+//!
+//! Produces the JSON object format (`{"traceEvents": [...]}`) described
+//! by the Trace Event Format spec and understood by `chrome://tracing`
+//! and Perfetto. Timestamps are microseconds; the simulator maps one
+//! core cycle to one microsecond of virtual time (documented in
+//! EXPERIMENTS.md — only relative durations matter for inspection).
+
+use crate::escape_json;
+
+/// Builder accumulating serialized trace events.
+#[derive(Debug, Default)]
+pub struct ChromeTrace {
+    events: Vec<String>,
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        ChromeTrace::default()
+    }
+
+    /// Number of events recorded so far (metadata included).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Names a process track (`ph: "M"` metadata event).
+    pub fn name_process(&mut self, pid: u64, name: &str) {
+        self.events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape_json(name)
+        ));
+    }
+
+    /// Names a thread track (`ph: "M"` metadata event).
+    pub fn name_thread(&mut self, pid: u64, tid: u64, name: &str) {
+        self.events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape_json(name)
+        ));
+    }
+
+    /// A complete event (`ph: "X"`): a named span of `dur_us` starting at
+    /// `ts_us` on the given track, with numeric args.
+    pub fn complete(
+        &mut self,
+        pid: u64,
+        tid: u64,
+        name: &str,
+        ts_us: u64,
+        dur_us: u64,
+        args: &[(&str, u64)],
+    ) {
+        self.events.push(format!(
+            "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"name\":\"{}\",\
+             \"ts\":{ts_us},\"dur\":{dur_us},\"args\":{}}}",
+            escape_json(name),
+            render_args(args)
+        ));
+    }
+
+    /// A thread-scoped instant event (`ph: "i"`).
+    pub fn instant(&mut self, pid: u64, tid: u64, name: &str, ts_us: u64, args: &[(&str, u64)]) {
+        self.events.push(format!(
+            "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\"name\":\"{}\",\
+             \"ts\":{ts_us},\"args\":{}}}",
+            escape_json(name),
+            render_args(args)
+        ));
+    }
+
+    /// A counter event (`ph: "C"`): stacked series rendered as a chart.
+    pub fn counter(&mut self, pid: u64, name: &str, ts_us: u64, series: &[(&str, f64)]) {
+        let body: Vec<String> = series
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{}", escape_json(k), crate::json_num(*v)))
+            .collect();
+        self.events.push(format!(
+            "{{\"ph\":\"C\",\"pid\":{pid},\"tid\":0,\"name\":\"{}\",\
+             \"ts\":{ts_us},\"args\":{{{}}}}}",
+            escape_json(name),
+            body.join(",")
+        ));
+    }
+
+    /// Serializes the whole trace as a `trace.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out =
+            String::with_capacity(self.events.iter().map(|e| e.len() + 2).sum::<usize>() + 64);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        for (i, ev) in self.events.iter().enumerate() {
+            out.push_str(ev);
+            if i + 1 < self.events.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+fn render_args(args: &[(&str, u64)]) -> String {
+    let body: Vec<String> = args
+        .iter()
+        .map(|(k, v)| format!("\"{}\":{v}", escape_json(k)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_well_formed_document() {
+        let mut t = ChromeTrace::new();
+        t.name_process(1, "DRAM cache");
+        t.name_thread(1, 3, "ch0 bank3");
+        t.complete(1, 3, "miss_fill", 100, 4, &[("line", 0x7f)]);
+        t.instant(2, 1, "Bypassed", 104, &[("line", 127)]);
+        t.counter(3, "bloat", 110, &[("factor", 1.5)]);
+        let json = t.to_json();
+        assert_eq!(t.len(), 5);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"dur\":4"));
+        assert!(json.contains("\"factor\":1.5"));
+        // Events are comma-separated: n events need n-1 separators at line
+        // ends.
+        assert_eq!(json.matches(",\n").count(), t.len() - 1);
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid() {
+        let t = ChromeTrace::new();
+        assert!(t.is_empty());
+        assert!(t.to_json().contains("\"traceEvents\":[\n]"));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut t = ChromeTrace::new();
+        t.name_process(1, "a\"b");
+        assert!(t.to_json().contains("a\\\"b"));
+    }
+}

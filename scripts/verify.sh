@@ -47,4 +47,25 @@ if ./target/release/fuzz --seeds 190 --cycles 10000 --fault tag-flip@2000 \
   exit 1
 fi
 
-echo "OK: fmt, clippy, tests, fault injection, resume, and fuzz smoke all passed offline."
+echo "==> telemetry-off compile check (bear-core without the feature)"
+# The telemetry hooks are gated behind a cargo feature; the core crate
+# must keep building with the feature off (no stray references).
+cargo check -q -p bear-core --offline
+
+echo "==> telemetry off-mode guard test (byte-identical reports)"
+# Arming the campaign telemetry sink must not change a single byte of a
+# cell's JSON report, and checkpoint resume must not rewrite sample files.
+cargo test -q -p bear-bench --offline --test telemetry
+
+echo "==> telemetry smoke (JSONL + Chrome trace + self-profile)"
+# The demo binary validates its own outputs: every JSONL line and the
+# trace document re-parse, window sums equal end-of-run aggregates, and
+# disarmed telemetry measures <1% overhead.
+TELEMETRY_SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$TELEMETRY_SMOKE_DIR"' EXIT
+cargo build -q --release -p bear-bench --bin telemetry --offline
+BEAR_BENCH_QUICK=1 ./target/release/telemetry --out "$TELEMETRY_SMOKE_DIR"
+test -s "$TELEMETRY_SMOKE_DIR/trace.json"
+test -s "$TELEMETRY_SMOKE_DIR/self_profile.txt"
+
+echo "OK: fmt, clippy, tests, fault injection, resume, fuzz smoke, and telemetry smoke all passed offline."
