@@ -1,0 +1,7 @@
+//! Measures the wall-clock speedup of the event-driven run loop over
+//! per-cycle polling on the campaign smoke grid, asserting bit-identical
+//! results between the modes. Pass `--out DIR` to also write a JSON report.
+
+fn main() {
+    bear_bench::cli::run_single("loop_speedup", bear_bench::experiments::loop_speedup::run);
+}

@@ -21,6 +21,7 @@ pub mod fig14_sensitivity;
 pub mod fig15_banks;
 pub mod fig16_sram_tags;
 pub mod fig17_alternatives;
+pub mod loop_speedup;
 pub mod table4_latency;
 pub mod table5_overhead;
 

@@ -65,6 +65,13 @@ pub struct DeviceHarness {
     /// Bytes submitted to the cache device since the last stats reset —
     /// the "expected" side of the byte-conservation invariant.
     expected_cache_bytes: u64,
+    /// When set, [`DeviceHarness::tick`] elides channels whose memoized
+    /// busy hint proves this cycle a no-op (see
+    /// [`DramDevice::tick_gated`]). Both settings produce bit-identical
+    /// device state; the flag only trades per-tick walk cost for hint
+    /// reads, so the event-driven driver arms it and the per-cycle
+    /// polling baseline leaves it off.
+    event_gated: bool,
 }
 
 impl DeviceHarness {
@@ -78,7 +85,14 @@ impl DeviceHarness {
             mem_retry: VecDeque::new(),
             scratch: Vec::with_capacity(16),
             expected_cache_bytes: 0,
+            event_gated: false,
         }
+    }
+
+    /// Arms (or disarms) per-channel tick elision (see
+    /// [`DeviceHarness::tick`]'s `event_gated` field).
+    pub fn set_event_gating(&mut self, on: bool) {
+        self.event_gated = on;
     }
 
     fn encode_id(txn: u64, leg: Leg) -> u64 {
@@ -162,8 +176,13 @@ impl DeviceHarness {
         Self::drain(&mut self.mem_retry, &mut self.mem);
 
         self.scratch.clear();
-        self.cache.tick(now, &mut self.scratch);
-        self.mem.tick(now, &mut self.scratch);
+        if self.event_gated {
+            self.cache.tick_gated(now, &mut self.scratch);
+            self.mem.tick_gated(now, &mut self.scratch);
+        } else {
+            self.cache.tick(now, &mut self.scratch);
+            self.mem.tick(now, &mut self.scratch);
+        }
         for c in &self.scratch {
             let leg = Leg::from_bits(c.request.id & 3);
             if leg == Leg::PostedWrite {
@@ -194,6 +213,21 @@ impl DeviceHarness {
     /// Outstanding work anywhere in the harness.
     pub fn pending(&self) -> usize {
         self.cache.pending() + self.mem.pending() + self.cache_retry.len() + self.mem_retry.len()
+    }
+
+    /// Earliest cycle at which ticking the harness can change state: ticks
+    /// strictly before it are guaranteed no-ops. Retry queues drain at tick
+    /// start, so any backlog makes the harness busy immediately; otherwise
+    /// the devices' own hints govern. [`Cycle::NEVER`] when fully drained.
+    pub fn next_busy_cycle(&self, now: Cycle) -> Cycle {
+        if !self.cache_retry.is_empty() || !self.mem_retry.is_empty() {
+            return now;
+        }
+        let cache = self.cache.next_busy_cycle(now);
+        if cache <= now {
+            return cache;
+        }
+        cache.min(self.mem.next_busy_cycle(now))
     }
 
     /// Requests waiting in retry queues (backpressure depth).

@@ -9,24 +9,20 @@
 //! the line is filled (Miss Fill). Writebacks probe before updating
 //! (Writeback Probe / Update / Fill).
 //!
-//! The BEAR hooks:
-//! - **BAB** decides fill-vs-bypass per set group (Section 4);
-//! - **DCP** hints arrive with each writeback and skip the probe when the
-//!   presence bit is set (Section 5);
-//! - **NTC** answers presence queries from neighbor tags streamed on every
-//!   TAD transfer, skipping Miss Probes for known-absent lines and
-//!   squashing wasteful parallel memory accesses for known-present ones
-//!   (Section 6).
+//! All BEAR technique logic (BAB, DCP, NTC, and the MAP-I predictor)
+//! reaches this controller through [`TechniqueStack`] hooks on the shared
+//! [`Engine`]; the controller itself owns only the direct-mapped
+//! organization — placement, the tag store, and the probe/fill/writeback
+//! routing.
 
-use crate::bab::BypassPolicy;
 use crate::config::{DesignKind, SystemConfig};
 use crate::contents::DirectStore;
 use crate::events::{FillCause, ObsEvent};
-use crate::harness::{DeviceHarness, Leg, RoutedCompletion};
+use crate::harness::{DeviceHarness, Leg};
+use crate::l4::engine::Engine;
 use crate::l4::placement::SetPlacement;
+use crate::l4::stack::TechniqueStack;
 use crate::l4::{ControllerProbe, Delivery, L4Cache, L4Outputs, L4Stats};
-use crate::ntc::{NeighboringTagCache, NtcAnswer};
-use crate::predictor::MapIPredictor;
 use crate::traffic::{BloatCategory, MemTraffic};
 use bear_sim::faultinject::FaultKind;
 use bear_sim::invariants::InvariantSink;
@@ -66,24 +62,13 @@ pub struct AlloyController {
     design: DesignKind,
     store: DirectStore,
     placement: SetPlacement,
-    harness: DeviceHarness,
-    predictor: MapIPredictor,
-    bypass: BypassPolicy,
-    ntc: Option<NeighboringTagCache>,
-    /// §9.4 extension: record the demanded set's own tag too.
-    ntc_temporal: bool,
-    dcp_enabled: bool,
+    /// Shared transaction skeleton: devices, stats, technique stack,
+    /// txn ids, and observation staging. Public so tests and harness
+    /// tooling can reach devices and techniques directly.
+    pub engine: Engine,
     writeback_allocate: bool,
     reads: HashMap<u64, ReadTxn>,
     writebacks: HashMap<u64, WbTxn>,
-    next_txn: u64,
-    stats: L4Stats,
-    completions: Vec<RoutedCompletion>,
-    /// Oracle observation: when armed, functional decisions are staged here
-    /// (submit-time decisions have no `L4Outputs` in scope) and drained into
-    /// `out.events` at the end of each tick, preserving decision order.
-    observe: bool,
-    staged_events: Vec<ObsEvent>,
 }
 
 impl AlloyController {
@@ -106,53 +91,15 @@ impl AlloyController {
             panic!("invalid system configuration: {e}");
         }
         let placement = SetPlacement::alloy(cfg.cache_dram.topology);
-        let ntc = cfg
-            .bear
-            .ntc
-            .then(|| NeighboringTagCache::new(placement.total_banks(), 8));
+        let stack = TechniqueStack::from_config(cfg, placement.total_banks());
         AlloyController {
             design: cfg.design,
             store: DirectStore::new(cfg.l4_lines()),
             placement,
-            harness: DeviceHarness::new(cfg.cache_dram, cfg.mem_dram),
-            predictor: MapIPredictor::with_kind(8, 256, cfg.predictor),
-            bypass: match cfg.design {
-                // Inclusion forbids bypass; BW-Opt models the no-bypass
-                // baseline contents.
-                DesignKind::InclusiveAlloy | DesignKind::BwOpt => BypassPolicy::always_fill(),
-                _ => {
-                    let mut b = cfg.bear.fill_policy.build();
-                    if matches!(
-                        cfg.bear.fill_policy,
-                        crate::config::FillPolicy::BandwidthAware(_)
-                    ) {
-                        b.set_delta_shift(cfg.bab_delta_shift);
-                    }
-                    b
-                }
-            },
-            ntc,
-            ntc_temporal: cfg.bear.ntc_temporal,
-            dcp_enabled: cfg.bear.dcp,
+            engine: Engine::new(cfg, stack),
             writeback_allocate: cfg.writeback_allocate,
             reads: HashMap::new(),
             writebacks: HashMap::new(),
-            next_txn: 0,
-            stats: L4Stats::default(),
-            completions: Vec::with_capacity(16),
-            observe: false,
-            staged_events: Vec::new(),
-        }
-    }
-
-    fn alloc_txn(&mut self) -> u64 {
-        self.next_txn += 1;
-        self.next_txn
-    }
-
-    fn emit(&mut self, ev: ObsEvent) {
-        if self.observe {
-            self.staged_events.push(ev);
         }
     }
 
@@ -160,61 +107,21 @@ impl AlloyController {
         self.design == DesignKind::BwOpt
     }
 
-    /// Streams the neighbor tag carried by a TAD transfer of `set` into the
-    /// NTC, and refreshes the NTC's view of `set` itself. In temporal mode
-    /// (§9.4 extension) the demanded set's own tag is cached as well.
-    fn ntc_observe(&mut self, set: u64) {
-        let temporal = self.ntc_temporal;
-        let Some(ntc) = self.ntc.as_mut() else { return };
-        let total = self.store.sets();
-        if self.placement.has_neighbor(set, total) {
-            let nset = set + 1;
-            let bank = self.placement.global_bank(nset);
-            match self.store.occupant(nset) {
-                Some(o) => ntc.record(bank, nset, Some(o.tag), o.dirty),
-                None => ntc.record(bank, nset, None, false),
-            }
-        }
-        if temporal {
-            let bank = self.placement.global_bank(set);
-            match self.store.occupant(set) {
-                Some(o) => ntc.record(bank, set, Some(o.tag), o.dirty),
-                None => ntc.record(bank, set, None, false),
-            }
-        }
-    }
-
-    /// Keeps the NTC coherent with a content change of `set`.
-    fn ntc_sync(&mut self, set: u64) {
-        let Some(ntc) = self.ntc.as_mut() else { return };
-        let bank = self.placement.global_bank(set);
-        // Only refresh an existing entry; the NTC inserts solely from
-        // neighbor-tag streaming.
-        if ntc.lookup_silent(bank, set) {
-            match self.store.occupant(set) {
-                Some(o) => ntc.record(bank, set, Some(o.tag), o.dirty),
-                None => ntc.record(bank, set, None, false),
-            }
-        }
-    }
-
     /// Installs `line` after a demand miss, handling the victim.
     fn do_fill(&mut self, line: u64, dirty: bool, now: Cycle, out: &mut L4Outputs) {
         let (set, _) = self.store.decompose(line);
         if let Some((victim_line, victim_dirty)) = self.store.install(line, dirty) {
-            self.stats.evictions += 1;
+            self.engine.stats.evictions += 1;
             out.evictions.push(victim_line);
-            self.emit(ObsEvent::Evicted {
+            self.engine.emit(ObsEvent::Evicted {
                 line: victim_line,
                 dirty: victim_dirty,
             });
             if victim_dirty {
-                let txn = self.alloc_txn();
-                self.harness
-                    .mem_write(txn, victim_line, MemTraffic::VictimWrite.class(), now);
+                self.engine.victim_mem_write(victim_line, now);
             }
         }
-        self.emit(ObsEvent::Filled {
+        self.engine.emit(ObsEvent::Filled {
             line,
             dirty,
             // Alloy demand fills install clean; only writeback-allocate
@@ -225,19 +132,24 @@ impl AlloyController {
                 FillCause::Demand
             },
         });
-        self.ntc_sync(set);
+        self.engine
+            .stack
+            .on_eviction(&self.placement, &self.store, set);
     }
 
     fn finish_demand_miss(&mut self, txn_id: u64, txn: ReadTxn, now: Cycle, out: &mut L4Outputs) {
-        self.stats.miss_latency.record((now - txn.arrival) as f64);
+        self.engine
+            .stats
+            .miss_latency
+            .record((now - txn.arrival) as f64);
         let (set, _) = self.store.decompose(txn.line);
-        let fill = !self.bypass.should_bypass(set);
+        let fill = self.engine.stack.on_fill_decision(set);
         if fill {
-            self.stats.fills += 1;
+            self.engine.stats.fills += 1;
             self.do_fill(txn.line, false, now, out);
             if !self.is_ideal() {
-                let wtxn = self.alloc_txn();
-                self.harness.cache_write(
+                let wtxn = self.engine.alloc_txn();
+                self.engine.harness.cache_write(
                     wtxn,
                     self.placement.locate(set),
                     TAD_BEATS,
@@ -246,8 +158,8 @@ impl AlloyController {
                 );
             }
         } else {
-            self.stats.bypasses += 1;
-            self.emit(ObsEvent::Bypassed { line: txn.line });
+            self.engine.stats.bypasses += 1;
+            self.engine.emit(ObsEvent::Bypassed { line: txn.line });
         }
         out.deliveries.push(Delivery {
             line: txn.line,
@@ -263,20 +175,24 @@ impl AlloyController {
         };
         txn.probe_outstanding = false;
         let (set, _) = self.store.decompose(txn.line);
-        self.ntc_observe(set);
+        self.engine
+            .stack
+            .on_tad_transfer(&self.placement, &self.store, set);
         let hit = self.store.contains(txn.line);
         txn.probe_hit = Some(hit);
-        self.predictor.train(txn.core, txn.pc, hit);
-        self.bypass.record_access(set, hit);
-        self.emit(ObsEvent::ReadClassified {
+        self.engine.stack.train(txn.core, txn.pc, set, hit);
+        self.engine.emit(ObsEvent::ReadClassified {
             line: txn.line,
             hit,
         });
 
         if hit {
-            self.stats.read_hits += 1;
-            self.stats.useful_lines += 1;
-            self.stats.hit_latency.record((finish - txn.arrival) as f64);
+            self.engine.stats.read_hits += 1;
+            self.engine.stats.useful_lines += 1;
+            self.engine
+                .stats
+                .hit_latency
+                .record((finish - txn.arrival) as f64);
             out.deliveries.push(Delivery {
                 line: txn.line,
                 l4_hit: true,
@@ -285,7 +201,7 @@ impl AlloyController {
             if txn.mem_outstanding {
                 // The parallel access was wasted; keep the txn to absorb
                 // the memory completion.
-                self.stats.wasted_parallel += 1;
+                self.engine.stats.wasted_parallel += 1;
                 txn.delivered = true;
                 self.reads.insert(txn_id, txn);
             } else {
@@ -302,7 +218,8 @@ impl AlloyController {
             self.reads.insert(txn_id, txn);
         } else {
             txn.mem_outstanding = true;
-            self.harness
+            self.engine
+                .harness
                 .mem_read(txn_id, txn.line, MemTraffic::DemandRead.class(), finish);
             self.reads.insert(txn_id, txn);
         }
@@ -342,20 +259,24 @@ impl AlloyController {
             return;
         };
         let (set, _) = self.store.decompose(txn.line);
-        self.ntc_observe(set);
+        self.engine
+            .stack
+            .on_tad_transfer(&self.placement, &self.store, set);
         let hit = self.store.contains(txn.line);
-        self.emit(ObsEvent::WbResolved {
+        self.engine.emit(ObsEvent::WbResolved {
             line: txn.line,
             hit,
             probe_skipped: false,
             allocated: !hit && self.writeback_allocate,
         });
         if hit {
-            self.stats.wb_hits += 1;
+            self.engine.stats.wb_hits += 1;
             self.store.mark_dirty(txn.line);
-            self.ntc_sync(set);
-            let wtxn = self.alloc_txn();
-            self.harness.cache_write(
+            self.engine
+                .stack
+                .on_eviction(&self.placement, &self.store, set);
+            let wtxn = self.engine.alloc_txn();
+            self.engine.harness.cache_write(
                 wtxn,
                 self.placement.locate(set),
                 TAD_BEATS,
@@ -364,8 +285,8 @@ impl AlloyController {
             );
         } else if self.writeback_allocate {
             self.do_fill(txn.line, true, finish, out);
-            let wtxn = self.alloc_txn();
-            self.harness.cache_write(
+            let wtxn = self.engine.alloc_txn();
+            self.engine.harness.cache_write(
                 wtxn,
                 self.placement.locate(set),
                 TAD_BEATS,
@@ -373,18 +294,16 @@ impl AlloyController {
                 finish,
             );
         } else {
-            let wtxn = self.alloc_txn();
-            self.harness
-                .mem_write(wtxn, txn.line, MemTraffic::Writeback.class(), finish);
+            self.engine.direct_mem_write(txn.line, finish);
         }
     }
 }
 
 impl L4Cache for AlloyController {
     fn submit_read(&mut self, line: u64, pc: u64, core: u32, now: Cycle) {
-        self.stats.read_lookups += 1;
+        self.engine.stats.read_lookups += 1;
         let (set, tag) = self.store.decompose(line);
-        let txn_id = self.alloc_txn();
+        let txn_id = self.engine.alloc_txn();
 
         if self.is_ideal() {
             // BW-Opt: perfect knowledge, 64 B hit transfers, free misses.
@@ -393,8 +312,8 @@ impl L4Cache for AlloyController {
             // would double-count the access.
             let hit = self.store.contains(line);
             if !hit {
-                self.bypass.record_access(set, hit);
-                self.emit(ObsEvent::ReadClassified { line, hit });
+                self.engine.stack.record_access(set, hit);
+                self.engine.emit(ObsEvent::ReadClassified { line, hit });
             }
             if hit {
                 self.reads.insert(
@@ -412,7 +331,7 @@ impl L4Cache for AlloyController {
                         ntc_skip: false,
                     },
                 );
-                self.harness.cache_read(
+                self.engine.harness.cache_read(
                     txn_id,
                     Leg::CacheProbe,
                     self.placement.locate(set),
@@ -436,39 +355,28 @@ impl L4Cache for AlloyController {
                         ntc_skip: true,
                     },
                 );
-                self.harness
+                self.engine
+                    .harness
                     .mem_read(txn_id, line, MemTraffic::DemandRead.class(), now);
             }
             return;
         }
 
-        // NTC consultation precedes the predictor (Section 6.1).
-        let ntc_answer = match self.ntc.as_mut() {
-            Some(ntc) => {
-                let answer = ntc.lookup(self.placement.global_bank(set), set, tag);
-                self.emit(ObsEvent::NtcConsulted { line, answer });
-                answer
-            }
-            None => NtcAnswer::Unknown,
-        };
-
-        let predicted_hit = self.predictor.predict_hit(core, pc);
-        let (issue_probe, issue_parallel_mem, ntc_skip) = match ntc_answer {
-            NtcAnswer::Present => {
-                // Guaranteed hit: probe only; squash any parallel access
-                // the predictor would have issued.
-                if !predicted_hit {
-                    self.stats.parallel_squashed += 1;
-                }
-                (true, false, false)
-            }
-            NtcAnswer::AbsentClean => {
-                // Guaranteed miss over a clean victim: skip the probe.
-                self.stats.miss_probes_avoided += 1;
-                (false, true, true)
-            }
-            NtcAnswer::AbsentDirty | NtcAnswer::Unknown => (true, !predicted_hit, false),
-        };
+        // NTC consultation precedes the predictor (Section 6.1); the plan
+        // resolves the probe/parallel-memory decision matrix.
+        let plan = self
+            .engine
+            .stack
+            .on_read_lookup(&self.placement, set, tag, core, pc);
+        if let Some(answer) = plan.ntc_answer {
+            self.engine.emit(ObsEvent::NtcConsulted { line, answer });
+        }
+        if plan.squashed_parallel {
+            self.engine.stats.parallel_squashed += 1;
+        }
+        if plan.probe_avoided {
+            self.engine.stats.miss_probes_avoided += 1;
+        }
 
         self.reads.insert(
             txn_id,
@@ -477,29 +385,22 @@ impl L4Cache for AlloyController {
                 pc,
                 core,
                 arrival: now,
-                probe_outstanding: issue_probe,
-                mem_outstanding: issue_parallel_mem,
+                probe_outstanding: plan.issue_probe,
+                mem_outstanding: plan.issue_parallel_mem,
                 probe_hit: None,
                 mem_done: false,
                 delivered: false,
-                ntc_skip,
+                ntc_skip: plan.ntc_skip,
             },
         );
 
-        if issue_probe {
-            let class = if ntc_answer == NtcAnswer::Present {
-                BloatCategory::Hit.class()
-            } else if predicted_hit {
-                // Classified at completion normally; we must choose at
-                // issue time — use the prediction, corrected below.
+        if plan.issue_probe {
+            let class = if plan.probe_class_is_hit() {
                 BloatCategory::Hit.class()
             } else {
                 BloatCategory::MissProbe.class()
             };
-            // NOTE: issue-time classification follows the prediction; the
-            // aggregate split is corrected in metrics via actual hit/miss
-            // counts when exact attribution matters (see metrics module).
-            self.harness.cache_read(
+            self.engine.harness.cache_read(
                 txn_id,
                 Leg::CacheProbe,
                 self.placement.locate(set),
@@ -508,82 +409,79 @@ impl L4Cache for AlloyController {
                 now,
             );
         }
-        if issue_parallel_mem {
-            self.harness
+        if plan.issue_parallel_mem {
+            self.engine
+                .harness
                 .mem_read(txn_id, line, MemTraffic::DemandRead.class(), now);
         }
-        if ntc_skip {
+        if plan.ntc_skip {
             // NTC-guaranteed miss over a clean line: train the predictor
             // with the known outcome.
-            self.predictor.train(core, pc, false);
-            self.bypass.record_access(set, false);
-            self.emit(ObsEvent::ReadClassified { line, hit: false });
+            self.engine.stack.train(core, pc, set, false);
+            self.engine
+                .emit(ObsEvent::ReadClassified { line, hit: false });
         }
     }
 
     fn submit_writeback(&mut self, line: u64, dcp_hint: Option<bool>, now: Cycle) {
-        self.stats.wb_lookups += 1;
+        self.engine.stats.wb_lookups += 1;
         let (set, _) = self.store.decompose(line);
 
         if self.is_ideal() {
             // Free secondary operations: contents updated logically.
             let hit = self.store.contains(line);
-            self.emit(ObsEvent::WbResolved {
+            self.engine.emit(ObsEvent::WbResolved {
                 line,
                 hit,
                 probe_skipped: true,
                 allocated: !hit && self.writeback_allocate,
             });
             if hit {
-                self.stats.wb_hits += 1;
+                self.engine.stats.wb_hits += 1;
                 self.store.mark_dirty(line);
             } else if self.writeback_allocate {
                 if let Some((victim_line, victim_dirty)) = self.store.install(line, true) {
-                    self.stats.evictions += 1;
-                    self.emit(ObsEvent::Evicted {
+                    self.engine.stats.evictions += 1;
+                    self.engine.emit(ObsEvent::Evicted {
                         line: victim_line,
                         dirty: victim_dirty,
                     });
                     if victim_dirty {
-                        let t = self.alloc_txn();
-                        self.harness.mem_write(
-                            t,
-                            victim_line,
-                            MemTraffic::VictimWrite.class(),
-                            now,
-                        );
+                        self.engine.victim_mem_write(victim_line, now);
                     }
                 }
-                self.emit(ObsEvent::Filled {
+                self.engine.emit(ObsEvent::Filled {
                     line,
                     dirty: true,
                     cause: FillCause::Writeback,
                 });
             } else {
-                let t = self.alloc_txn();
-                self.harness
-                    .mem_write(t, line, MemTraffic::Writeback.class(), now);
+                self.engine.direct_mem_write(line, now);
             }
             return;
         }
 
         // Inclusive caches guarantee writeback hits (Section 5.1); DCP
         // provides the same guarantee per-line when its bit is set.
-        let known_present = self.design == DesignKind::InclusiveAlloy
-            || (self.dcp_enabled && dcp_hint == Some(true));
+        let known_present = self
+            .engine
+            .stack
+            .on_writeback_probe(self.design == DesignKind::InclusiveAlloy, dcp_hint);
         if known_present && self.store.contains(line) {
-            self.emit(ObsEvent::WbResolved {
+            self.engine.emit(ObsEvent::WbResolved {
                 line,
                 hit: true,
                 probe_skipped: true,
                 allocated: false,
             });
-            self.stats.wb_hits += 1;
-            self.stats.wb_probes_avoided += 1;
+            self.engine.stats.wb_hits += 1;
+            self.engine.stats.wb_probes_avoided += 1;
             self.store.mark_dirty(line);
-            self.ntc_sync(set);
-            let t = self.alloc_txn();
-            self.harness.cache_write(
+            self.engine
+                .stack
+                .on_eviction(&self.placement, &self.store, set);
+            let t = self.engine.alloc_txn();
+            self.engine.harness.cache_write(
                 t,
                 self.placement.locate(set),
                 TAD_BEATS,
@@ -595,9 +493,9 @@ impl L4Cache for AlloyController {
 
         // Probe path (baseline, or DCP says absent: probe is still needed
         // to learn whether the victim being replaced is dirty).
-        let txn_id = self.alloc_txn();
+        let txn_id = self.engine.alloc_txn();
         self.writebacks.insert(txn_id, WbTxn { line });
-        self.harness.cache_read(
+        self.engine.harness.cache_read(
             txn_id,
             Leg::CacheProbe,
             self.placement.locate(set),
@@ -608,15 +506,11 @@ impl L4Cache for AlloyController {
     }
 
     fn submit_direct_mem_write(&mut self, line: u64, now: Cycle) {
-        let t = self.alloc_txn();
-        self.harness
-            .mem_write(t, line, MemTraffic::Writeback.class(), now);
+        self.engine.direct_mem_write(line, now);
     }
 
     fn tick(&mut self, now: Cycle, out: &mut L4Outputs) {
-        let mut completions = std::mem::take(&mut self.completions);
-        completions.clear();
-        self.harness.tick(now, &mut completions);
+        let completions = self.engine.begin_tick(now);
         for c in &completions {
             match c.leg {
                 Leg::CacheProbe => {
@@ -630,81 +524,53 @@ impl L4Cache for AlloyController {
                 Leg::CacheData | Leg::PostedWrite => {}
             }
         }
-        self.completions = completions;
-        if self.observe {
-            out.events.append(&mut self.staged_events);
-        }
+        self.engine.finish_tick(completions, out);
     }
 
     fn stats(&self) -> &L4Stats {
-        &self.stats
+        &self.engine.stats
     }
 
     fn reset_stats(&mut self) {
-        self.stats.reset();
-        self.bypass.reset_stats();
-        self.predictor.reset_stats();
-        if let Some(ntc) = self.ntc.as_mut() {
-            ntc.reset_stats();
-        }
-        self.harness.reset_device_stats();
+        self.engine.reset_stats();
     }
 
     fn harness(&self) -> &DeviceHarness {
-        &self.harness
+        &self.engine.harness
     }
 
     fn harness_mut(&mut self) -> &mut DeviceHarness {
-        &mut self.harness
+        &mut self.engine.harness
     }
 
     fn telemetry_probe(&self) -> Option<ControllerProbe> {
         let (occupied_lines, dirty_lines) = self.store.occupancy_and_dirty();
-        let mut probe = ControllerProbe {
-            occupied_lines,
-            dirty_lines,
-            capacity_lines: self.store.sets(),
-            bab_psel: self.bypass.duel_counters(),
-            bab_engaged: self.bypass.follower_uses_pb(),
-            bab_bypassed: self.bypass.bypassed,
-            bab_filled: self.bypass.filled,
-            predictor_correct: self.predictor.correct,
-            predictor_wrong: self.predictor.wrong,
-            ..ControllerProbe::default()
-        };
-        if let Some(ntc) = &self.ntc {
-            probe.ntc_hits_present = ntc.hits_present;
-            probe.ntc_hits_absent = ntc.hits_absent;
-            probe.ntc_unknowns = ntc.unknowns;
-        }
-        Some(probe)
+        Some(
+            self.engine
+                .probe(occupied_lines, dirty_lines, self.store.sets()),
+        )
     }
 
     fn pending_txns(&self) -> usize {
         self.reads.len() + self.writebacks.len()
     }
 
+    fn next_busy_cycle(&self, now: Cycle) -> Cycle {
+        // Purely completion-driven: every read/writeback transaction is
+        // waiting on a device leg, so the device hint is exact.
+        self.engine.next_busy_cycle(now)
+    }
+
     /// NTC-mirror invariant: every NTC entry must agree with the tag
-    /// store's occupant for its set — `ntc_sync` refreshes entries on every
-    /// store mutation, so at tick boundaries the mirror is exact. BW-Opt
-    /// mutates the store without syncing (its NTC is never consulted), so
-    /// the check is scoped to the realistic designs.
+    /// store's occupant for its set — the eviction hook refreshes entries
+    /// on every store mutation, so at tick boundaries the mirror is exact.
+    /// BW-Opt mutates the store without syncing (its NTC is never
+    /// consulted), so the check is scoped to the realistic designs.
     fn self_check(&self, now: Cycle, sink: &mut InvariantSink) {
         if !sink.enabled() || self.is_ideal() {
             return;
         }
-        let Some(ntc) = self.ntc.as_ref() else { return };
-        for (bank, set, recorded) in ntc.entries() {
-            let actual = self.store.occupant(set).map(|o| (o.tag, o.dirty));
-            if recorded != actual {
-                sink.report("ntc-mirror", now.0, || {
-                    format!(
-                        "NTC bank {bank} set {set} records {recorded:?} \
-                         but the tag store holds {actual:?}"
-                    )
-                });
-            }
-        }
+        self.engine.stack.check_ntc_mirror(&self.store, now, sink);
     }
 
     fn contains_line(&self, line: u64) -> Option<bool> {
@@ -715,23 +581,13 @@ impl L4Cache for AlloyController {
         match fault {
             // Corrupt the tag store under a set the NTC currently mirrors
             // as occupied, so the desync is observable.
-            FaultKind::TagFlip => {
-                let target = self.ntc.as_ref().and_then(|ntc| {
-                    ntc.entries()
-                        .find(|(_, _, occupant)| occupant.is_some())
-                        .map(|(_, set, _)| set)
-                });
-                match target {
-                    Some(set) => self.store.corrupt_tag(set),
-                    None => false,
-                }
-            }
-            FaultKind::NtcDesync => self
-                .ntc
-                .as_mut()
-                .is_some_and(NeighboringTagCache::corrupt_first_entry),
+            FaultKind::TagFlip => match self.engine.stack.first_mirrored_set() {
+                Some(set) => self.store.corrupt_tag(set),
+                None => false,
+            },
+            FaultKind::NtcDesync => self.engine.stack.corrupt_ntc(),
             FaultKind::ByteAccounting => {
-                self.harness.corrupt_expected_bytes();
+                self.engine.harness.corrupt_expected_bytes();
                 true
             }
             // Handled at the system level (the DCP bit lives in the L3).
@@ -740,7 +596,7 @@ impl L4Cache for AlloyController {
     }
 
     fn set_observe(&mut self, on: bool) {
-        self.observe = on;
+        self.engine.set_observe(on);
     }
 }
 
@@ -757,7 +613,7 @@ mod tests {
 
     fn drain(ctrl: &mut AlloyController, out: &mut L4Outputs, start: u64, max: u64) -> u64 {
         let mut t = start;
-        while ctrl.pending_txns() > 0 || ctrl.harness.pending() > 0 {
+        while ctrl.pending_txns() > 0 || ctrl.engine.harness.pending() > 0 {
             ctrl.tick(Cycle(t), out);
             t += 1;
             assert!(t < start + max, "controller did not drain");
@@ -828,10 +684,12 @@ mod tests {
         assert_eq!(s.wb_hits, 1);
         assert_eq!(s.wb_probes_avoided, 0);
         let probe_bytes = ctrl
+            .engine
             .harness
             .cache
             .bytes_in_class(BloatCategory::WritebackProbe.class());
         let update_bytes = ctrl
+            .engine
             .harness
             .cache
             .bytes_in_class(BloatCategory::WritebackUpdate.class());
@@ -849,6 +707,7 @@ mod tests {
         assert_eq!(ctrl.stats().wb_hits, 0);
         assert!(ctrl.store.contains(0x5000), "write-allocate fills");
         let fill_bytes = ctrl
+            .engine
             .harness
             .cache
             .bytes_in_class(BloatCategory::WritebackFill.class());
@@ -867,7 +726,8 @@ mod tests {
         if filled {
             assert_eq!(ctrl.stats().wb_probes_avoided, 1);
             assert_eq!(
-                ctrl.harness
+                ctrl.engine
+                    .harness
                     .cache
                     .bytes_in_class(BloatCategory::WritebackProbe.class()),
                 0
@@ -885,7 +745,8 @@ mod tests {
         drain(&mut ctrl, &mut out, t, 100_000);
         assert_eq!(ctrl.stats().wb_probes_avoided, 1);
         assert_eq!(
-            ctrl.harness
+            ctrl.engine
+                .harness
                 .cache
                 .bytes_in_class(BloatCategory::WritebackProbe.class()),
             0
@@ -899,10 +760,10 @@ mod tests {
         ctrl.submit_read(0x42, 0x400000, 0, Cycle(0));
         let t = drain(&mut ctrl, &mut out, 0, 100_000);
         // Miss consumed zero cache-bus bytes.
-        assert_eq!(ctrl.harness.cache.total_bytes(), 0);
+        assert_eq!(ctrl.engine.harness.cache.total_bytes(), 0);
         ctrl.submit_read(0x42, 0x400000, 0, Cycle(t));
         drain(&mut ctrl, &mut out, t, 100_000);
-        assert_eq!(ctrl.harness.cache.total_bytes(), 64);
+        assert_eq!(ctrl.engine.harness.cache.total_bytes(), 64);
         assert_eq!(ctrl.stats().useful_lines, 1);
     }
 
@@ -919,7 +780,8 @@ mod tests {
         assert!(!ctrl.store.contains(0x123));
         assert!(!out.deliveries[0].in_l4);
         assert_eq!(
-            ctrl.harness
+            ctrl.engine
+                .harness
                 .cache
                 .bytes_in_class(BloatCategory::MissFill.class()),
             0
@@ -962,7 +824,7 @@ mod tests {
         t = drain(&mut ctrl, &mut out, t, 100_000);
         // Train the predictor to predict miss for a fresh PC.
         for _ in 0..8 {
-            ctrl.predictor.train(0, 0xB0, false);
+            ctrl.engine.stack.train_predictor(0, 0xB0, false);
         }
         let squashed_before = ctrl.stats().parallel_squashed;
         ctrl.submit_read(21, 0xB0, 0, Cycle(t));
@@ -979,7 +841,7 @@ mod tests {
         // Train toward miss, then access the present line: parallel access
         // is issued and wasted.
         for _ in 0..8 {
-            ctrl.predictor.train(0, 0xC0, false);
+            ctrl.engine.stack.train_predictor(0, 0xC0, false);
         }
         ctrl.submit_read(0x800, 0xC0, 0, Cycle(t));
         t = drain(&mut ctrl, &mut out, t, 100_000);
@@ -998,13 +860,15 @@ mod tests {
         drain(&mut ctrl, &mut out, 0, 100_000);
         assert!(!ctrl.store.contains(0x5000), "no-allocate must not fill");
         assert_eq!(
-            ctrl.harness
+            ctrl.engine
+                .harness
                 .cache
                 .bytes_in_class(BloatCategory::WritebackFill.class()),
             0
         );
         assert_eq!(
-            ctrl.harness
+            ctrl.engine
+                .harness
                 .mem
                 .bytes_in_class(MemTraffic::Writeback.class()),
             64
@@ -1032,10 +896,12 @@ mod tests {
         // the miss probe must NOT be skipped.
         let before = ctrl.stats().miss_probes_avoided;
         let probe_bytes_before = ctrl
+            .engine
             .harness
             .cache
             .bytes_in_class(BloatCategory::MissProbe.class())
             + ctrl
+                .engine
                 .harness
                 .cache
                 .bytes_in_class(BloatCategory::Hit.class());
@@ -1043,10 +909,12 @@ mod tests {
         drain(&mut ctrl, &mut out, t, 100_000);
         assert_eq!(ctrl.stats().miss_probes_avoided, before);
         let probe_bytes_after = ctrl
+            .engine
             .harness
             .cache
             .bytes_in_class(BloatCategory::MissProbe.class())
             + ctrl
+                .engine
                 .harness
                 .cache
                 .bytes_in_class(BloatCategory::Hit.class());
@@ -1072,7 +940,7 @@ mod tests {
         let t = drain(&mut ctrl, &mut out, t, 100_000);
         // Train a fresh PC toward miss, then re-read: NTC squashes.
         for _ in 0..8 {
-            ctrl.predictor.train(0, 0xB0, false);
+            ctrl.engine.stack.train_predictor(0, 0xB0, false);
         }
         let before = ctrl.stats().parallel_squashed;
         ctrl.submit_read(27, 0xB0, 0, Cycle(t));
@@ -1092,10 +960,32 @@ mod tests {
         ctrl.submit_read(3 + lines, 0x400000, 0, Cycle(t));
         drain(&mut ctrl, &mut out, t, 100_000);
         assert_eq!(
-            ctrl.harness
+            ctrl.engine
+                .harness
                 .mem
                 .bytes_in_class(MemTraffic::VictimWrite.class()),
             64
         );
+    }
+
+    /// Acceptance guard for the refactor: technique logic reaches this
+    /// controller only through the stack's hooks, and the B/BD/BDN
+    /// ablations differ from Alloy-base only in the stack configuration.
+    #[test]
+    fn ablations_share_the_controller_and_differ_in_stack() {
+        let base = controller(DesignKind::Alloy, BearFeatures::none());
+        let b = controller(DesignKind::Alloy, BearFeatures::bab());
+        let bd = controller(DesignKind::Alloy, BearFeatures::bab_dcp());
+        let bdn = controller(DesignKind::Alloy, BearFeatures::full());
+        for ctrl in [&base, &b, &bd, &bdn] {
+            assert_eq!(ctrl.design, DesignKind::Alloy);
+            assert_eq!(ctrl.store.sets(), base.store.sets());
+        }
+        let sets = [&base, &b, &bd, &bdn].map(|c| c.engine.stack.techniques());
+        for (i, a) in sets.iter().enumerate() {
+            for b in sets.iter().skip(i + 1) {
+                assert_ne!(a, b, "ablations must differ in the stack");
+            }
+        }
     }
 }

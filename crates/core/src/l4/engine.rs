@@ -1,0 +1,210 @@
+//! Shared transaction engine for L4 controllers.
+//!
+//! Every organization used to re-implement the same skeleton: a device
+//! harness, an [`L4Stats`] block, a transaction-id allocator, a reusable
+//! completion buffer for the harness tick, and the staged-event machinery
+//! for oracle observation. [`Engine`] hoists that skeleton into one place
+//! and carries the [`TechniqueStack`] with it, so a controller owns only
+//! its genuinely organization-specific core: placement, tag state, and
+//! the hit/miss policy that routes completions.
+//!
+//! Tick protocol: call [`Engine::begin_tick`] to advance the DRAM devices
+//! and take the completion list, route each completion through the
+//! organization's handlers, then [`Engine::finish_tick`] to return the
+//! buffer and flush staged observation events in decision order.
+
+use crate::config::SystemConfig;
+use crate::events::ObsEvent;
+use crate::harness::{DeviceHarness, RoutedCompletion};
+use crate::l4::stack::TechniqueStack;
+use crate::l4::{ControllerProbe, L4Outputs, L4Stats};
+use crate::traffic::MemTraffic;
+use bear_sim::time::Cycle;
+
+/// The organization-independent half of an L4 controller.
+#[derive(Debug)]
+pub struct Engine {
+    /// Both DRAM devices (stacked cache and commodity memory).
+    pub harness: DeviceHarness,
+    /// Statistics common to every organization.
+    pub stats: L4Stats,
+    /// The BEAR technique stack the organization invokes through hooks.
+    pub stack: TechniqueStack,
+    next_txn: u64,
+    completions: Vec<RoutedCompletion>,
+    observe: bool,
+    staged_events: Vec<ObsEvent>,
+}
+
+impl Engine {
+    /// Builds the engine for `cfg` around a pre-built technique stack
+    /// (the stack needs the organization's bank count, which only the
+    /// controller's placement knows).
+    pub fn new(cfg: &SystemConfig, stack: TechniqueStack) -> Self {
+        Engine {
+            harness: DeviceHarness::new(cfg.cache_dram, cfg.mem_dram),
+            stats: L4Stats::default(),
+            stack,
+            next_txn: 0,
+            completions: Vec::with_capacity(16),
+            observe: false,
+            staged_events: Vec::new(),
+        }
+    }
+
+    /// Allocates a fresh transaction id (never zero).
+    pub fn alloc_txn(&mut self) -> u64 {
+        self.next_txn += 1;
+        self.next_txn
+    }
+
+    /// Stages an observation event (no-op unless observation is armed).
+    /// Submit-time decisions have no `L4Outputs` in scope, so events are
+    /// staged here and drained by [`finish_tick`](Engine::finish_tick),
+    /// preserving decision order.
+    pub fn emit(&mut self, ev: ObsEvent) {
+        if self.observe {
+            self.staged_events.push(ev);
+        }
+    }
+
+    /// Whether oracle observation is armed.
+    pub fn observing(&self) -> bool {
+        self.observe
+    }
+
+    /// Arms (or disarms) oracle observation.
+    pub fn set_observe(&mut self, on: bool) {
+        self.observe = on;
+    }
+
+    /// Advances the DRAM devices one cycle and returns the completions
+    /// they produced. The returned buffer must come back through
+    /// [`finish_tick`](Engine::finish_tick) so its capacity is reused.
+    pub fn begin_tick(&mut self, now: Cycle) -> Vec<RoutedCompletion> {
+        let mut completions = std::mem::take(&mut self.completions);
+        completions.clear();
+        self.harness.tick(now, &mut completions);
+        completions
+    }
+
+    /// Returns the completion buffer and flushes staged observation
+    /// events into `out`.
+    pub fn finish_tick(&mut self, completions: Vec<RoutedCompletion>, out: &mut L4Outputs) {
+        self.completions = completions;
+        if self.observe {
+            out.events.append(&mut self.staged_events);
+        }
+    }
+
+    /// Writes `line` straight to commodity memory as a writeback.
+    pub fn direct_mem_write(&mut self, line: u64, now: Cycle) {
+        let txn = self.alloc_txn();
+        self.harness
+            .mem_write(txn, line, MemTraffic::Writeback.class(), now);
+    }
+
+    /// Writes a dirty victim of the cache to commodity memory.
+    pub fn victim_mem_write(&mut self, line: u64, now: Cycle) {
+        let txn = self.alloc_txn();
+        self.harness
+            .mem_write(txn, line, MemTraffic::VictimWrite.class(), now);
+    }
+
+    /// Earliest cycle at which ticking the devices can change state (see
+    /// [`DeviceHarness::next_busy_cycle`]). Controllers with no internal
+    /// time-based queues can use this directly as their event hint.
+    pub fn next_busy_cycle(&self, now: Cycle) -> Cycle {
+        self.harness.next_busy_cycle(now)
+    }
+
+    /// Resets statistics across the engine, stack, and devices.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+        self.stack.reset_stats();
+        self.harness.reset_device_stats();
+    }
+
+    /// Assembles a telemetry probe from occupancy figures the controller
+    /// supplies plus the stack's technique counters.
+    pub fn probe(
+        &self,
+        occupied_lines: u64,
+        dirty_lines: u64,
+        capacity_lines: u64,
+    ) -> ControllerProbe {
+        let mut probe = ControllerProbe {
+            occupied_lines,
+            dirty_lines,
+            capacity_lines,
+            ..ControllerProbe::default()
+        };
+        self.stack.fill_probe(&mut probe);
+        probe
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DesignKind, SystemConfig};
+
+    fn engine() -> Engine {
+        let cfg = SystemConfig::paper_baseline(DesignKind::Alloy);
+        let stack = TechniqueStack::from_config(&cfg, 64);
+        Engine::new(&cfg, stack)
+    }
+
+    #[test]
+    fn txn_ids_are_unique_and_nonzero() {
+        let mut e = engine();
+        let a = e.alloc_txn();
+        let b = e.alloc_txn();
+        assert!(a > 0 && b > a);
+    }
+
+    #[test]
+    fn events_stage_only_while_observing() {
+        let mut e = engine();
+        let mut out = L4Outputs::default();
+        e.emit(ObsEvent::Bypassed { line: 1 });
+        let c = e.begin_tick(Cycle(0));
+        e.finish_tick(c, &mut out);
+        assert!(out.events.is_empty(), "disarmed engine stages nothing");
+
+        e.set_observe(true);
+        e.emit(ObsEvent::Bypassed { line: 2 });
+        let c = e.begin_tick(Cycle(1));
+        e.finish_tick(c, &mut out);
+        assert_eq!(out.events.len(), 1);
+    }
+
+    #[test]
+    fn direct_writes_reach_memory() {
+        let mut e = engine();
+        let mut out = L4Outputs::default();
+        e.direct_mem_write(0x40, Cycle(0));
+        let mut t = 0;
+        while e.harness.pending() > 0 {
+            let c = e.begin_tick(Cycle(t));
+            e.finish_tick(c, &mut out);
+            t += 1;
+            assert!(t < 100_000, "engine did not drain");
+        }
+        assert_eq!(
+            e.harness.mem.bytes_in_class(MemTraffic::Writeback.class()),
+            64
+        );
+    }
+
+    #[test]
+    fn probe_carries_occupancy_and_stack_counters() {
+        let mut e = engine();
+        e.stack.on_fill_decision(9);
+        let p = e.probe(3, 1, 100);
+        assert_eq!(p.occupied_lines, 3);
+        assert_eq!(p.dirty_lines, 1);
+        assert_eq!(p.capacity_lines, 100);
+        assert_eq!(p.bab_bypassed + p.bab_filled, 1);
+    }
+}

@@ -7,12 +7,21 @@
 //! transfers the 3 tag lines plus the data line (256 B). The Mostly-Clean
 //! variant drops the MissMap latency (the paper models it as a perfect
 //! hit/miss predictor with self-balancing dispatch).
+//!
+//! Built on the shared [`Engine`]: this file keeps only the MissMap
+//! front-end, the staged-latency queue, and the row-associative hit/miss
+//! policy. Demand fills consult the technique stack's fill hook, so
+//! Bandwidth-Aware Bypass composes with this organization too (the
+//! paper-default Loh-Hill stack is always-fill, which leaves behavior
+//! bit-identical to the pre-engine controller).
 
 use crate::config::{DesignKind, SystemConfig};
 use crate::contents::AssocStore;
 use crate::events::{FillCause, ObsEvent};
-use crate::harness::{DeviceHarness, Leg, RoutedCompletion};
+use crate::harness::{DeviceHarness, Leg};
+use crate::l4::engine::Engine;
 use crate::l4::placement::SetPlacement;
+use crate::l4::stack::TechniqueStack;
 use crate::l4::{Delivery, L4Cache, L4Outputs, L4Stats};
 use crate::traffic::{BloatCategory, MemTraffic};
 use bear_cache::MissMap;
@@ -53,16 +62,12 @@ pub struct LohHillController {
     store: AssocStore,
     missmap: MissMap,
     placement: SetPlacement,
-    harness: DeviceHarness,
+    /// Shared transaction skeleton + technique stack.
+    pub engine: Engine,
     /// Extra lookup latency in CPU cycles (24 for LH, 0 for MC).
     front_latency: u64,
     staged: VecDeque<(Cycle, Staged)>,
     reads: HashMap<u64, ReadTxn>,
-    next_txn: u64,
-    stats: L4Stats,
-    completions: Vec<RoutedCompletion>,
-    observe: bool,
-    staged_events: Vec<ObsEvent>,
 }
 
 impl LohHillController {
@@ -78,30 +83,16 @@ impl LohHillController {
             other => panic!("LohHillController built for {other:?}"),
         };
         let sets = cfg.l4_capacity() / 2048;
+        let placement = SetPlacement::new(cfg.cache_dram.topology, 1);
+        let stack = TechniqueStack::from_config(cfg, placement.total_banks());
         LohHillController {
             store: AssocStore::new(sets.max(1), WAYS),
             missmap: MissMap::new(),
-            placement: SetPlacement::new(cfg.cache_dram.topology, 1),
-            harness: DeviceHarness::new(cfg.cache_dram, cfg.mem_dram),
+            placement,
+            engine: Engine::new(cfg, stack),
             front_latency,
             staged: VecDeque::new(),
             reads: HashMap::new(),
-            next_txn: 0,
-            stats: L4Stats::default(),
-            completions: Vec::with_capacity(16),
-            observe: false,
-            staged_events: Vec::new(),
-        }
-    }
-
-    fn alloc_txn(&mut self) -> u64 {
-        self.next_txn += 1;
-        self.next_txn
-    }
-
-    fn emit(&mut self, ev: ObsEvent) {
-        if self.observe {
-            self.staged_events.push(ev);
         }
     }
 
@@ -126,12 +117,12 @@ impl LohHillController {
         let victim = self.store.install(line, dirty);
         self.missmap.insert(line * 64);
         if let Some(v) = victim {
-            self.emit(ObsEvent::Evicted {
+            self.engine.emit(ObsEvent::Evicted {
                 line: v.line,
                 dirty: v.dirty,
             });
         }
-        self.emit(ObsEvent::Filled {
+        self.engine.emit(ObsEvent::Filled {
             line,
             dirty,
             // Demand fills install clean; only writeback-allocate dirty.
@@ -141,16 +132,17 @@ impl LohHillController {
                 FillCause::Demand
             },
         });
-        let t = self.alloc_txn();
-        self.harness
+        let t = self.engine.alloc_txn();
+        self.engine
+            .harness
             .cache_write(t, loc, FILL_BEATS, class.class(), now);
         if let Some(v) = victim {
-            self.stats.evictions += 1;
+            self.engine.stats.evictions += 1;
             self.missmap.remove(v.line * 64);
             out.evictions.push(v.line);
             if v.dirty {
-                let t = self.alloc_txn();
-                self.harness.cache_read(
+                let t = self.engine.alloc_txn();
+                self.engine.harness.cache_read(
                     t,
                     Leg::CacheData,
                     loc,
@@ -158,8 +150,9 @@ impl LohHillController {
                     BloatCategory::VictimRead.class(),
                     now,
                 );
-                let t = self.alloc_txn();
-                self.harness
+                let t = self.engine.alloc_txn();
+                self.engine
+                    .harness
                     .mem_write(t, v.line, MemTraffic::VictimWrite.class(), now);
             }
         }
@@ -168,9 +161,9 @@ impl LohHillController {
     fn process(&mut self, staged: Staged, now: Cycle, out: &mut L4Outputs) {
         match staged {
             Staged::Read { line, submitted } => {
-                let txn = self.alloc_txn();
+                let txn = self.engine.alloc_txn();
                 let hit = self.missmap.contains(line * 64);
-                self.emit(ObsEvent::ReadClassified { line, hit });
+                self.engine.emit(ObsEvent::ReadClassified { line, hit });
                 if hit {
                     // Known hit: one row access returns tags + data.
                     self.reads.insert(
@@ -181,7 +174,7 @@ impl LohHillController {
                             expect_hit: true,
                         },
                     );
-                    self.harness.cache_read(
+                    self.engine.harness.cache_read(
                         txn,
                         Leg::CacheProbe,
                         self.locate(line),
@@ -199,13 +192,14 @@ impl LohHillController {
                             expect_hit: false,
                         },
                     );
-                    self.harness
+                    self.engine
+                        .harness
                         .mem_read(txn, line, MemTraffic::DemandRead.class(), now);
                 }
             }
             Staged::Writeback { line } => {
                 let hit = self.missmap.contains(line * 64);
-                self.emit(ObsEvent::WbResolved {
+                self.engine.emit(ObsEvent::WbResolved {
                     line,
                     hit,
                     // The MissMap resolves presence exactly on-chip; the
@@ -215,12 +209,12 @@ impl LohHillController {
                     allocated: !hit,
                 });
                 if hit {
-                    self.stats.wb_hits += 1;
+                    self.engine.stats.wb_hits += 1;
                     // Way discovery: read the tag group; then write data +
                     // tag/LRU state.
                     let loc = self.locate(line);
-                    let t = self.alloc_txn();
-                    self.harness.cache_read(
+                    let t = self.engine.alloc_txn();
+                    self.engine.harness.cache_read(
                         t,
                         Leg::CacheData,
                         loc,
@@ -230,8 +224,8 @@ impl LohHillController {
                     );
                     self.store.mark_dirty(line);
                     self.store.probe(line, true);
-                    let t = self.alloc_txn();
-                    self.harness.cache_write(
+                    let t = self.engine.alloc_txn();
+                    self.engine.harness.cache_write(
                         t,
                         loc,
                         FILL_BEATS,
@@ -252,14 +246,17 @@ impl LohHillController {
             return;
         };
         if txn.expect_hit {
-            self.stats.read_hits += 1;
-            self.stats.useful_lines += 1;
-            self.stats.hit_latency.record((finish - txn.arrival) as f64);
+            self.engine.stats.read_hits += 1;
+            self.engine.stats.useful_lines += 1;
+            self.engine
+                .stats
+                .hit_latency
+                .record((finish - txn.arrival) as f64);
             // LRU promotion written back to the in-DRAM tag state
             // (footnote 3's replacement-update bloat).
             self.store.probe(txn.line, true);
-            let t = self.alloc_txn();
-            self.harness.cache_write(
+            let t = self.engine.alloc_txn();
+            self.engine.harness.cache_write(
                 t,
                 self.locate(txn.line),
                 LRU_BEATS,
@@ -272,15 +269,23 @@ impl LohHillController {
                 in_l4: true,
             });
         } else {
-            self.stats
+            self.engine
+                .stats
                 .miss_latency
                 .record((finish - txn.arrival) as f64);
-            self.do_fill(txn.line, false, BloatCategory::MissFill, finish, out);
-            self.stats.fills += 1;
+            let (set, _) = self.store.decompose(txn.line);
+            let fill = self.engine.stack.on_fill_decision(set);
+            if fill {
+                self.do_fill(txn.line, false, BloatCategory::MissFill, finish, out);
+                self.engine.stats.fills += 1;
+            } else {
+                self.engine.stats.bypasses += 1;
+                self.engine.emit(ObsEvent::Bypassed { line: txn.line });
+            }
             out.deliveries.push(Delivery {
                 line: txn.line,
                 l4_hit: false,
-                in_l4: true,
+                in_l4: fill,
             });
         }
     }
@@ -288,7 +293,7 @@ impl LohHillController {
 
 impl L4Cache for LohHillController {
     fn submit_read(&mut self, line: u64, _pc: u64, _core: u32, now: Cycle) {
-        self.stats.read_lookups += 1;
+        self.engine.stats.read_lookups += 1;
         self.staged.push_back((
             now + self.front_latency,
             Staged::Read {
@@ -299,15 +304,13 @@ impl L4Cache for LohHillController {
     }
 
     fn submit_writeback(&mut self, line: u64, _dcp_hint: Option<bool>, now: Cycle) {
-        self.stats.wb_lookups += 1;
+        self.engine.stats.wb_lookups += 1;
         self.staged
             .push_back((now + self.front_latency, Staged::Writeback { line }));
     }
 
     fn submit_direct_mem_write(&mut self, line: u64, now: Cycle) {
-        let t = self.alloc_txn();
-        self.harness
-            .mem_write(t, line, MemTraffic::Writeback.class(), now);
+        self.engine.direct_mem_write(line, now);
     }
 
     fn tick(&mut self, now: Cycle, out: &mut L4Outputs) {
@@ -315,40 +318,44 @@ impl L4Cache for LohHillController {
             let (_, staged) = self.staged.pop_front().expect("front checked");
             self.process(staged, now, out);
         }
-        let mut completions = std::mem::take(&mut self.completions);
-        completions.clear();
-        self.harness.tick(now, &mut completions);
+        let completions = self.engine.begin_tick(now);
         for c in &completions {
             match c.leg {
                 Leg::CacheProbe | Leg::MemRead => self.on_gating_completion(c.txn, c.finish, out),
                 Leg::CacheData | Leg::PostedWrite => {}
             }
         }
-        self.completions = completions;
-        if self.observe {
-            out.events.append(&mut self.staged_events);
-        }
+        self.engine.finish_tick(completions, out);
     }
 
     fn stats(&self) -> &L4Stats {
-        &self.stats
+        &self.engine.stats
     }
 
     fn reset_stats(&mut self) {
-        self.stats.reset();
-        self.harness.reset_device_stats();
+        self.engine.reset_stats();
     }
 
     fn harness(&self) -> &DeviceHarness {
-        &self.harness
+        &self.engine.harness
     }
 
     fn harness_mut(&mut self) -> &mut DeviceHarness {
-        &mut self.harness
+        &mut self.engine.harness
     }
 
     fn pending_txns(&self) -> usize {
         self.reads.len() + self.staged.len()
+    }
+
+    fn next_busy_cycle(&self, now: Cycle) -> Cycle {
+        // The front-end delay queue is FIFO with a constant latency, so the
+        // front entry carries the earliest ready time.
+        let front = match self.staged.front() {
+            Some((ready, _)) => *ready,
+            None => Cycle::NEVER,
+        };
+        front.max(now).min(self.engine.next_busy_cycle(now))
     }
 
     fn contains_line(&self, line: u64) -> Option<bool> {
@@ -356,13 +363,14 @@ impl L4Cache for LohHillController {
     }
 
     fn set_observe(&mut self, on: bool) {
-        self.observe = on;
+        self.engine.set_observe(on);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::{BearFeatures, FillPolicy};
 
     fn controller(design: DesignKind) -> LohHillController {
         LohHillController::new(&SystemConfig::paper_baseline(design))
@@ -370,7 +378,7 @@ mod tests {
 
     fn drain(ctrl: &mut LohHillController, out: &mut L4Outputs, start: u64) -> u64 {
         let mut t = start;
-        while ctrl.pending_txns() > 0 || ctrl.harness.pending() > 0 {
+        while ctrl.pending_txns() > 0 || ctrl.engine.harness.pending() > 0 {
             ctrl.tick(Cycle(t), out);
             t += 1;
             assert!(t < start + 200_000, "did not drain");
@@ -389,6 +397,7 @@ mod tests {
         assert!(ctrl.store.contains(0x40));
         // Fill charged a tag+data write on the cache bus.
         let fill_bytes = ctrl
+            .engine
             .harness
             .cache
             .bytes_in_class(BloatCategory::MissFill.class());
@@ -405,13 +414,15 @@ mod tests {
         drain(&mut ctrl, &mut out, t);
         assert_eq!(ctrl.stats().read_hits, 1);
         assert_eq!(
-            ctrl.harness
+            ctrl.engine
+                .harness
                 .cache
                 .bytes_in_class(BloatCategory::Hit.class()),
             256
         );
         assert_eq!(
-            ctrl.harness
+            ctrl.engine
+                .harness
                 .cache
                 .bytes_in_class(BloatCategory::LruUpdate.class()),
             16
@@ -446,7 +457,8 @@ mod tests {
         assert_eq!(ctrl.stats().wb_hits, 1);
         assert_eq!(ctrl.store.is_dirty(0x99), Some(true));
         assert!(
-            ctrl.harness
+            ctrl.engine
+                .harness
                 .cache
                 .bytes_in_class(BloatCategory::WritebackUpdate.class())
                 > 0
@@ -462,7 +474,8 @@ mod tests {
         assert!(ctrl.store.contains(0x123));
         assert_eq!(ctrl.store.is_dirty(0x123), Some(true));
         assert!(
-            ctrl.harness
+            ctrl.engine
+                .harness
                 .cache
                 .bytes_in_class(BloatCategory::WritebackFill.class())
                 > 0
@@ -483,13 +496,15 @@ mod tests {
         assert!(ctrl.stats().evictions >= 1);
         assert!(!out.evictions.is_empty());
         assert!(
-            ctrl.harness
+            ctrl.engine
+                .harness
                 .cache
                 .bytes_in_class(BloatCategory::VictimRead.class())
                 >= 64
         );
         assert!(
-            ctrl.harness
+            ctrl.engine
+                .harness
                 .mem
                 .bytes_in_class(MemTraffic::VictimWrite.class())
                 >= 64
@@ -515,5 +530,26 @@ mod tests {
                 "line {line}"
             );
         }
+    }
+
+    #[test]
+    fn bypassing_stack_composes_with_loh_hill() {
+        // A degenerate probabilistic-bypass stack (p = 1.0) must keep every
+        // demand miss out of the cache while the paper-default always-fill
+        // stack installs it — same controller, different stack.
+        let mut cfg = SystemConfig::paper_baseline(DesignKind::MostlyClean);
+        cfg.bear = BearFeatures {
+            fill_policy: FillPolicy::Probabilistic(1.0),
+            ..cfg.bear
+        };
+        let mut ctrl = LohHillController::new(&cfg);
+        let mut out = L4Outputs::default();
+        ctrl.submit_read(0x77, 0, 0, Cycle(0));
+        drain(&mut ctrl, &mut out, 0);
+        assert_eq!(ctrl.stats().bypasses, 1);
+        assert_eq!(ctrl.stats().fills, 0);
+        assert!(!ctrl.store.contains(0x77));
+        assert_eq!(out.deliveries.len(), 1);
+        assert!(!out.deliveries[0].in_l4);
     }
 }

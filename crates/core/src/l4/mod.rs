@@ -5,13 +5,18 @@
 //! and Mostly-Clean row-associative designs ([`loh_hill`]), the
 //! Tags-in-SRAM and Sector Cache comparison points ([`sram_tags`]), and the
 //! no-DRAM-cache pass-through ([`no_cache`]). [`placement`] maps cache sets
-//! onto DRAM rows/banks/channels.
+//! onto DRAM rows/banks/channels. The organization-independent transaction
+//! skeleton lives in [`engine`], and the composable BEAR techniques in
+//! [`stack`]; controllers implement only placement, tag state, and hit/miss
+//! policy on top of those two.
 
 pub mod alloy;
+pub mod engine;
 pub mod loh_hill;
 pub mod no_cache;
 pub mod placement;
 pub mod sram_tags;
+pub mod stack;
 
 use crate::config::{DesignKind, SystemConfig};
 use crate::events::ObsEvent;
@@ -202,6 +207,17 @@ pub trait L4Cache {
 
     /// Outstanding transactions (for drain checks in tests).
     fn pending_txns(&self) -> usize;
+
+    /// Earliest cycle at which a [`L4Cache::tick`] can change this
+    /// controller's state: ticks strictly before the returned cycle are
+    /// guaranteed no-ops, so an event-driven driver may skip them. The
+    /// conservative default (`now`) declares the controller always busy,
+    /// which disables skipping but is never wrong. Implementations must
+    /// fold in every internal time-based queue on top of the device
+    /// harness hint.
+    fn next_busy_cycle(&self, now: Cycle) -> Cycle {
+        now
+    }
 
     /// Runs design-specific structural self-checks, reporting violations to
     /// `sink`. Controllers without internal redundancy inherit the no-op

@@ -2,11 +2,15 @@
 //!
 //! Figure 17 normalizes every DRAM-cache design against a system without
 //! one: all LLC misses fetch from commodity memory and all dirty LLC
-//! evictions write back to it.
+//! evictions write back to it. Built on the shared [`Engine`] like every
+//! other organization; it simply never touches the cache device or the
+//! technique stack.
 
 use crate::config::SystemConfig;
 use crate::events::ObsEvent;
-use crate::harness::{DeviceHarness, Leg, RoutedCompletion};
+use crate::harness::{DeviceHarness, Leg};
+use crate::l4::engine::Engine;
+use crate::l4::stack::TechniqueStack;
 use crate::l4::{Delivery, L4Cache, L4Outputs, L4Stats};
 use crate::traffic::MemTraffic;
 use bear_sim::time::Cycle;
@@ -15,72 +19,59 @@ use std::collections::HashMap;
 /// Pass-through "controller": memory only.
 #[derive(Debug)]
 pub struct NoCacheController {
-    harness: DeviceHarness,
+    /// Shared transaction skeleton (the cache device stays idle).
+    pub engine: Engine,
     reads: HashMap<u64, (u64, Cycle)>,
-    next_txn: u64,
-    stats: L4Stats,
-    completions: Vec<RoutedCompletion>,
-    observe: bool,
-    staged_events: Vec<ObsEvent>,
 }
 
 impl NoCacheController {
     /// Builds the pass-through controller.
     pub fn new(cfg: &SystemConfig) -> Self {
+        let stack = TechniqueStack::from_config(cfg, 1);
         NoCacheController {
-            harness: DeviceHarness::new(cfg.cache_dram, cfg.mem_dram),
+            engine: Engine::new(cfg, stack),
             reads: HashMap::new(),
-            next_txn: 0,
-            stats: L4Stats::default(),
-            completions: Vec::new(),
-            observe: false,
-            staged_events: Vec::new(),
-        }
-    }
-
-    fn emit(&mut self, ev: ObsEvent) {
-        if self.observe {
-            self.staged_events.push(ev);
         }
     }
 }
 
 impl L4Cache for NoCacheController {
     fn submit_read(&mut self, line: u64, _pc: u64, _core: u32, now: Cycle) {
-        self.stats.read_lookups += 1;
+        self.engine.stats.read_lookups += 1;
         // There is no cache: every demand read is a miss by construction.
-        self.emit(ObsEvent::ReadClassified { line, hit: false });
-        self.next_txn += 1;
-        self.reads.insert(self.next_txn, (line, now));
-        self.harness
-            .mem_read(self.next_txn, line, MemTraffic::DemandRead.class(), now);
+        self.engine
+            .emit(ObsEvent::ReadClassified { line, hit: false });
+        let txn = self.engine.alloc_txn();
+        self.reads.insert(txn, (line, now));
+        self.engine
+            .harness
+            .mem_read(txn, line, MemTraffic::DemandRead.class(), now);
     }
 
     fn submit_writeback(&mut self, line: u64, _dcp_hint: Option<bool>, now: Cycle) {
-        self.stats.wb_lookups += 1;
-        self.emit(ObsEvent::WbResolved {
+        self.engine.stats.wb_lookups += 1;
+        self.engine.emit(ObsEvent::WbResolved {
             line,
             hit: false,
             probe_skipped: true,
             allocated: false,
         });
-        self.submit_direct_mem_write(line, now);
+        self.engine.direct_mem_write(line, now);
     }
 
     fn submit_direct_mem_write(&mut self, line: u64, now: Cycle) {
-        self.next_txn += 1;
-        self.harness
-            .mem_write(self.next_txn, line, MemTraffic::Writeback.class(), now);
+        self.engine.direct_mem_write(line, now);
     }
 
     fn tick(&mut self, now: Cycle, out: &mut L4Outputs) {
-        let mut completions = std::mem::take(&mut self.completions);
-        completions.clear();
-        self.harness.tick(now, &mut completions);
+        let completions = self.engine.begin_tick(now);
         for c in &completions {
             if c.leg == Leg::MemRead {
                 if let Some((line, arrival)) = self.reads.remove(&c.txn) {
-                    self.stats.miss_latency.record((c.finish - arrival) as f64);
+                    self.engine
+                        .stats
+                        .miss_latency
+                        .record((c.finish - arrival) as f64);
                     out.deliveries.push(Delivery {
                         line,
                         l4_hit: false,
@@ -89,31 +80,33 @@ impl L4Cache for NoCacheController {
                 }
             }
         }
-        self.completions = completions;
-        if self.observe {
-            out.events.append(&mut self.staged_events);
-        }
+        self.engine.finish_tick(completions, out);
     }
 
     fn stats(&self) -> &L4Stats {
-        &self.stats
+        &self.engine.stats
     }
 
     fn reset_stats(&mut self) {
-        self.stats.reset();
-        self.harness.reset_device_stats();
+        self.engine.reset_stats();
     }
 
     fn harness(&self) -> &DeviceHarness {
-        &self.harness
+        &self.engine.harness
     }
 
     fn harness_mut(&mut self) -> &mut DeviceHarness {
-        &mut self.harness
+        &mut self.engine.harness
     }
 
     fn pending_txns(&self) -> usize {
         self.reads.len()
+    }
+
+    fn next_busy_cycle(&self, now: Cycle) -> Cycle {
+        // All transaction state waits on device completions; the engine's
+        // device hint is exact.
+        self.engine.next_busy_cycle(now)
     }
 
     fn contains_line(&self, _line: u64) -> Option<bool> {
@@ -121,7 +114,7 @@ impl L4Cache for NoCacheController {
     }
 
     fn set_observe(&mut self, on: bool) {
-        self.observe = on;
+        self.engine.set_observe(on);
     }
 }
 
@@ -145,9 +138,14 @@ mod tests {
         assert_eq!(out.deliveries.len(), 1);
         assert!(!out.deliveries[0].l4_hit);
         assert!(!out.deliveries[0].in_l4);
-        assert_eq!(ctrl.harness.cache.total_bytes(), 0, "cache device unused");
         assert_eq!(
-            ctrl.harness
+            ctrl.engine.harness.cache.total_bytes(),
+            0,
+            "cache device unused"
+        );
+        assert_eq!(
+            ctrl.engine
+                .harness
                 .mem
                 .bytes_in_class(MemTraffic::DemandRead.class()),
             64
@@ -166,7 +164,8 @@ mod tests {
             ctrl.tick(Cycle(t), &mut out);
         }
         assert_eq!(
-            ctrl.harness
+            ctrl.engine
+                .harness
                 .mem
                 .bytes_in_class(MemTraffic::Writeback.class()),
             64

@@ -8,11 +8,19 @@
 //! data out of the cache (the *Dirty Eviction* traffic of Figure 16) before
 //! writing it to memory. The Sector Cache amplifies that cost: evicting a
 //! 4 KB sector can push up to 64 dirty blocks.
+//!
+//! Built on the shared [`Engine`]: this file keeps only the on-chip tag
+//! models and their hit/miss policy. Demand fills consult the technique
+//! stack's fill hook, so Bandwidth-Aware Bypass composes with the SRAM-tag
+//! organizations too (the paper-default stack is always-fill, which leaves
+//! behavior bit-identical to the pre-engine controllers).
 
 use crate::config::{DesignKind, SystemConfig};
 use crate::events::{FillCause, ObsEvent};
-use crate::harness::{DeviceHarness, Leg, RoutedCompletion};
+use crate::harness::{DeviceHarness, Leg};
+use crate::l4::engine::Engine;
 use crate::l4::placement::SetPlacement;
+use crate::l4::stack::TechniqueStack;
 use crate::l4::{Delivery, L4Cache, L4Outputs, L4Stats};
 use crate::traffic::{BloatCategory, MemTraffic};
 use bear_cache::{CacheGeometry, ReplacementPolicy, SectorProbe, SectorTagStore, SetAssocCache};
@@ -53,16 +61,12 @@ pub struct SectorController {
 struct SramTagController {
     tags: TagModel,
     placement: SetPlacement,
-    harness: DeviceHarness,
+    /// Shared transaction skeleton + technique stack.
+    engine: Engine,
     reads: HashMap<u64, ReadTxn>,
-    next_txn: u64,
-    stats: L4Stats,
-    completions: Vec<RoutedCompletion>,
     /// Evictions produced by submit-path writebacks, re-emitted on the
     /// next tick (the trait reports evictions through `tick` outputs).
     pending_evictions: Vec<u64>,
-    observe: bool,
-    staged_events: Vec<ObsEvent>,
 }
 
 impl TisController {
@@ -115,35 +119,29 @@ impl TisControllerDelegate {
 
 impl SramTagController {
     fn new(cfg: &SystemConfig, tags: TagModel) -> Self {
+        // Data-only rows: 32 lines of 64 B per 2 KB row.
+        let placement = SetPlacement::new(cfg.cache_dram.topology, 32);
+        let stack = TechniqueStack::from_config(cfg, placement.total_banks());
         SramTagController {
             tags,
-            // Data-only rows: 32 lines of 64 B per 2 KB row.
-            placement: SetPlacement::new(cfg.cache_dram.topology, 32),
-            harness: DeviceHarness::new(cfg.cache_dram, cfg.mem_dram),
+            placement,
+            engine: Engine::new(cfg, stack),
             reads: HashMap::new(),
-            next_txn: 0,
-            stats: L4Stats::default(),
-            completions: Vec::with_capacity(16),
             pending_evictions: Vec::new(),
-            observe: false,
-            staged_events: Vec::new(),
-        }
-    }
-
-    fn alloc_txn(&mut self) -> u64 {
-        self.next_txn += 1;
-        self.next_txn
-    }
-
-    fn emit(&mut self, ev: ObsEvent) {
-        if self.observe {
-            self.staged_events.push(ev);
         }
     }
 
     /// Data location: lines are striped row-by-row in line order.
     fn locate(&self, line: u64) -> DramLocation {
         self.placement.locate(line)
+    }
+
+    /// Tag-model set index for `line`, used as the bypass-duel group key.
+    fn duel_set(&self, line: u64) -> u64 {
+        match &self.tags {
+            TagModel::Tis(t) => line % t.geometry().sets().max(1),
+            TagModel::Sector(s) => (line * 64 / 4096) % s.sets().max(1),
+        }
     }
 
     /// Is the line present (no stats side effects beyond the tag model's)?
@@ -160,19 +158,15 @@ impl SramTagController {
             TagModel::Tis(t) => {
                 if let Some(v) = t.fill(line * 64, dirty, ()) {
                     let vline = v.addr / 64;
-                    self.stats.evictions += 1;
+                    self.engine.stats.evictions += 1;
                     out.evictions.push(vline);
-                    if self.observe {
-                        // Direct field push: `t` still borrows `self.tags`.
-                        self.staged_events.push(ObsEvent::Evicted {
-                            line: vline,
-                            dirty: v.dirty,
-                        });
-                    }
+                    self.engine.emit(ObsEvent::Evicted {
+                        line: vline,
+                        dirty: v.dirty,
+                    });
                     if v.dirty {
-                        let txn = self.next_txn + 1;
-                        self.next_txn = txn;
-                        self.harness.cache_read(
+                        let txn = self.engine.alloc_txn();
+                        self.engine.harness.cache_read(
                             txn,
                             Leg::CacheData,
                             self.placement.locate(vline),
@@ -180,10 +174,13 @@ impl SramTagController {
                             BloatCategory::VictimRead.class(),
                             now,
                         );
-                        let txn = self.next_txn + 1;
-                        self.next_txn = txn;
-                        self.harness
-                            .mem_write(txn, vline, MemTraffic::VictimWrite.class(), now);
+                        let txn = self.engine.alloc_txn();
+                        self.engine.harness.mem_write(
+                            txn,
+                            vline,
+                            MemTraffic::VictimWrite.class(),
+                            now,
+                        );
                     }
                 }
             }
@@ -197,21 +194,18 @@ impl SramTagController {
                 SectorProbe::SectorMiss => {
                     if let Some(v) = s.fill_sector(line * 64, dirty) {
                         let first_vline = v.addr / 64;
-                        self.stats.evictions += u64::from(v.valid_blocks);
+                        self.engine.stats.evictions += u64::from(v.valid_blocks);
                         // Every dirty block of the victim sector is read
                         // out and pushed to memory — the SC's Achilles heel.
                         for i in 0..v.dirty_blocks as u64 {
                             let vline = first_vline + i;
                             out.evictions.push(vline);
-                            if self.observe {
-                                self.staged_events.push(ObsEvent::Evicted {
-                                    line: vline,
-                                    dirty: true,
-                                });
-                            }
-                            let txn = self.next_txn + 1;
-                            self.next_txn = txn;
-                            self.harness.cache_read(
+                            self.engine.emit(ObsEvent::Evicted {
+                                line: vline,
+                                dirty: true,
+                            });
+                            let txn = self.engine.alloc_txn();
+                            self.engine.harness.cache_read(
                                 txn,
                                 Leg::CacheData,
                                 self.placement.locate(vline),
@@ -219,9 +213,8 @@ impl SramTagController {
                                 BloatCategory::VictimRead.class(),
                                 now,
                             );
-                            let txn = self.next_txn + 1;
-                            self.next_txn = txn;
-                            self.harness.mem_write(
+                            let txn = self.engine.alloc_txn();
+                            self.engine.harness.mem_write(
                                 txn,
                                 vline,
                                 MemTraffic::VictimWrite.class(),
@@ -232,18 +225,16 @@ impl SramTagController {
                         // DCP-style listeners stay coherent.
                         for i in v.dirty_blocks as u64..v.valid_blocks as u64 {
                             out.evictions.push(first_vline + i);
-                            if self.observe {
-                                self.staged_events.push(ObsEvent::Evicted {
-                                    line: first_vline + i,
-                                    dirty: false,
-                                });
-                            }
+                            self.engine.emit(ObsEvent::Evicted {
+                                line: first_vline + i,
+                                dirty: false,
+                            });
                         }
                     }
                 }
             },
         }
-        self.emit(ObsEvent::Filled {
+        self.engine.emit(ObsEvent::Filled {
             line,
             dirty,
             cause: if dirty {
@@ -255,13 +246,13 @@ impl SramTagController {
     }
 
     fn submit_read(&mut self, line: u64, now: Cycle) {
-        self.stats.read_lookups += 1;
+        self.engine.stats.read_lookups += 1;
         let hit = match &mut self.tags {
             TagModel::Tis(t) => t.access(line * 64, false).is_some(),
             TagModel::Sector(s) => s.probe(line * 64) == SectorProbe::BlockHit,
         };
-        self.emit(ObsEvent::ReadClassified { line, hit });
-        let txn = self.alloc_txn();
+        self.engine.emit(ObsEvent::ReadClassified { line, hit });
+        let txn = self.engine.alloc_txn();
         self.reads.insert(
             txn,
             ReadTxn {
@@ -271,7 +262,7 @@ impl SramTagController {
             },
         );
         if hit {
-            self.harness.cache_read(
+            self.engine.harness.cache_read(
                 txn,
                 Leg::CacheProbe,
                 self.locate(line),
@@ -280,23 +271,24 @@ impl SramTagController {
                 now,
             );
         } else {
-            self.harness
+            self.engine
+                .harness
                 .mem_read(txn, line, MemTraffic::DemandRead.class(), now);
         }
     }
 
     fn submit_writeback(&mut self, line: u64, now: Cycle, out: &mut L4Outputs) {
-        self.stats.wb_lookups += 1;
+        self.engine.stats.wb_lookups += 1;
         let hit = self.present(line);
-        self.emit(ObsEvent::WbResolved {
+        self.engine.emit(ObsEvent::WbResolved {
             line,
             hit,
             probe_skipped: true, // on-chip tags: presence known without probing
             allocated: !hit,
         });
         if hit {
-            self.stats.wb_hits += 1;
-            self.stats.wb_probes_avoided += 1; // on-chip tags: no probe ever
+            self.engine.stats.wb_hits += 1;
+            self.engine.stats.wb_probes_avoided += 1; // on-chip tags: no probe ever
             match &mut self.tags {
                 TagModel::Tis(t) => {
                     t.access(line * 64, true);
@@ -305,8 +297,8 @@ impl SramTagController {
                     s.mark_dirty(line * 64);
                 }
             }
-            let txn = self.alloc_txn();
-            self.harness.cache_write(
+            let txn = self.engine.alloc_txn();
+            self.engine.harness.cache_write(
                 txn,
                 self.locate(line),
                 LINE_BEATS,
@@ -316,8 +308,8 @@ impl SramTagController {
         } else {
             // Write-allocate.
             self.install(line, true, now, out);
-            let txn = self.alloc_txn();
-            self.harness.cache_write(
+            let txn = self.engine.alloc_txn();
+            self.engine.harness.cache_write(
                 txn,
                 self.locate(line),
                 LINE_BEATS,
@@ -328,9 +320,7 @@ impl SramTagController {
     }
 
     fn tick(&mut self, now: Cycle, out: &mut L4Outputs) {
-        let mut completions = std::mem::take(&mut self.completions);
-        completions.clear();
-        self.harness.tick(now, &mut completions);
+        let completions = self.engine.begin_tick(now);
         for c in &completions {
             match c.leg {
                 Leg::CacheProbe | Leg::MemRead => {
@@ -338,9 +328,10 @@ impl SramTagController {
                         continue;
                     };
                     if txn.expect_hit {
-                        self.stats.read_hits += 1;
-                        self.stats.useful_lines += 1;
-                        self.stats
+                        self.engine.stats.read_hits += 1;
+                        self.engine.stats.useful_lines += 1;
+                        self.engine
+                            .stats
                             .hit_latency
                             .record((c.finish - txn.arrival) as f64);
                         out.deliveries.push(Delivery {
@@ -349,33 +340,37 @@ impl SramTagController {
                             in_l4: true,
                         });
                     } else {
-                        self.stats
+                        self.engine
+                            .stats
                             .miss_latency
                             .record((c.finish - txn.arrival) as f64);
-                        self.stats.fills += 1;
-                        self.install(txn.line, false, c.finish, out);
-                        let t = self.alloc_txn();
-                        self.harness.cache_write(
-                            t,
-                            self.locate(txn.line),
-                            LINE_BEATS,
-                            BloatCategory::MissFill.class(),
-                            c.finish,
-                        );
+                        let fill = self.engine.stack.on_fill_decision(self.duel_set(txn.line));
+                        if fill {
+                            self.engine.stats.fills += 1;
+                            self.install(txn.line, false, c.finish, out);
+                            let t = self.engine.alloc_txn();
+                            self.engine.harness.cache_write(
+                                t,
+                                self.locate(txn.line),
+                                LINE_BEATS,
+                                BloatCategory::MissFill.class(),
+                                c.finish,
+                            );
+                        } else {
+                            self.engine.stats.bypasses += 1;
+                            self.engine.emit(ObsEvent::Bypassed { line: txn.line });
+                        }
                         out.deliveries.push(Delivery {
                             line: txn.line,
                             l4_hit: false,
-                            in_l4: true,
+                            in_l4: fill,
                         });
                     }
                 }
                 Leg::CacheData | Leg::PostedWrite => {}
             }
         }
-        self.completions = completions;
-        if self.observe {
-            out.events.append(&mut self.staged_events);
-        }
+        self.engine.finish_tick(completions, out);
     }
 }
 
@@ -399,10 +394,7 @@ macro_rules! delegate_l4 {
             }
 
             fn submit_direct_mem_write(&mut self, line: u64, now: Cycle) {
-                let t = self.inner.alloc_txn();
-                self.inner
-                    .harness
-                    .mem_write(t, line, MemTraffic::Writeback.class(), now);
+                self.inner.engine.direct_mem_write(line, now);
             }
 
             fn tick(&mut self, now: Cycle, out: &mut L4Outputs) {
@@ -411,24 +403,32 @@ macro_rules! delegate_l4 {
             }
 
             fn stats(&self) -> &L4Stats {
-                &self.inner.stats
+                &self.inner.engine.stats
             }
 
             fn reset_stats(&mut self) {
-                self.inner.stats.reset();
-                self.inner.harness.reset_device_stats();
+                self.inner.engine.reset_stats();
             }
 
             fn harness(&self) -> &DeviceHarness {
-                &self.inner.harness
+                &self.inner.engine.harness
             }
 
             fn harness_mut(&mut self) -> &mut DeviceHarness {
-                &mut self.inner.harness
+                &mut self.inner.engine.harness
             }
 
             fn pending_txns(&self) -> usize {
                 self.inner.reads.len()
+            }
+
+            fn next_busy_cycle(&self, now: Cycle) -> Cycle {
+                // Deferred evictions flush at the start of the next tick,
+                // so any backlog makes the controller busy immediately.
+                if !self.inner.pending_evictions.is_empty() {
+                    return now;
+                }
+                self.inner.engine.next_busy_cycle(now)
             }
 
             fn contains_line(&self, line: u64) -> Option<bool> {
@@ -439,7 +439,7 @@ macro_rules! delegate_l4 {
             }
 
             fn set_observe(&mut self, on: bool) {
-                self.inner.observe = on;
+                self.inner.engine.set_observe(on);
             }
         }
     };
@@ -451,6 +451,7 @@ delegate_l4!(SectorController);
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::{BearFeatures, FillPolicy};
 
     fn tis() -> TisController {
         TisController::new(&SystemConfig::paper_baseline(DesignKind::TagsInSram))
@@ -576,6 +577,25 @@ mod tests {
                 >= 8 * 64,
             "dirty sector eviction must read all dirty blocks"
         );
+    }
+
+    #[test]
+    fn bypassing_stack_composes_with_sram_tags() {
+        // Same controller, bypassing stack: demand misses stay out of the
+        // tag store and deliveries report absence.
+        let mut cfg = SystemConfig::paper_baseline(DesignKind::TagsInSram);
+        cfg.bear = BearFeatures {
+            fill_policy: FillPolicy::Probabilistic(1.0),
+            ..cfg.bear
+        };
+        let mut c = TisController::new(&cfg);
+        let mut out = L4Outputs::default();
+        c.submit_read(0x50, 0, 0, Cycle(0));
+        drain(&mut c, &mut out, 0);
+        assert_eq!(c.stats().bypasses, 1);
+        assert_eq!(c.stats().fills, 0);
+        assert_eq!(c.contains_line(0x50), Some(false));
+        assert!(!out.deliveries[0].in_l4);
     }
 
     impl TisController {

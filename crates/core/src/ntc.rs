@@ -120,6 +120,21 @@ impl NeighboringTagCache {
         }
     }
 
+    /// Records the state of `set` from a tag-store occupant view:
+    /// `Some(o)` records the occupant's tag and dirty bit, `None` records
+    /// the set as empty (which lookups answer `AbsentClean`).
+    pub fn record_occupant(
+        &mut self,
+        bank: usize,
+        set: u64,
+        occupant: Option<&crate::contents::Occupant>,
+    ) {
+        match occupant {
+            Some(o) => self.record(bank, set, Some(o.tag), o.dirty),
+            None => self.record(bank, set, None, false),
+        }
+    }
+
     /// Forgets any entry for `set` (used when presence can no longer be
     /// guaranteed).
     pub fn invalidate_set(&mut self, bank: usize, set: u64) {
@@ -294,6 +309,21 @@ mod tests {
         assert!(ntc.corrupt_first_entry());
         assert_eq!(ntc.lookup(0, 5, 4), NtcAnswer::AbsentClean);
         assert_eq!(ntc.lookup(0, 5, 5), NtcAnswer::Present);
+    }
+
+    #[test]
+    fn record_occupant_mirrors_record() {
+        use crate::contents::Occupant;
+        let mut ntc = NeighboringTagCache::new(2, 4);
+        let occ = Occupant {
+            tag: 6,
+            dirty: true,
+        };
+        ntc.record_occupant(0, 3, Some(&occ));
+        assert_eq!(ntc.lookup(0, 3, 6), NtcAnswer::Present);
+        assert_eq!(ntc.lookup(0, 3, 7), NtcAnswer::AbsentDirty);
+        ntc.record_occupant(0, 3, None);
+        assert_eq!(ntc.lookup(0, 3, 6), NtcAnswer::AbsentClean);
     }
 
     #[test]

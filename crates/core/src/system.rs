@@ -75,6 +75,10 @@ pub struct System {
     l4: Box<dyn L4Cache>,
     /// Delay wheel keyed by due cycle.
     wheel: BTreeMap<u64, Vec<Staged>>,
+    /// Earliest due cycle on the wheel (`u64::MAX` when empty), cached so
+    /// the per-tick due check and the idle probe read one integer instead
+    /// of walking the tree.
+    wheel_next: u64,
     /// MSHR-style merge table: line → waiters of the in-flight fetch.
     pending_lines: HashMap<u64, Vec<Waiter>>,
     clock: Cycle,
@@ -91,6 +95,23 @@ pub struct System {
     events: Vec<ObsEvent>,
     /// When set, cores stop issuing new accesses (drain/quiesce support).
     cores_halted: bool,
+    /// When set (the default), the run loop fast-forwards provably idle
+    /// cycles instead of ticking through them (see [`System::idle_gap`]).
+    /// Disable via [`System::set_event_driven`] to force per-cycle
+    /// polling — the equivalence guard tests pin both modes to identical
+    /// results.
+    event_driven: bool,
+    /// Clock value before which idle probes are suppressed (probe
+    /// throttling; see [`System::throttled_idle_gap`]).
+    next_probe: u64,
+    /// Current probe back-off stride, doubled on each failed probe up to
+    /// [`System::MAX_PROBE_STRIDE`], reset to 1 on success.
+    probe_stride: u64,
+    /// Cycles fast-forwarded by [`System::skip_idle`] since construction
+    /// (diagnostic; not part of simulated state).
+    skipped_cycles: u64,
+    /// Live [`System::tick`] calls since construction (diagnostic).
+    live_ticks: u64,
     /// Telemetry state while armed (`None` costs one pointer check per
     /// tick; absent entirely without the `telemetry` feature).
     #[cfg(feature = "telemetry")]
@@ -103,6 +124,8 @@ impl std::fmt::Debug for System {
             .field("design", &self.cfg.design)
             .field("clock", &self.clock)
             .field("pending_lines", &self.pending_lines.len())
+            .field("wheel_depth", &self.wheel.len())
+            .field("cores_halted", &self.cores_halted)
             .finish()
     }
 }
@@ -168,11 +191,12 @@ impl System {
     }
 
     fn assemble(cfg: &SystemConfig, cores: Vec<Core>) -> Self {
-        System {
+        let mut sys = System {
             cores,
             l3: L3Cache::new(cfg.l3_capacity(), cfg.l3_ways),
             l4: build_controller(cfg),
             wheel: BTreeMap::new(),
+            wheel_next: u64::MAX,
             pending_lines: HashMap::new(),
             clock: Cycle::ZERO,
             outputs: L4Outputs::default(),
@@ -181,10 +205,17 @@ impl System {
             observe: false,
             events: Vec::new(),
             cores_halted: false,
+            event_driven: true,
+            next_probe: 0,
+            probe_stride: 1,
+            skipped_cycles: 0,
+            live_ticks: 0,
             #[cfg(feature = "telemetry")]
             telemetry: None,
             cfg: cfg.clone(),
-        }
+        };
+        sys.sync_gating();
+        sys
     }
 
     /// Convenience constructor with a rate-mode single-benchmark workload.
@@ -261,17 +292,159 @@ impl System {
             && self.l4.harness().pending() == 0
     }
 
+    /// Enables or disables idle-cycle skipping in [`System::run`] /
+    /// [`System::run_monitored`] / [`System::quiesce`]. On by default;
+    /// both modes produce bit-identical simulated behavior (skipped
+    /// cycles are provably no-ops), so this switch only trades wall-clock
+    /// speed for the simplicity of per-cycle polling.
+    pub fn set_event_driven(&mut self, on: bool) {
+        self.event_driven = on;
+        self.sync_gating();
+    }
+
+    /// Whether per-component tick elision is active: the event-driven mode
+    /// skips provably-no-op component ticks even inside live cycles.
+    /// Telemetry forces full polling, exactly like whole-cycle skipping.
+    fn component_gating(&self) -> bool {
+        #[cfg(feature = "telemetry")]
+        if self.telemetry.is_some() {
+            return false;
+        }
+        self.event_driven
+    }
+
+    /// Propagates [`System::component_gating`] into the device harness,
+    /// which elides idle channels only while gating is armed.
+    fn sync_gating(&mut self) {
+        let on = self.component_gating();
+        self.l4.harness_mut().set_event_gating(on);
+    }
+
+    /// Upper bound on upcoming ticks that are provably no-ops, capped at
+    /// `limit`. Zero means the next tick must run live. A tick can be
+    /// skipped only when nothing can happen in it: no fault is due, no
+    /// delay-wheel event matures, the L4 controller and both DRAM devices
+    /// report themselves idle, and every core is mid-gap (or blocked)
+    /// with no request to issue. Telemetry disables skipping outright —
+    /// its per-tick sampling windows observe the clock directly.
+    fn idle_gap(&self, limit: u64) -> u64 {
+        if !self.event_driven || limit == 0 {
+            return 0;
+        }
+        #[cfg(feature = "telemetry")]
+        if self.telemetry.is_some() {
+            return 0;
+        }
+        let now = self.clock.0;
+        let mut gap = limit;
+        // Cores first: a core ready to issue is the common busy case, and
+        // its check is much cheaper than the wheel lookup or walking every
+        // channel.
+        if !self.cores_halted {
+            for core in &self.cores {
+                let quiet = core.quiet_cycles();
+                if quiet == 0 {
+                    return 0;
+                }
+                gap = gap.min(quiet);
+            }
+        }
+        if let Some(at) = self.faults.next_at() {
+            if at <= now {
+                return 0;
+            }
+            gap = gap.min(at - now);
+        }
+        if self.wheel_next != u64::MAX {
+            if self.wheel_next <= now {
+                return 0;
+            }
+            gap = gap.min(self.wheel_next - now);
+        }
+        let busy = self.l4.next_busy_cycle(self.clock);
+        if busy <= self.clock {
+            return 0;
+        }
+        gap.min(busy - self.clock)
+    }
+
+    /// Longest interval (in ticks) a failed idle probe can suppress
+    /// further probing. Bounds how late a skip opportunity can be noticed;
+    /// small enough that a missed window costs a handful of (always
+    /// correct) polled ticks.
+    const MAX_PROBE_STRIDE: u64 = 16;
+
+    /// Shortest gap worth fast-forwarding: skipping costs a full hint
+    /// walk plus per-core closed-form replay, which only pays for itself
+    /// when it replaces at least this many ticks. Shorter gaps are simply
+    /// polled through (always correct) and count as failed probes so the
+    /// back-off engages in fine-grained phases.
+    const MIN_SKIP: u64 = 4;
+
+    /// [`System::idle_gap`] behind an exponential back-off: while probes
+    /// keep failing — the system is genuinely busy — they are re-attempted
+    /// only every `probe_stride` ticks (doubling up to
+    /// [`System::MAX_PROBE_STRIDE`]), because a failed probe walks the
+    /// same hint chain a successful one does and busy phases would
+    /// otherwise pay that walk on every tick. A successful probe resets
+    /// the stride. Throttling only delays *noticing* idleness; the ticks
+    /// polled in between are unconditionally correct.
+    fn throttled_idle_gap(&mut self, limit: u64) -> u64 {
+        if self.clock.0 < self.next_probe {
+            return 0;
+        }
+        let gap = self.idle_gap(limit);
+        if gap < Self::MIN_SKIP.min(limit) {
+            self.next_probe = self.clock.0 + self.probe_stride;
+            self.probe_stride = (self.probe_stride * 2).min(Self::MAX_PROBE_STRIDE);
+            return 0;
+        }
+        // A skip lands exactly on a busy cycle, so the immediate post-skip
+        // probe would always fail: suppress it and resume probing one tick
+        // later.
+        self.probe_stride = 1;
+        self.next_probe = self.clock.0 + gap + 1;
+        gap
+    }
+
+    /// Fast-forwards `n` provably idle ticks (callers must have obtained
+    /// `n` from [`System::idle_gap`]): cores replay their retire/stall
+    /// arithmetic in closed form and the clock jumps; every other
+    /// component is guaranteed untouched by construction.
+    fn skip_idle(&mut self, n: u64) {
+        if !self.cores_halted {
+            for core in &mut self.cores {
+                core.skip_quiet(n);
+            }
+        }
+        self.clock += n;
+        self.skipped_cycles += n;
+    }
+
+    /// Diagnostic run-loop counters: `(skipped_cycles, live_ticks)` since
+    /// construction. The ratio shows how much of a run the event-driven
+    /// loop fast-forwarded.
+    pub fn loop_counters(&self) -> (u64, u64) {
+        (self.skipped_cycles, self.live_ticks)
+    }
+
     /// Halts the cores and ticks until the memory system drains, up to
     /// `budget` cycles. Returns whether it fully drained — exact
     /// end-of-run audits (byte accounting, counter totals) are only
     /// meaningful on a drained system.
     pub fn quiesce(&mut self, budget: u64) -> bool {
         self.halt_cores();
-        for _ in 0..budget {
+        let end = self.clock + budget;
+        while self.clock < end {
             if self.is_drained() {
                 return true;
             }
-            self.tick();
+            let n = self.throttled_idle_gap(end - self.clock);
+            if n > 0 {
+                self.skip_idle(n);
+            } else {
+                self.tick();
+            }
         }
         self.is_drained()
     }
@@ -311,6 +484,7 @@ impl System {
                 self.telemetry = Some(Box::new(crate::telemetry::TelemetryState::new(opts)));
             }
         }
+        self.sync_gating();
     }
 
     /// Hands out everything armed telemetry collected, disarming it.
@@ -326,6 +500,7 @@ impl System {
         } else {
             Vec::new()
         };
+        self.sync_gating();
         Some(state.into_report(transfers))
     }
 
@@ -404,6 +579,7 @@ impl System {
     }
 
     fn schedule(&mut self, at: Cycle, ev: Staged) {
+        self.wheel_next = self.wheel_next.min(at.0);
         self.wheel.entry(at.0).or_default().push(ev);
     }
 
@@ -574,6 +750,7 @@ impl System {
     /// Advances the system by one CPU cycle.
     pub fn tick(&mut self) {
         let now = self.clock;
+        self.live_ticks += 1;
         #[cfg(feature = "telemetry")]
         let mut prof = self.prof_start();
 
@@ -601,23 +778,30 @@ impl System {
         #[cfg(feature = "telemetry")]
         self.prof_lap(&mut prof, "cores+l3");
 
-        // 2. Delay-wheel events due now.
-        if let Some(events) = self.wheel.remove(&now.0) {
-            for ev in events {
-                match ev {
-                    Staged::Complete { core, token } => {
-                        self.cores[core as usize].complete_load(token);
-                    }
-                    Staged::SubmitRead { line, pc, core } => {
-                        self.l4.submit_read(line, pc, core, now);
-                    }
-                    Staged::SubmitWriteback { line, dcp } => {
-                        let hint = self.cfg.bear.dcp.then_some(dcp);
-                        self.emit(ObsEvent::WbSubmitted { line, hint });
-                        self.l4.submit_writeback(line, hint, now);
+        // 2. Delay-wheel events due now. The cached minimum makes the
+        //    common nothing-due tick a single integer compare.
+        if self.wheel_next <= now.0 {
+            if let Some(events) = self.wheel.remove(&now.0) {
+                for ev in events {
+                    match ev {
+                        Staged::Complete { core, token } => {
+                            self.cores[core as usize].complete_load(token);
+                        }
+                        Staged::SubmitRead { line, pc, core } => {
+                            self.l4.submit_read(line, pc, core, now);
+                        }
+                        Staged::SubmitWriteback { line, dcp } => {
+                            let hint = self.cfg.bear.dcp.then_some(dcp);
+                            self.emit(ObsEvent::WbSubmitted { line, hint });
+                            self.l4.submit_writeback(line, hint, now);
+                        }
                     }
                 }
             }
+            self.wheel_next = self
+                .wheel
+                .first_key_value()
+                .map_or(u64::MAX, |(&due, _)| due);
         }
         #[cfg(feature = "telemetry")]
         self.prof_lap(&mut prof, "wheel");
@@ -630,23 +814,31 @@ impl System {
         //    delivery may displace an L3 line whose DCP bit this batch is
         //    about to clear — the clear must win, or the victim's
         //    writeback ships a stale probe-skip hint.
-        let mut outputs = std::mem::take(&mut self.outputs);
-        outputs.clear();
-        self.l4.tick(now, &mut outputs);
-        #[cfg(feature = "telemetry")]
-        self.prof_lap(&mut prof, "l4+dram");
-        if self.observe {
-            self.events.append(&mut outputs.events);
+        //
+        //    In the event-driven mode the whole step is elided when the
+        //    controller's busy hint proves it a no-op. The check runs
+        //    after steps 1–2 so any submission they made is visible (a
+        //    fresh submission lands in the harness retry queues, which
+        //    report busy immediately).
+        if !self.component_gating() || self.l4.next_busy_cycle(now) <= now {
+            let mut outputs = std::mem::take(&mut self.outputs);
+            outputs.clear();
+            self.l4.tick(now, &mut outputs);
+            #[cfg(feature = "telemetry")]
+            self.prof_lap(&mut prof, "l4+dram");
+            if self.observe {
+                self.events.append(&mut outputs.events);
+            }
+            for line in outputs.evictions.drain(..) {
+                self.apply_eviction(line);
+            }
+            for d in outputs.deliveries.drain(..) {
+                self.apply_delivery(d);
+            }
+            self.outputs = outputs;
+            #[cfg(feature = "telemetry")]
+            self.prof_lap(&mut prof, "deliver");
         }
-        for line in outputs.evictions.drain(..) {
-            self.apply_eviction(line);
-        }
-        for d in outputs.deliveries.drain(..) {
-            self.apply_delivery(d);
-        }
-        self.outputs = outputs;
-        #[cfg(feature = "telemetry")]
-        self.prof_lap(&mut prof, "deliver");
 
         self.clock += 1;
         #[cfg(feature = "telemetry")]
@@ -681,7 +873,16 @@ impl System {
         let mut last_progress = self.clock;
         let end = self.clock + cycles;
         while self.clock < end {
-            self.tick();
+            // Fast-forward provably idle cycles, stopping exactly on check
+            // boundaries so invariant checks and the watchdog observe the
+            // same clock values (and states) as per-cycle polling would.
+            let to_boundary = CHECK_STRIDE - (self.clock.0 % CHECK_STRIDE);
+            let n = self.throttled_idle_gap((end - self.clock).min(to_boundary));
+            if n > 0 {
+                self.skip_idle(n);
+            } else {
+                self.tick();
+            }
             if self.clock.0.is_multiple_of(CHECK_STRIDE) {
                 self.run_invariant_checks();
                 if window > 0 {
@@ -879,6 +1080,106 @@ mod tests {
         assert_eq!(a.insts_per_core, b.insts_per_core);
         assert_eq!(a.bloat.total_bytes(), b.bloat.total_bytes());
         assert_eq!(a.l4.read_lookups, b.l4.read_lookups);
+    }
+
+    /// The tentpole guarantee of the event-driven loop: skipping provably
+    /// idle cycles is invisible to the simulation. Every design family
+    /// must report bit-identical results between the skipping run loop
+    /// and naive per-cycle polling.
+    #[test]
+    fn event_driven_matches_polling_across_designs() {
+        for (design, bench) in [
+            (DesignKind::NoCache, "mcf"),
+            (DesignKind::Alloy, "sphinx3"),
+            (DesignKind::LohHill, "gcc"),
+            (DesignKind::TagsInSram, "omnetpp"),
+            (DesignKind::SectorCache, "wrf"),
+        ] {
+            let mut cfg = quick_cfg(design);
+            if design == DesignKind::Alloy {
+                cfg.bear = BearFeatures::full();
+            }
+            let mut fast = System::build_rate(&cfg, bench);
+            let mut slow = System::build_rate(&cfg, bench);
+            slow.set_event_driven(false);
+            let a = fast.run(30_000, 30_000);
+            let b = slow.run(30_000, 30_000);
+            assert_eq!(a.insts_per_core, b.insts_per_core, "{design:?} insts");
+            assert_eq!(a.cycles, b.cycles, "{design:?} cycles");
+            assert_eq!(a.l4.read_lookups, b.l4.read_lookups, "{design:?} lookups");
+            assert_eq!(a.l4.read_hits, b.l4.read_hits, "{design:?} hits");
+            assert_eq!(a.l4.fills, b.l4.fills, "{design:?} fills");
+            assert_eq!(a.l4.bypasses, b.l4.bypasses, "{design:?} bypasses");
+            assert_eq!(
+                a.bloat.total_bytes(),
+                b.bloat.total_bytes(),
+                "{design:?} cache bytes"
+            );
+            assert_eq!(a.mem_bytes, b.mem_bytes, "{design:?} mem bytes");
+            assert_eq!(fast.now(), slow.now(), "{design:?} clock");
+            // Stall accounting is replayed in closed form by the skipper;
+            // it must agree exactly with the polled run.
+            for (cf, cs) in fast.cores.iter().zip(&slow.cores) {
+                assert_eq!(cf.stall_cycles, cs.stall_cycles, "{design:?} stalls");
+                assert_eq!(cf.loads_issued, cs.loads_issued, "{design:?} loads");
+            }
+        }
+    }
+
+    /// Refresh is clocked on absolute time, the one place where a careless
+    /// skip would change simulated behavior; pin equivalence explicitly.
+    #[test]
+    fn event_driven_matches_polling_with_refresh() {
+        let mut cfg = quick_cfg(DesignKind::Alloy);
+        cfg.cache_dram.timings = bear_dram::DramTimings::table1_with_refresh();
+        cfg.mem_dram.timings = bear_dram::DramTimings::table1_with_refresh();
+        let mut fast = System::build_rate(&cfg, "sphinx3");
+        let mut slow = System::build_rate(&cfg, "sphinx3");
+        slow.set_event_driven(false);
+        let a = fast.run(30_000, 30_000);
+        let b = slow.run(30_000, 30_000);
+        assert_eq!(a.insts_per_core, b.insts_per_core);
+        assert_eq!(a.bloat.total_bytes(), b.bloat.total_bytes());
+        assert_eq!(a.mem_bytes, b.mem_bytes);
+    }
+
+    /// Drain matrix: every design quiesces to a fully empty memory system
+    /// with exact byte conservation, under the event-driven loop.
+    #[test]
+    fn every_design_quiesces_to_empty() {
+        for design in [
+            DesignKind::NoCache,
+            DesignKind::Alloy,
+            DesignKind::InclusiveAlloy,
+            DesignKind::BwOpt,
+            DesignKind::LohHill,
+            DesignKind::MostlyClean,
+            DesignKind::TagsInSram,
+            DesignKind::SectorCache,
+        ] {
+            let cfg = quick_cfg(design);
+            let mut sys = System::build_rate(&cfg, "mcf");
+            sys.set_check_mode(bear_sim::invariants::CheckMode::Record);
+            sys.run(10_000, 20_000);
+            assert!(sys.quiesce(2_000_000), "{design:?} failed to drain");
+            assert!(sys.is_drained(), "{design:?} not drained");
+            assert_eq!(sys.l4_cache().pending_txns(), 0, "{design:?} txns");
+            assert_eq!(sys.l4_cache().harness().pending(), 0, "{design:?} reqs");
+            let mut sink = InvariantSink::new(bear_sim::invariants::CheckMode::Record);
+            sys.l4_cache()
+                .harness()
+                .check_byte_conservation(sys.now(), &mut sink);
+            assert!(
+                sink.violations().is_empty(),
+                "{design:?} byte conservation violated at drain: {:?}",
+                sink.violations()
+            );
+            assert!(
+                sys.violations().is_empty(),
+                "{design:?} invariants violated: {:?}",
+                sys.violations()
+            );
+        }
     }
 
     #[test]

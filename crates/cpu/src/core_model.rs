@@ -157,6 +157,58 @@ impl Core {
         }
     }
 
+    /// How many upcoming [`Core::tick`] calls are guaranteed not to issue a
+    /// request nor draw from the trace, assuming no loads complete in the
+    /// interim. `u64::MAX` means the core is blocked (ROB or MSHR) and stays
+    /// quiet until an external completion arrives. Event-driven drivers may
+    /// replace up to this many ticks with one [`Core::skip_quiet`] call.
+    pub fn quiet_cycles(&self) -> u64 {
+        if self.pending.is_none() {
+            return 0; // next tick draws the trace — must run it
+        }
+        if self.gap_left == 0 {
+            // The staged event fires as soon as an MSHR frees up.
+            return if self.outstanding.len() < self.cfg.mshrs {
+                0
+            } else {
+                u64::MAX
+            };
+        }
+        let avail = self.rob_limit().saturating_sub(self.retired);
+        if avail < self.gap_left {
+            // The ROB wall lands mid-gap: the gap never reaches zero
+            // without a completion, so the core retires `avail` and stalls.
+            return u64::MAX;
+        }
+        let w = u64::from(self.cfg.retire_width.max(1));
+        // The tick that retires the last gap instruction may issue; every
+        // tick strictly before it is quiet.
+        self.gap_left.div_ceil(w) - 1
+    }
+
+    /// Fast-forwards `n` quiet ticks in one step, reproducing exactly the
+    /// retire/stall arithmetic `n` calls to [`Core::tick`] would have
+    /// performed. Callers must ensure `n <= quiet_cycles()` and that no
+    /// completions were due in the skipped span.
+    pub fn skip_quiet(&mut self, n: u64) {
+        debug_assert!(n <= self.quiet_cycles(), "skip exceeds quiet window");
+        if n == 0 || self.pending.is_none() {
+            return;
+        }
+        let avail = self.rob_limit().saturating_sub(self.retired);
+        let cap = self.gap_left.min(avail);
+        let w = u64::from(self.cfg.retire_width.max(1));
+        let full = cap / w;
+        let rem = cap % w;
+        let retiring_ticks = full + u64::from(rem != 0);
+        let retire_now = if n <= full { n * w } else { cap };
+        self.retired += retire_now;
+        self.gap_left -= retire_now;
+        if n > retiring_ticks {
+            self.stall_cycles += n - retiring_ticks;
+        }
+    }
+
     /// Advances the core by one cycle; returns a memory request if the core
     /// issues one this cycle (at most one per cycle).
     pub fn tick(&mut self, _now: Cycle) -> Option<CoreRequest> {
@@ -429,6 +481,109 @@ mod tests {
         );
         core.complete_load(LoadToken(999));
         assert_eq!(core.outstanding_loads(), 0);
+    }
+
+    /// Clone-free state snapshot for skip-vs-tick equivalence checks.
+    fn snapshot(core: &Core) -> (u64, u64, u64, u64, u64) {
+        (
+            core.retired,
+            core.gap_left,
+            core.stall_cycles,
+            core.loads_issued,
+            core.stores_issued,
+        )
+    }
+
+    /// Drives `a` with per-cycle ticks and `b` with maximal quiet skips;
+    /// their observable state must stay identical at every live tick.
+    fn assert_skip_matches_tick(events: Vec<TraceEvent>, cfg: CoreConfig, horizon: u64) {
+        let mut a = Core::new(0, Box::new(Script::new(events.clone())), cfg);
+        let mut b = Core::new(0, Box::new(Script::new(events)), cfg);
+        let mut t = 0u64;
+        while t < horizon {
+            let quiet = b.quiet_cycles();
+            let n = quiet.min(horizon - t);
+            if n > 0 {
+                b.skip_quiet(n);
+                for k in 0..n {
+                    assert!(a.tick(Cycle(t + k)).is_none(), "quiet tick issued");
+                }
+                t += n;
+                assert_eq!(snapshot(&a), snapshot(&b), "diverged after skip at {t}");
+            } else {
+                let ra = a.tick(Cycle(t));
+                let rb = b.tick(Cycle(t));
+                assert_eq!(ra, rb, "requests diverged at {t}");
+                t += 1;
+                assert_eq!(snapshot(&a), snapshot(&b), "diverged after tick at {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn skip_quiet_matches_ticks_for_long_gaps() {
+        assert_skip_matches_tick(
+            vec![load(100, 0x0), load(7, 0x40), load(1, 0x80)],
+            CoreConfig::default(),
+            400,
+        );
+    }
+
+    #[test]
+    fn skip_quiet_matches_ticks_when_rob_blocked() {
+        // Loads never complete: the ROB wall lands mid-gap and the core
+        // stalls indefinitely; skips must accumulate the same stall count.
+        assert_skip_matches_tick(
+            vec![load(4, 0x0), load(1000, 0x40)],
+            CoreConfig {
+                rob_insts: 16,
+                ..CoreConfig::default()
+            },
+            600,
+        );
+    }
+
+    #[test]
+    fn skip_quiet_matches_ticks_when_mshr_blocked() {
+        assert_skip_matches_tick(
+            vec![load(1, 0x0), load(1, 0x40), load(1, 0x80)],
+            CoreConfig {
+                mshrs: 2,
+                ..CoreConfig::default()
+            },
+            300,
+        );
+    }
+
+    #[test]
+    fn skip_quiet_with_odd_widths() {
+        for width in [1u32, 2, 3, 5] {
+            assert_skip_matches_tick(
+                vec![load(13, 0x0), store(9, 0x40), load(31, 0x80)],
+                CoreConfig {
+                    retire_width: width,
+                    ..CoreConfig::default()
+                },
+                500,
+            );
+        }
+    }
+
+    #[test]
+    fn quiet_cycles_counts_exactly() {
+        // Gap 10 at width 2: fires on the 5th tick, so 4 are quiet — but
+        // a fresh core has no staged event, so the first tick must run.
+        let mut core = Core::new(
+            0,
+            Box::new(Script::new(vec![load(10, 0x40)])),
+            CoreConfig::default(),
+        );
+        assert_eq!(core.quiet_cycles(), 0, "unstaged event forces a tick");
+        assert!(core.tick(Cycle(0)).is_none());
+        assert_eq!(core.quiet_cycles(), 3);
+        core.skip_quiet(3);
+        assert_eq!(core.tick(Cycle(4)).map(|r| r.addr), Some(0x40));
+        assert_eq!(core.retired_insts(), 10);
     }
 
     #[test]

@@ -123,6 +123,11 @@ pub struct Channel {
     next_refresh: Cycle,
     /// Optional bounded capture of data bursts (armed by telemetry).
     transfer_log: Option<TransferLog>,
+    /// Memoized `now`-independent bound behind [`Channel::next_busy_cycle`]
+    /// (`None` = stale). Interior-mutable so the read-only hint can cache
+    /// across ticks that provably changed nothing; every mutation point
+    /// (enqueue, retire, refresh, drain flip, command issue) clears it.
+    hint_cache: std::cell::Cell<Option<Cycle>>,
     /// Statistics.
     pub stats: ChannelStats,
 }
@@ -146,6 +151,7 @@ impl Channel {
                 Cycle::NEVER
             },
             transfer_log: None,
+            hint_cache: std::cell::Cell::new(None),
             stats: ChannelStats::default(),
             cfg,
         }
@@ -197,7 +203,11 @@ impl Channel {
         } else {
             &mut self.read_queue
         };
-        queue.try_push(req).map_err(|e| e.0)
+        let res = queue.try_push(req).map_err(|e| e.0);
+        if res.is_ok() {
+            self.hint_cache.set(None);
+        }
+        res
     }
 
     /// Whether a read (`is_write == false`) or write can currently be
@@ -242,6 +252,7 @@ impl Channel {
         while i < self.in_flight.len() {
             if self.in_flight[i].finish <= now {
                 let f = self.in_flight.swap_remove(i);
+                self.hint_cache.set(None);
                 if f.request.is_write {
                     self.stats.writes_completed += 1;
                 } else {
@@ -265,6 +276,7 @@ impl Channel {
             self.bus_free_at = self.bus_free_at.max(ready);
             self.next_refresh = now + self.cfg.timings.t_refi;
             self.stats.refreshes += 1;
+            self.hint_cache.set(None);
         }
 
         self.update_drain_mode();
@@ -299,14 +311,133 @@ impl Channel {
         }
     }
 
+    /// The earliest cycle at which a tick can change this channel's state:
+    /// ticks strictly before the returned cycle are guaranteed no-ops, so
+    /// an event-driven driver may skip them wholesale. Stronger than
+    /// [`Channel::next_event_hint`]: queued requests are previewed through
+    /// the scheduler's own gating (bank timing windows and bus occupancy)
+    /// rather than pessimistically reported as busy `now`; in-flight
+    /// transfers contribute their earliest finish; a pending refresh bounds
+    /// everything because the refresh clock reads absolute time and must
+    /// not be observed late.
+    ///
+    /// Exactness relies on the queues being frozen until the returned
+    /// cycle — the event-driven driver guarantees this, as it only skips
+    /// when no other component can enqueue.
+    pub fn next_busy_cycle(&self, now: Cycle) -> Cycle {
+        let bound = match self.hint_cache.get() {
+            Some(b) => b,
+            None => {
+                let flight = self
+                    .in_flight
+                    .iter()
+                    .map(|f| f.finish)
+                    .min()
+                    .unwrap_or(Cycle::NEVER);
+                let b = flight
+                    .min(self.next_refresh)
+                    .min(self.next_schedule_cycle(now));
+                // Caching a bound that is already `<= now` is still sound:
+                // the hint stays pessimistic ("busy now") until the tick it
+                // predicts actually fires, and that tick clears the cache.
+                self.hint_cache.set(Some(b));
+                b
+            }
+        };
+        bound.max(now)
+    }
+
+    /// Earliest cycle at which [`Channel::tick`]'s scheduling passes could
+    /// issue a command or mutate a bank, assuming the queues stay frozen
+    /// until then. Never later than the true first action (late would break
+    /// the no-op guarantee); [`Cycle::NEVER`] when nothing is queued. May
+    /// return `now` without finishing the window scan once a command is
+    /// provably issuable this cycle — earlier-than-true is always safe.
+    fn next_schedule_cycle(&self, now: Cycle) -> Cycle {
+        // A pending drain-mode flip makes the channel busy immediately:
+        // the flip is hysteretic, so its *latch time* is observable — a
+        // deferred flip would read a different queue depth and can settle
+        // on the opposite mode (e.g. the queue dips to the low mark, then
+        // refills past it before the deferred tick runs). Forcing a tick
+        // latches the flip at the same cycle per-cycle polling would.
+        let wlen = self.write_queue.len();
+        let will_flip = if self.draining {
+            wlen <= self.cfg.write_drain_low
+        } else {
+            wlen >= self.cfg.write_drain_high
+        };
+        if will_flip {
+            return now;
+        }
+        let use_writes = self.draining || (self.read_queue.is_empty() && wlen > 0);
+        let queue = if use_writes {
+            &self.write_queue
+        } else {
+            &self.read_queue
+        };
+        if queue.is_empty() {
+            return Cycle::NEVER;
+        }
+        let banks_per_rank = self.cfg.topology.banks_per_rank;
+        let bus_free = Cycle(self.bus_free_at.0.saturating_sub(self.cfg.timings.t_cas));
+        // Pass-1 preview: the first CAS issues once some windowed row-hit
+        // is past its tRCD window AND its data can start on a free bus.
+        let mut ready_cas_min = Cycle::NEVER;
+        for req in queue.iter().take(self.cfg.sched_window) {
+            if let Some(bank) = self
+                .banks
+                .get(req.location.bank_in_channel(banks_per_rank) as usize)
+            {
+                if let BankAction::Cas(ready) = bank.next_action(req.location.row) {
+                    if ready.max(bus_free) <= now {
+                        // A CAS is provably issuable this cycle; nothing
+                        // can be earlier, so skip the rest of the scan.
+                        return now;
+                    }
+                    ready_cas_min = ready_cas_min.min(ready);
+                    if ready_cas_min <= bus_free {
+                        // The issue time is already pinned at the bus
+                        // bound; later entries can only err the pass-2
+                        // comparison toward "earlier", which is safe.
+                        break;
+                    }
+                }
+            }
+        }
+        let cas_issue = if ready_cas_min == Cycle::NEVER {
+            Cycle::NEVER
+        } else {
+            ready_cas_min.max(bus_free)
+        };
+        // Pass-2 preview: the front request's ACT/PRE. Pass 2 only runs
+        // while no windowed CAS is ready — a ready-but-bus-blocked CAS
+        // returns early without reaching it — so the front's ready time
+        // counts only when it precedes every CAS window.
+        let front_t = match queue.front().map(|req| {
+            self.banks
+                .get(req.location.bank_in_channel(banks_per_rank) as usize)
+                .map(|b| b.next_action(req.location.row))
+        }) {
+            Some(Some(BankAction::Act(ready) | BankAction::Pre(ready))) => ready,
+            _ => Cycle::NEVER,
+        };
+        if front_t < ready_cas_min {
+            cas_issue.min(front_t)
+        } else {
+            cas_issue
+        }
+    }
+
     fn update_drain_mode(&mut self) {
         if self.draining {
             if self.write_queue.len() <= self.cfg.write_drain_low {
                 self.draining = false;
+                self.hint_cache.set(None);
             }
         } else if self.write_queue.len() >= self.cfg.write_drain_high {
             self.draining = true;
             self.stats.drain_episodes += 1;
+            self.hint_cache.set(None);
         }
     }
 
@@ -357,6 +488,7 @@ impl Channel {
                 let Some(req) = queue.remove(idx) else {
                     return; // queue mutated unexpectedly; retry next cycle
                 };
+                self.hint_cache.set(None);
                 let data_start = self.banks[bank_idx].cas(now, burst, &self.cfg.timings);
                 let finish = data_start + burst;
                 self.bus_free_at = finish;
@@ -398,9 +530,11 @@ impl Channel {
         match bank.next_action(oldest.location.row) {
             BankAction::Act(ready) if ready <= now => {
                 bank.activate(oldest.location.row, now, &self.cfg.timings);
+                self.hint_cache.set(None);
             }
             BankAction::Pre(ready) if ready <= now => {
                 bank.precharge(now, &self.cfg.timings);
+                self.hint_cache.set(None);
             }
             _ => {}
         }
@@ -691,6 +825,145 @@ mod tests {
         .unwrap();
         assert_eq!(ch.next_event_hint(Cycle(0)), Cycle(1));
     }
+
+    #[test]
+    fn next_busy_cycle_idle_is_never() {
+        let ch = Channel::new(cfg());
+        assert_eq!(ch.next_busy_cycle(Cycle(5)), Cycle::NEVER);
+    }
+
+    #[test]
+    fn next_busy_cycle_queued_closed_bank_is_now() {
+        let mut ch = Channel::new(cfg());
+        ch.try_enqueue(DramRequest::read(
+            1,
+            loc(0, 1),
+            5,
+            TrafficClass(0),
+            Cycle(0),
+        ))
+        .unwrap();
+        // A closed bank can ACT immediately, so the scheduler acts this
+        // very cycle.
+        assert_eq!(ch.next_busy_cycle(Cycle(7)), Cycle(7));
+    }
+
+    #[test]
+    fn next_busy_cycle_previews_bank_timing_windows() {
+        let mut ch = Channel::new(cfg());
+        let trcd = cfg().timings.t_rcd;
+        ch.try_enqueue(DramRequest::read(
+            1,
+            loc(0, 1),
+            5,
+            TrafficClass(0),
+            Cycle(0),
+        ))
+        .unwrap();
+        let mut done = Vec::new();
+        // Tick 0 issues the ACT; the queued CAS is then gated by tRCD.
+        // The hint names that exact cycle, so an event-driven driver
+        // skips the whole window.
+        ch.tick(Cycle(0), &mut done);
+        assert_eq!(ch.next_busy_cycle(Cycle(1)), Cycle(trcd));
+        ch.tick(Cycle(trcd), &mut done); // CAS issues right on the hint
+        assert_eq!(ch.pending(), 1, "transfer should be in flight");
+    }
+
+    #[test]
+    fn hinted_skips_match_per_cycle_polling() {
+        // The same request mix through two channels: one ticked every
+        // cycle, one ticked only at hinted cycles. The no-op guarantee
+        // means completions and stats must agree exactly.
+        let mix = [
+            (0u32, 5u64, false),
+            (0, 5, false), // row hit behind the first read
+            (0, 9, false), // row conflict: PRE → ACT → CAS
+            (1, 3, true),
+            (2, 7, false),
+        ];
+        let mk = || {
+            let mut ch = Channel::new(cfg());
+            for (i, &(bank, row, write)) in mix.iter().enumerate() {
+                let id = i as u64 + 1;
+                let req = if write {
+                    DramRequest::write(id, loc(bank, row), 5, TrafficClass(0), Cycle(0))
+                } else {
+                    DramRequest::read(id, loc(bank, row), 5, TrafficClass(0), Cycle(0))
+                };
+                ch.try_enqueue(req).unwrap();
+            }
+            ch
+        };
+
+        let mut poll = mk();
+        let mut poll_done = Vec::new();
+        for t in 0..10_000u64 {
+            poll.tick(Cycle(t), &mut poll_done);
+        }
+        assert_eq!(poll_done.len(), mix.len());
+
+        let mut ev = mk();
+        let mut ev_done = Vec::new();
+        let mut t = Cycle(0);
+        let mut live_ticks = 0u64;
+        while ev.pending() > 0 {
+            ev.tick(t, &mut ev_done);
+            live_ticks += 1;
+            assert!(live_ticks < 1_000, "hints failed to make progress");
+            match ev.next_busy_cycle(t + 1) {
+                Cycle::NEVER => break,
+                next => t = next,
+            }
+        }
+        let key = |c: &ChannelCompletion| (c.request.id, c.finish);
+        assert_eq!(
+            poll_done.iter().map(key).collect::<Vec<_>>(),
+            ev_done.iter().map(key).collect::<Vec<_>>(),
+        );
+        assert_eq!(poll.stats.total_bytes(), ev.stats.total_bytes());
+        assert_eq!(poll.row_hits(), ev.row_hits());
+        // The hints must actually compress time: far fewer live ticks than
+        // the cycles the request mix spans.
+        assert!(
+            live_ticks * 3 < poll_done.last().unwrap().finish.raw(),
+            "only {live_ticks} live ticks expected to cover {} cycles",
+            poll_done.last().unwrap().finish.raw()
+        );
+    }
+
+    #[test]
+    fn next_busy_cycle_in_flight_is_finish() {
+        let mut ch = Channel::new(cfg());
+        ch.try_enqueue(DramRequest::read(
+            1,
+            loc(0, 1),
+            5,
+            TrafficClass(0),
+            Cycle(0),
+        ))
+        .unwrap();
+        // Follow the hints until the request leaves the queue (CAS issued,
+        // transfer in flight); the hint must then point exactly at the
+        // finish time.
+        let mut completions = Vec::new();
+        let mut t = Cycle(0);
+        loop {
+            ch.tick(t, &mut completions);
+            if ch.queued_bytes() == 0 {
+                break;
+            }
+            t = ch.next_busy_cycle(t + 1).max(t + 1);
+            assert!(t.raw() < 10_000, "request never scheduled");
+        }
+        assert!(completions.is_empty());
+        assert!(ch.pending() > 0, "transfer should be in flight");
+        let busy = ch.next_busy_cycle(t);
+        assert!(busy > t, "in-flight hint must be in the future");
+        // Skipping straight to the hinted cycle yields the completion.
+        ch.tick(busy, &mut completions);
+        assert_eq!(completions.len(), 1);
+    }
 }
 
 #[cfg(test)]
@@ -770,5 +1043,21 @@ mod refresh_tests {
             "finish {} too early",
             done[0].finish.raw()
         );
+    }
+
+    #[test]
+    fn next_busy_cycle_bounded_by_refresh() {
+        let mut cfg = DramConfig::stacked_cache_8x();
+        cfg.timings = DramTimings::table1_with_refresh();
+        let trefi = cfg.timings.t_refi;
+        let mut ch = Channel::new(cfg);
+        // Idle channel, but the refresh clock still ticks on absolute time:
+        // a skipping driver must wake up at the refresh boundary, or the
+        // refresh would fire late and shift every later one.
+        assert_eq!(ch.next_busy_cycle(Cycle(0)), Cycle(trefi));
+        let mut done = Vec::new();
+        ch.tick(Cycle(trefi), &mut done);
+        assert_eq!(ch.stats.refreshes, 1);
+        assert_eq!(ch.next_busy_cycle(Cycle(trefi + 1)), Cycle(2 * trefi));
     }
 }

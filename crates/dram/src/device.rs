@@ -105,6 +105,40 @@ impl DramDevice {
         }
     }
 
+    /// [`DramDevice::tick`] for event-driven drivers: channels whose
+    /// [`Channel::next_busy_cycle`] proves this cycle a no-op are not
+    /// ticked at all. The hint is memoized per channel and every mutation
+    /// point invalidates it, so the elision is exact — both tick variants
+    /// produce bit-identical channel state and completions.
+    pub fn tick_gated(&mut self, now: Cycle, completions: &mut Vec<Completion>) {
+        // `BEAR_GATE_DIAG=1` cross-checks every elision by running the
+        // tick anyway and asserting it changed nothing (slow; CI smoke
+        // and bug hunts only). The flag is read once per process.
+        static DIAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        let diag = *DIAG.get_or_init(|| std::env::var("BEAR_GATE_DIAG").is_ok());
+        for ch in &mut self.channels {
+            if ch.next_busy_cycle(now) > now {
+                if diag {
+                    let before = format!("{ch:?}");
+                    let mut scratch = Vec::new();
+                    ch.tick(now, &mut scratch);
+                    let after = format!("{ch:?}");
+                    assert!(
+                        scratch.is_empty() && before == after,
+                        "hint claimed idle at {now:?} but tick mutated:\nBEFORE {before}\nAFTER {after}\ncompletions {scratch:?}"
+                    );
+                }
+                continue;
+            }
+            self.scratch.clear();
+            ch.tick(now, &mut self.scratch);
+            completions.extend(self.scratch.iter().map(|c| Completion {
+                request: c.request,
+                finish: c.finish,
+            }));
+        }
+    }
+
     /// Total requests somewhere in the device (queued or in flight).
     pub fn pending(&self) -> usize {
         self.channels.iter().map(|c| c.pending()).sum()
@@ -118,6 +152,23 @@ impl DramDevice {
             .map(|c| c.next_event_hint(now))
             .min()
             .unwrap_or(Cycle::NEVER)
+    }
+
+    /// Earliest cycle at which ticking this device can change state: ticks
+    /// strictly before it are guaranteed no-ops (see
+    /// [`Channel::next_busy_cycle`]). [`Cycle::NEVER`] when every channel is
+    /// idle with no refresh pending.
+    pub fn next_busy_cycle(&self, now: Cycle) -> Cycle {
+        let mut best = Cycle::NEVER;
+        for c in &self.channels {
+            let b = c.next_busy_cycle(now);
+            if b <= now {
+                // One busy channel settles the device; skip the rest.
+                return b;
+            }
+            best = best.min(b);
+        }
+        best
     }
 
     /// Per-channel statistics.
@@ -373,6 +424,27 @@ mod tests {
         ))
         .unwrap();
         assert_eq!(dev.next_event_hint(Cycle(10)), Cycle(11));
+    }
+
+    #[test]
+    fn next_busy_cycle_aggregates() {
+        let mut dev = DramDevice::new(DramConfig::stacked_cache_8x());
+        assert_eq!(dev.next_busy_cycle(Cycle(10)), Cycle::NEVER);
+        dev.try_enqueue(DramRequest::read(
+            1,
+            DramLocation {
+                channel: 2,
+                rank: 0,
+                bank: 0,
+                row: 0,
+            },
+            5,
+            TrafficClass(0),
+            Cycle(0),
+        ))
+        .unwrap();
+        // Queued work means the scheduler may act this very cycle.
+        assert_eq!(dev.next_busy_cycle(Cycle(10)), Cycle(10));
     }
 
     #[test]

@@ -123,6 +123,15 @@ impl FaultPlan {
         }
     }
 
+    /// Cycle of the earliest still-pending fault, without consuming it.
+    /// Event-driven drivers must not fast-forward past this point: a fault
+    /// applied late would corrupt different state than the plan describes.
+    /// A retried fault keeps its original (now past) cycle, pinning the
+    /// bound in the past until the fault finally lands.
+    pub fn next_at(&self) -> Option<u64> {
+        self.pending.last().map(|f| f.at_cycle)
+    }
+
     /// Re-arms a fault that could not be applied (no target state existed
     /// yet); it becomes due again immediately.
     pub fn retry(&mut self, fault: Fault) {
@@ -193,6 +202,26 @@ mod tests {
         assert_eq!(plan.len(), 1);
         assert_eq!(plan.next_due(101).unwrap().kind, FaultKind::PresenceFlip);
         assert!(plan.next_due(102).is_none());
+    }
+
+    #[test]
+    fn next_at_peeks_without_consuming() {
+        let mut plan = FaultPlan::new(vec![
+            Fault {
+                kind: FaultKind::TagFlip,
+                at_cycle: 10,
+            },
+            Fault {
+                kind: FaultKind::NtcDesync,
+                at_cycle: 30,
+            },
+        ]);
+        assert_eq!(plan.next_at(), Some(10));
+        assert_eq!(plan.len(), 2);
+        plan.next_due(10).unwrap();
+        assert_eq!(plan.next_at(), Some(30));
+        plan.next_due(30).unwrap();
+        assert_eq!(plan.next_at(), None);
     }
 
     #[test]
