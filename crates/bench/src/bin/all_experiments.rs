@@ -15,12 +15,20 @@
 //! While running, a stderr heartbeat reports each completed cell
 //! (`[cell i/N (...) elapsed ..s, ETA ..s]`) so long campaigns are
 //! observable without waiting for a step to finish.
+//!
+//! Every cell runs under the [`bear_bench::supervisor`]: transient
+//! failures retry with deterministic backoff (`BEAR_MAX_RETRIES`,
+//! `BEAR_RETRY_BASE_MS`), attempts can carry a wall-clock deadline
+//! (`BEAR_CELL_DEADLINE_MS`), and cells that exhaust their retries are
+//! quarantined into `DIR/failures.json` while the campaign — and its
+//! reports — complete around them. Setting `BEAR_CHAOS_SEED` (requires
+//! `--out`) arms the deterministic chaos plan that the `chaos` binary
+//! and test suite use to prove all of that recovery machinery correct.
 
 use bear_bench::checkpoint::{self, CellStore};
-use bear_bench::cli;
 use bear_bench::experiments as ex;
 use bear_bench::report::Report;
-use bear_bench::{runner, telemetry, RunPlan};
+use bear_bench::{chaos, cli, runner, supervisor, telemetry, RunPlan};
 use std::time::Instant;
 
 /// One experiment step: report id plus its entry point.
@@ -55,6 +63,8 @@ fn main() {
             );
         }
     }
+    chaos::arm_from_env(args.out.as_deref());
+    supervisor::set_manifest_dir(args.out.as_deref());
     telemetry::set_active(args.telemetry_sink());
     runner::set_heartbeat(true);
     for (name, f) in steps {
@@ -62,6 +72,7 @@ fn main() {
             continue;
         }
         let t = Instant::now();
+        supervisor::set_experiment(name);
         checkpoint::set_active(args.out.as_deref().map(|d| CellStore::new(d, name)));
         let mut report = Report::new(name);
         f(&plan, &mut report);
@@ -72,7 +83,20 @@ fn main() {
             t0.elapsed().as_secs_f64()
         );
     }
+    // With chaos armed the manifest must exist even when every fault was
+    // dodged (the chaos driver reads it unconditionally); an unarmed
+    // campaign only writes it when something actually happened, so a
+    // clean campaign's output stays byte-for-byte what it always was.
+    if let Some(out) = args.out.as_deref() {
+        if chaos::armed_seed().is_some() {
+            supervisor::write_manifest(out).expect("writing failures.json");
+        }
+    }
+    if let Some(report) = supervisor::profile_report() {
+        eprintln!("[{report}]");
+    }
     runner::set_heartbeat(false);
     telemetry::set_active(None);
     checkpoint::set_active(None);
+    supervisor::set_manifest_dir(None);
 }

@@ -1,0 +1,100 @@
+//! Chaos-recovery proof driver: runs the quick `fig07` campaign twice —
+//! once fault-free, once under a seeded chaos plan (worker panics,
+//! stalls, torn checkpoints, failed fsyncs, whole-process kills) — and
+//! verifies the recovered reports cell-by-cell against the reference
+//! (see [`bear_bench::chaos::drive`] for the exact properties).
+//!
+//! Flags:
+//!
+//! - `--seed N` — chaos seed (default: the pinned
+//!   [`bear_bench::chaos::SMOKE_SEED`], chosen to draw every fault
+//!   class on the smoke grid).
+//! - `--work-dir DIR` — scratch directory (default: a temp dir; wiped).
+//! - `--bench-json PATH` — additionally write the machine-readable
+//!   recovery-overhead record (`scripts/verify.sh` points this at
+//!   `BENCH_chaos.json` in the repo root to grow the perf trajectory).
+//!
+//! Exit status is non-zero when any recovery property is violated, so
+//! the binary doubles as a CI gate.
+
+use bear_bench::chaos::{drive, DriveConfig, SMOKE_SEED};
+use std::io::Write as _;
+use std::path::PathBuf;
+
+fn main() {
+    let mut seed = SMOKE_SEED;
+    let mut work_dir: Option<PathBuf> = None;
+    let mut bench_json: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--seed" => {
+                seed = value("--seed")
+                    .parse()
+                    .expect("--seed must be an unsigned integer")
+            }
+            "--work-dir" => work_dir = Some(PathBuf::from(value("--work-dir"))),
+            "--bench-json" => bench_json = Some(PathBuf::from(value("--bench-json"))),
+            other => panic!(
+                "unrecognized argument `{other}` \
+                 (supported: --seed N, --work-dir DIR, --bench-json PATH)"
+            ),
+        }
+    }
+
+    // The campaign binary is built alongside this one.
+    let campaign_bin = std::env::current_exe()
+        .expect("current_exe")
+        .with_file_name("all_experiments");
+    assert!(
+        campaign_bin.exists(),
+        "campaign binary not found at {} (build the all_experiments bin first)",
+        campaign_bin.display()
+    );
+    let work_dir = work_dir
+        .unwrap_or_else(|| std::env::temp_dir().join(format!("bear_chaos_{}", std::process::id())));
+
+    let cfg = DriveConfig::smoke(seed, campaign_bin, work_dir.clone());
+    println!(
+        "=== chaos: seeded recovery proof (seed {seed}, grid {}) ===",
+        cfg.only
+    );
+    let outcome = match drive(&cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("CHAOS FAIL: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "recovered: {} identical rows, {} quarantined, {} healed, \
+         {} absorbed, {} restarts",
+        outcome.rows_identical,
+        outcome.rows_quarantined,
+        outcome.healed,
+        outcome.absorbed,
+        outcome.restarts
+    );
+    println!("covered fault kinds: {}", outcome.covered.join(", "));
+    println!(
+        "wall clock: fault-free {:.2}s, chaos {:.2}s ({:.2}x recovery overhead)",
+        outcome.fault_free_secs,
+        outcome.chaos_secs,
+        outcome.chaos_secs / outcome.fault_free_secs.max(1e-9)
+    );
+    if let Some(path) = bench_json {
+        let doc = outcome.bench_json(seed, &cfg.only);
+        let mut f = std::fs::File::create(&path)
+            .unwrap_or_else(|e| panic!("creating {}: {e}", path.display()));
+        f.write_all(doc.to_string_pretty().as_bytes())
+            .and_then(|()| f.write_all(b"\n"))
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        eprintln!("[bench record: {}]", path.display());
+    }
+    std::fs::remove_dir_all(&work_dir).ok();
+    println!("chaos recovery proof PASSED");
+}

@@ -13,9 +13,14 @@
 //!
 //! The write protocol is crash-safe: stats are written to a temp file,
 //! fsync'd, renamed into place, and only then marked committed by an
-//! fsync'd `.done` file. An interrupt at any point leaves either a
-//! complete, marked cell or an ignorable partial — never a half-written
-//! cell that a resume would trust.
+//! fsync'd `.done` file **containing the digest of the exact bytes of
+//! the data file**. An interrupt at any point leaves either a complete,
+//! marked cell or an ignorable partial — never a half-written cell that
+//! a resume would trust. The digest closes the last gap: even a
+//! committed-*looking* cell whose data file was torn after the fact (a
+//! crashed filesystem, a partial disk flush, a chaos-injected
+//! truncation) hashes wrong and is rejected, not merely relied on to
+//! fail JSON parsing.
 //!
 //! `<hash>` is an FNV-1a digest of the **full Debug rendering** of the
 //! cell's configuration and workload, so any parameter change — cycle
@@ -36,6 +41,7 @@
 use crate::report::{stats_from_json, stats_to_json, Json};
 use bear_core::config::SystemConfig;
 use bear_core::metrics::RunStats;
+use bear_sim::faultinject::ChaosKind;
 use bear_workloads::Workload;
 use std::fs::{self, File};
 use std::io::Write as _;
@@ -94,16 +100,19 @@ impl CellStore {
     }
 
     /// Loads a committed cell, or `None` when the cell is absent,
-    /// uncommitted (no `.done` marker), unparseable, or was produced by a
-    /// different configuration (hash mismatch). `None` simply means
-    /// "re-run the cell" — a corrupt checkpoint can cost work, never
-    /// correctness.
+    /// uncommitted (no `.done` marker), torn (the data file's bytes no
+    /// longer hash to the digest the marker recorded at commit time),
+    /// unparseable, or was produced by a different configuration (hash
+    /// mismatch). `None` simply means "re-run the cell" — a corrupt
+    /// checkpoint can cost work, never correctness.
     pub fn load(&self, cfg: &SystemConfig, workload: &Workload) -> Option<RunStats> {
         let (json_path, done_path) = self.paths(cfg, workload);
-        if !done_path.exists() {
-            return None;
+        let committed_digest = fs::read_to_string(&done_path).ok()?;
+        let body = fs::read_to_string(&json_path).ok()?;
+        if committed_digest.trim() != format!("{:016x}", fnv1a64(body.as_bytes())) {
+            return None; // torn or truncated after commit
         }
-        let doc = Json::parse(&fs::read_to_string(&json_path).ok()?).ok()?;
+        let doc = Json::parse(&body).ok()?;
         if doc.get("cell_hash")?.as_str()? != format!("{:016x}", cell_hash(cfg, workload)) {
             return None;
         }
@@ -127,6 +136,23 @@ impl CellStore {
         workload: &Workload,
         stats: &RunStats,
     ) -> std::io::Result<()> {
+        self.store_with_fault(cfg, workload, stats, None)
+    }
+
+    /// [`CellStore::store`] with an optional chaos fault applied at the
+    /// weakest points of the protocol: [`ChaosKind::CheckpointIo`] fails
+    /// at the data file's fsync (nothing is committed — the classic
+    /// full-disk / dying-device failure), and
+    /// [`ChaosKind::TornCheckpoint`] truncates the data file *after* the
+    /// commit marker landed (the committed-looking artifact a crashed
+    /// filesystem can leave). Any other kind is a plain store.
+    pub(crate) fn store_with_fault(
+        &self,
+        cfg: &SystemConfig,
+        workload: &Workload,
+        stats: &RunStats,
+        fault: Option<ChaosKind>,
+    ) -> std::io::Result<()> {
         fs::create_dir_all(&self.dir)?;
         let (json_path, done_path) = self.paths(cfg, workload);
         let doc = Json::Obj(vec![
@@ -137,22 +163,45 @@ impl CellStore {
             ("workload".into(), Json::Str(workload.name.clone())),
             ("stats".into(), stats_to_json(stats)),
         ]);
+        let mut body = doc.to_string_pretty();
+        body.push('\n');
         let tmp = json_path.with_extension("json.tmp");
         {
             let mut f = File::create(&tmp)?;
-            f.write_all(doc.to_string_pretty().as_bytes())?;
-            f.write_all(b"\n")?;
+            f.write_all(body.as_bytes())?;
+            if fault == Some(ChaosKind::CheckpointIo) {
+                // The injected fsync failure: the data never provably
+                // reached the disk, so the cell stays uncommitted.
+                fs::remove_file(&tmp).ok();
+                return Err(std::io::Error::other(
+                    "chaos: injected fsync failure (checkpoint-io)",
+                ));
+            }
             f.sync_all()?;
         }
         fs::rename(&tmp, &json_path)?;
-        let marker = File::create(&done_path)?;
-        marker.sync_all()?;
+        {
+            let mut marker = File::create(&done_path)?;
+            marker.write_all(format!("{:016x}\n", fnv1a64(body.as_bytes())).as_bytes())?;
+            marker.sync_all()?;
+        }
         // Make the rename and the marker's directory entry durable too
         // (best-effort: not all filesystems support fsync on directories).
         if let Ok(d) = File::open(&self.dir) {
             d.sync_all().ok();
         }
+        if fault == Some(ChaosKind::TornCheckpoint) {
+            crate::chaos::tear_file(&json_path);
+        }
         Ok(())
+    }
+
+    /// Path of this cell's committed data file, or `None` when the cell
+    /// has no `.done` marker on disk (quarantine manifests record this so
+    /// a failure's repro pointer says whether cached work exists).
+    pub fn committed_path(&self, cfg: &SystemConfig, workload: &Workload) -> Option<PathBuf> {
+        let (json_path, done_path) = self.paths(cfg, workload);
+        done_path.exists().then_some(json_path)
     }
 }
 
@@ -176,17 +225,54 @@ pub(crate) fn load_active(cfg: &SystemConfig, workload: &Workload) -> Option<Run
 }
 
 /// Persists a cell to the active store, if any. Write errors degrade to
-/// a warning — a full disk must not fail a finished simulation.
+/// a warning — a full disk must not fail a finished simulation. When a
+/// [`crate::chaos`] plan is armed, the plan's checkpoint fault for this
+/// cell (torn file, failed fsync) is applied here and recorded as an
+/// *absorbed* supervision event: the in-memory result survives either
+/// way, so the fault costs a re-run after a crash, never a result.
 pub(crate) fn store_active(cfg: &SystemConfig, workload: &Workload, stats: &RunStats) {
     if let Some(store) = ACTIVE.lock().expect("checkpoint store poisoned").as_ref() {
-        if let Err(e) = store.store(cfg, workload, stats) {
-            eprintln!(
-                "[warning: failed to checkpoint {} × {}: {e}]",
-                cfg.design.label(),
-                workload.name
-            );
+        let fault = crate::chaos::checkpoint_fault_for(cfg, workload);
+        match store.store_with_fault(cfg, workload, stats, fault) {
+            Ok(()) => {
+                if let Some(kind) = fault {
+                    crate::chaos::record_absorbed_checkpoint(
+                        cfg,
+                        workload,
+                        kind,
+                        "data file truncated after commit; resume re-runs the cell",
+                    );
+                }
+            }
+            Err(e) => {
+                if let Some(kind) = fault {
+                    crate::chaos::record_absorbed_checkpoint(
+                        cfg,
+                        workload,
+                        kind,
+                        "cell left unpersisted; resume re-runs the cell",
+                    );
+                }
+                eprintln!(
+                    "[warning: failed to checkpoint {} × {}: {e}]",
+                    cfg.design.label(),
+                    workload.name
+                );
+            }
         }
     }
+}
+
+/// Path of the cell's committed data file in the active store, as a
+/// string for the failure manifest; `None` without an active store or a
+/// committed cell.
+pub(crate) fn active_committed_path(cfg: &SystemConfig, workload: &Workload) -> Option<String> {
+    ACTIVE
+        .lock()
+        .expect("checkpoint store poisoned")
+        .as_ref()?
+        .committed_path(cfg, workload)
+        .map(|p| p.display().to_string())
 }
 
 #[cfg(test)]
@@ -266,6 +352,86 @@ mod tests {
             "any config change must miss the checkpoint"
         );
         assert_ne!(cell_hash(&cfg, &workload), cell_hash(&changed, &workload));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_truncation_of_a_committed_cell_is_rejected() {
+        // A kill -9 (or chaos tear) can leave a committed-looking cell
+        // whose data file holds any prefix of the real bytes. No prefix —
+        // even one that still parses as JSON — may survive load: the
+        // digest in the `.done` marker covers the exact committed bytes.
+        let dir = tmp_dir("torn");
+        let (cfg, workload, stats) = sample();
+        let store = CellStore::new(&dir, "figXX");
+        store.store(&cfg, &workload, &stats).expect("store cell");
+        let (json_path, _) = store.paths(&cfg, &workload);
+        let full = fs::read(&json_path).expect("read committed bytes");
+        for keep in (0..full.len()).step_by(7).chain([full.len() - 1]) {
+            fs::write(&json_path, &full[..keep]).expect("tear");
+            assert!(
+                store.load(&cfg, &workload).is_none(),
+                "torn cell ({keep}/{} bytes) must be rejected",
+                full.len()
+            );
+        }
+        // And the pristine bytes still load, so the digest is not
+        // rejecting everything.
+        fs::write(&json_path, &full).expect("restore");
+        assert_eq!(store.load(&cfg, &workload), Some(stats));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bitflip_in_a_committed_cell_is_rejected() {
+        let dir = tmp_dir("bitflip");
+        let (cfg, workload, stats) = sample();
+        let store = CellStore::new(&dir, "figXX");
+        store.store(&cfg, &workload, &stats).expect("store cell");
+        let (json_path, _) = store.paths(&cfg, &workload);
+        let mut bytes = fs::read(&json_path).expect("read committed bytes");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        fs::write(&json_path, &bytes).expect("corrupt");
+        assert!(
+            store.load(&cfg, &workload).is_none(),
+            "a flipped byte must fail the digest check"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_store_faults_behave_like_their_real_counterparts() {
+        use bear_sim::faultinject::ChaosKind;
+        let dir = tmp_dir("chaosfault");
+        let (cfg, workload, stats) = sample();
+        let store = CellStore::new(&dir, "figXX");
+
+        // checkpoint-io: the store fails, nothing is committed.
+        let err = store
+            .store_with_fault(&cfg, &workload, &stats, Some(ChaosKind::CheckpointIo))
+            .expect_err("injected fsync failure must error");
+        assert!(err.to_string().contains("checkpoint-io"));
+        assert!(store.load(&cfg, &workload).is_none());
+        assert!(store.committed_path(&cfg, &workload).is_none());
+
+        // torn-checkpoint: committed-looking but truncated — rejected by
+        // the digest, so resume re-runs the cell.
+        store
+            .store_with_fault(&cfg, &workload, &stats, Some(ChaosKind::TornCheckpoint))
+            .expect("torn store commits before tearing");
+        assert!(
+            store.committed_path(&cfg, &workload).is_some(),
+            "the marker exists — that is what makes the tear dangerous"
+        );
+        assert!(
+            store.load(&cfg, &workload).is_none(),
+            "the torn bytes must fail the digest check"
+        );
+
+        // A clean re-store heals the cell.
+        store.store(&cfg, &workload, &stats).expect("re-store");
+        assert_eq!(store.load(&cfg, &workload), Some(stats));
         fs::remove_dir_all(&dir).ok();
     }
 

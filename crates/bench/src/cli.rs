@@ -185,11 +185,14 @@ pub fn run_single(experiment: &str, f: fn(&RunPlan, &mut Report)) {
 }
 
 /// Folds any cell failures recorded during the experiment into `report`,
-/// then writes it to `out` (if any), logging the path to stderr.
+/// tags the placeholder rows those failures degraded (graceful
+/// degradation stays visible row-by-row), then writes the report to
+/// `out` (if any), logging the path to stderr.
 pub fn write_report(report: &mut Report, out: Option<&std::path::Path>, plan: &RunPlan) {
     for failure in runner::take_failures() {
         report.add_failure(failure);
     }
+    report.mark_degraded_rows();
     if !report.failures.is_empty() {
         eprintln!(
             "[{}: {} cell(s) FAILED — see the report's \"failures\" section]",

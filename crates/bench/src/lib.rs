@@ -27,12 +27,14 @@ use bear_cpu::metrics::{normalized_weighted_speedup, rate_mode_speedup};
 use bear_sim::stats::geometric_mean;
 use bear_workloads::{mix_workloads, named_mixes, rate_workloads, Workload};
 
+pub mod chaos;
 pub mod checkpoint;
 pub mod cli;
 pub mod experiments;
 pub mod microbench;
 pub mod report;
 pub mod runner;
+pub mod supervisor;
 pub mod telemetry;
 
 use bear_sim::error::RunOutcome;
@@ -184,9 +186,19 @@ pub fn speedup(workload: &Workload, sys: &RunStats, base: &RunStats) -> f64 {
     }
 }
 
-/// Geometric mean helper re-exported for the binaries.
+/// Geometric mean over the *surviving* values: non-finite and
+/// non-positive entries — the speedups that quarantined placeholder
+/// cells produce (0, `inf` against a zeroed baseline, `NaN`) — are
+/// excluded, so one dead cell degrades its aggregate instead of
+/// poisoning the whole experiment. With every cell healthy this is the
+/// plain geometric mean, bit for bit.
 pub fn gmean(values: &[f64]) -> f64 {
-    geometric_mean(values)
+    let survivors: Vec<f64> = values
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .collect();
+    geometric_mean(&survivors)
 }
 
 /// Prints a row of fixed-width cells.

@@ -24,7 +24,7 @@
 //!   ],
 //!   "failures": [
 //!     {"config": "BEAR", "workload": "rate:mcf", "kind": "panic",
-//!      "error": "worker thread panicked: ..."},
+//!      "error": "worker thread panicked: ...", "attempts": 3},
 //!     ...
 //!   ],
 //!   "scalars": {"gmean_all": 1.010, ...}
@@ -410,23 +410,33 @@ pub struct ReportRow {
     pub workload: String,
     /// Speedup versus the experiment's baseline, when one exists.
     pub speedup: Option<f64>,
+    /// Degradation marker: `None` for a healthy cell (the field is then
+    /// **omitted** from the serialized row, keeping healthy reports
+    /// byte-identical to pre-supervision ones), `Some("failed:<kind>")`
+    /// for a quarantined placeholder (see
+    /// [`Report::mark_degraded_rows`]).
+    pub status: Option<String>,
     /// Full statistics of the run.
     pub stats: RunStats,
 }
 
-/// A cell that failed to produce statistics (panicked, stalled, or was
-/// misconfigured). Failed cells degrade to zeroed placeholder rows in the
-/// tables; the failure itself is recorded here so the report says *why*.
+/// A cell that failed to produce statistics (panicked, stalled, timed
+/// out, or was misconfigured) even after the supervisor's retries.
+/// Failed cells degrade to zeroed placeholder rows in the tables; the
+/// failure itself is recorded here so the report says *why*.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FailureRow {
     /// Configuration (design) label of the failed cell.
     pub config: String,
     /// Workload name of the failed cell.
     pub workload: String,
-    /// Error class (`"panic"`, `"stalled"`, `"config"`, …).
+    /// Error class (`"panic"`, `"stalled"`, `"timeout"`, `"config"`, …).
     pub kind: String,
     /// Full error message.
     pub error: String,
+    /// Attempts the supervisor spent before quarantining the cell
+    /// (1 = permanent failure, no retry was warranted).
+    pub attempts: usize,
 }
 
 /// A structured record of one experiment: rows plus headline scalars.
@@ -472,6 +482,7 @@ impl Report {
             config: config.to_string(),
             workload: stats.workload.clone(),
             speedup,
+            status: None,
             stats: stats.clone(),
         });
     }
@@ -492,6 +503,40 @@ impl Report {
     /// Records a failed cell.
     pub fn add_failure(&mut self, row: FailureRow) {
         self.failures.push(row);
+    }
+
+    /// Tags every placeholder row left by a quarantined cell with a
+    /// `status` of `"failed:<kind>"`, so graceful degradation is visible
+    /// *in the row* and consumers never mistake a zeroed placeholder for
+    /// a real result. A failure matches a placeholder by workload plus
+    /// config label — the supervisor records the cell's *design* label,
+    /// while experiments name rows freely ("Alloy" vs "BAB" for the same
+    /// design), so the row's `stats.design` (which placeholders inherit
+    /// from their config) is accepted alongside the row label. A no-op
+    /// when nothing failed — healthy reports keep their exact
+    /// pre-supervision bytes.
+    pub fn mark_degraded_rows(&mut self) {
+        if self.failures.is_empty() {
+            return;
+        }
+        for row in &mut self.rows {
+            let placeholder =
+                row.stats.cycles == 0 && row.stats.ipc_per_core.iter().all(|&v| v == 0.0);
+            if !placeholder {
+                continue;
+            }
+            let kind = self
+                .failures
+                .iter()
+                .find(|f| {
+                    f.workload == row.workload
+                        && (f.config == row.config || f.config == row.stats.design)
+                })
+                .map(|f| f.kind.clone());
+            if let Some(kind) = kind {
+                row.status = Some(format!("failed:{kind}"));
+            }
+        }
     }
 
     /// The report as a JSON document.
@@ -523,6 +568,7 @@ impl Report {
                                 ("workload".into(), Json::Str(f.workload.clone())),
                                 ("kind".into(), Json::Str(f.kind.clone())),
                                 ("error".into(), Json::Str(f.error.clone())),
+                                ("attempts".into(), Json::uint(f.attempts as u64)),
                             ])
                         })
                         .collect(),
@@ -542,12 +588,22 @@ impl Report {
 
     /// Writes `DIR/<experiment>.json` (creating `DIR` if needed) and
     /// returns the path.
+    ///
+    /// The write is atomic (temp file, fsync, rename): however the
+    /// campaign dies — panic, OOM-kill, a chaos kill point — a report
+    /// file is either the previous complete document or the new complete
+    /// document, never a torn half-write.
     pub fn write(&self, dir: &Path, plan: &RunPlan) -> std::io::Result<PathBuf> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.experiment));
-        let mut f = std::fs::File::create(&path)?;
-        f.write_all(self.to_json(plan).to_string_pretty().as_bytes())?;
-        f.write_all(b"\n")?;
+        let tmp = dir.join(format!("{}.json.tmp", self.experiment));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(self.to_json(plan).to_string_pretty().as_bytes())?;
+            f.write_all(b"\n")?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)?;
         Ok(path)
     }
 }
@@ -685,13 +741,19 @@ pub fn stats_from_json(workload: &str, v: &Json) -> Result<RunStats, String> {
 }
 
 fn row_to_json(row: &ReportRow) -> Json {
-    Json::Obj(vec![
+    let mut fields = vec![
         ("config".into(), Json::Str(row.config.clone())),
         ("workload".into(), Json::Str(row.workload.clone())),
         ("speedup".into(), row.speedup.map_or(Json::Null, Json::Num)),
-        ("bloat_factor".into(), Json::Num(row.stats.bloat.factor())),
-        ("stats".into(), stats_to_json(&row.stats)),
-    ])
+    ];
+    // Only degraded rows carry a status key: healthy reports stay
+    // byte-identical to ones written before the supervision layer.
+    if let Some(status) = &row.status {
+        fields.push(("status".into(), Json::Str(status.clone())));
+    }
+    fields.push(("bloat_factor".into(), Json::Num(row.stats.bloat.factor())));
+    fields.push(("stats".into(), stats_to_json(&row.stats)));
+    Json::Obj(fields)
 }
 
 #[cfg(test)]
@@ -846,10 +908,82 @@ mod tests {
             workload: "rate:mcf".into(),
             kind: "panic".into(),
             error: "worker thread panicked: boom".into(),
+            attempts: 3,
         });
         let json = r.to_json(&plan).to_string();
         assert!(json.contains(r#""failures":[{"config":"BEAR""#));
         assert!(json.contains(r#""kind":"panic""#));
+        assert!(json.contains(r#""attempts":3"#));
+    }
+
+    #[test]
+    fn failure_rows_serialize_key_stably() {
+        // The failures.json / report schema is an interface: key order
+        // and shape must not drift with worker scheduling or refactors.
+        let plan = RunPlan {
+            warmup: 1,
+            measure: 1,
+            scale_shift: 9,
+        };
+        let mut r = Report::new("figXX");
+        r.add_failure(FailureRow {
+            config: "BAB".into(),
+            workload: "mix:a".into(),
+            kind: "timeout".into(),
+            error: "cell BAB/mix:a exceeded its 100ms wall-clock deadline".into(),
+            attempts: 1,
+        });
+        let json = r.to_json(&plan).to_string();
+        assert!(json.contains(
+            r#"{"config":"BAB","workload":"mix:a","kind":"timeout","error":"cell BAB/mix:a exceeded its 100ms wall-clock deadline","attempts":1}"#
+        ));
+    }
+
+    #[test]
+    fn degraded_rows_are_marked_and_healthy_rows_are_untouched() {
+        let plan = RunPlan {
+            warmup: 1,
+            measure: 1,
+            scale_shift: 9,
+        };
+        let healthy = RunStats {
+            workload: "rate:mcf".into(),
+            design: "Alloy".into(),
+            cycles: 100,
+            ipc_per_core: vec![0.5],
+            ..Default::default()
+        };
+        let placeholder = RunStats {
+            workload: "rate:lbm".into(),
+            design: "Alloy".into(),
+            cycles: 0,
+            ipc_per_core: vec![0.0],
+            ..Default::default()
+        };
+        let mut r = Report::new("figXX");
+        r.add_run("Alloy", &healthy, None);
+        r.add_run("Alloy", &placeholder, Some(0.0));
+
+        // Without failures, marking is a strict no-op (byte identity).
+        let before = r.to_json(&plan).to_string();
+        r.mark_degraded_rows();
+        assert_eq!(r.to_json(&plan).to_string(), before);
+        assert!(!before.contains("status"), "healthy rows carry no status");
+
+        r.add_failure(FailureRow {
+            config: "Alloy".into(),
+            workload: "rate:lbm".into(),
+            kind: "panic".into(),
+            error: "boom".into(),
+            attempts: 3,
+        });
+        r.mark_degraded_rows();
+        let json = r.to_json(&plan).to_string();
+        assert!(json.contains(r#""workload":"rate:lbm","speedup":0,"status":"failed:panic""#));
+        assert!(
+            !json.contains(r#""workload":"rate:mcf","speedup":null,"status""#),
+            "the healthy row must stay unmarked"
+        );
     }
 
     #[test]

@@ -14,8 +14,11 @@
 //! A cell that fails — panics, stalls against the watchdog, or rejects its
 //! configuration — must not take the rest of the grid down with it.
 //! [`try_parallel_map`] catches panics per cell and converts them into
-//! typed [`SimError`]s; [`run_suite`] and [`run_matrix`] degrade failed
-//! cells to zeroed placeholder stats while recording a
+//! typed [`SimError`]s. One level up, [`run_suite`] and [`run_matrix`]
+//! run every cell through the [`supervisor`](crate::supervisor) — retry
+//! with backoff for transient failures, wall-clock deadlines, quarantine
+//! on exhaustion — and degrade cells that stay failed to zeroed
+//! placeholder stats while recording a
 //! [`FailureRow`](crate::report::FailureRow) (drained by
 //! [`take_failures`] into the experiment's report), so every other cell
 //! still completes and the merged report says exactly what broke.
@@ -25,7 +28,7 @@
 //! `BEAR_WORKERS=1` forces the serial path.
 
 use crate::report::FailureRow;
-use crate::try_run_one;
+use crate::supervisor;
 use bear_core::config::SystemConfig;
 use bear_core::metrics::RunStats;
 use bear_sim::error::{RunOutcome, SimError};
@@ -166,7 +169,10 @@ fn progress_begin(n: usize) {
 /// `cell i/N`, which cell finished, elapsed wall-clock, and an ETA
 /// extrapolated from the mean cell time so far (checkpoint-cached cells
 /// complete instantly and pull the estimate down — by design, since a
-/// resumed campaign really is that much closer to done).
+/// resumed campaign really is that much closer to done). Once the
+/// supervisor has recovery events to report (retries, healed cells,
+/// quarantines, absorbed faults), the running totals ride along so an
+/// observer sees degradation as it happens, not at campaign end.
 pub(crate) fn heartbeat(cfg: &SystemConfig, workload: &Workload) {
     let mut guard = PROGRESS.lock().expect("progress state poisoned");
     let Some(p) = guard.as_mut() else {
@@ -176,8 +182,9 @@ pub(crate) fn heartbeat(cfg: &SystemConfig, workload: &Workload) {
     let elapsed = p.start.elapsed().as_secs_f64();
     let remaining = p.total.saturating_sub(p.done);
     let eta = elapsed / p.done as f64 * remaining as f64;
+    let recovery = supervisor::recovery_note().map_or(String::new(), |n| format!("; {n}"));
     eprintln!(
-        "[cell {}/{} ({} × {}) elapsed {elapsed:.1}s, ETA {eta:.1}s]",
+        "[cell {}/{} ({} × {}) elapsed {elapsed:.1}s, ETA {eta:.1}s{recovery}]",
         p.done,
         p.total.max(p.done),
         cfg.design.label(),
@@ -189,29 +196,36 @@ pub(crate) fn heartbeat(cfg: &SystemConfig, workload: &Workload) {
 /// [`take_failures`] call.
 static FAILURES: Mutex<Vec<FailureRow>> = Mutex::new(Vec::new());
 
-fn record_failure(cfg: &SystemConfig, workload: &Workload, err: &SimError) {
-    eprintln!(
-        "[cell FAILED: {} × {}: {err}]",
-        cfg.design.label(),
-        workload.name
-    );
-    FAILURES
-        .lock()
-        .expect("failure log poisoned")
-        .push(FailureRow {
-            config: cfg.design.label().to_string(),
-            workload: workload.name.clone(),
-            kind: err.kind().to_string(),
-            error: err.to_string(),
-        });
+/// Records a quarantined cell's failure row (called by the
+/// [`supervisor`](crate::supervisor) once the cell's retries are
+/// exhausted — the supervisor owns the stderr announcement and the
+/// attempt count).
+pub(crate) fn record_failure_row(row: FailureRow) {
+    FAILURES.lock().expect("failure log poisoned").push(row);
+}
+
+/// Sorts failure rows by the full (config, workload, kind, attempts,
+/// error) tuple — the completion-order-independent key that keeps the
+/// report's failures section (and `failures.json`) byte-stable across
+/// `BEAR_WORKERS` values.
+fn sort_failures(v: &mut [FailureRow]) {
+    v.sort_by(|a, b| {
+        (&a.config, &a.workload, &a.kind, a.attempts, &a.error).cmp(&(
+            &b.config,
+            &b.workload,
+            &b.kind,
+            b.attempts,
+            &b.error,
+        ))
+    });
 }
 
 /// Drains the failures recorded since the last call, sorted by
-/// (config, workload) so the report section is deterministic regardless
-/// of worker completion order.
+/// [`sort_failures`]' full tuple so the report section is deterministic
+/// regardless of worker count or completion order.
 pub fn take_failures() -> Vec<FailureRow> {
     let mut v = std::mem::take(&mut *FAILURES.lock().expect("failure log poisoned"));
-    v.sort_by(|a, b| (&a.config, &a.workload).cmp(&(&b.config, &b.workload)));
+    sort_failures(&mut v);
     v
 }
 
@@ -230,23 +244,22 @@ fn placeholder_stats(cfg: &SystemConfig, workload: &Workload) -> RunStats {
     }
 }
 
+/// Degrades a (supervised, already-recorded) failure to placeholder
+/// stats; the supervisor recorded the failure row and announced it.
 fn settle(cfg: &SystemConfig, workload: &Workload, outcome: RunOutcome<RunStats>) -> RunStats {
     match outcome {
         Ok(stats) => stats,
-        Err(e) => {
-            let e = e.in_context(format!("{}/{}", cfg.design.label(), workload.name));
-            record_failure(cfg, workload, &e);
-            placeholder_stats(cfg, workload)
-        }
+        Err(_) => placeholder_stats(cfg, workload),
     }
 }
 
 /// Runs one configuration over a suite of workloads in parallel,
-/// returning per-workload stats in suite order. Failed cells degrade to
-/// placeholder stats and a recorded failure (see [`take_failures`]).
+/// returning per-workload stats in suite order. Every cell runs under
+/// the [`supervisor`](crate::supervisor); cells that stay failed degrade
+/// to placeholder stats and a recorded failure (see [`take_failures`]).
 pub fn run_suite(cfg: &SystemConfig, workloads: &[Workload]) -> Vec<RunStats> {
     progress_begin(workloads.len());
-    try_parallel_map(workloads, |w| try_run_one(cfg, w))
+    try_parallel_map(workloads, |w| supervisor::run_cell(cfg, w))
         .into_iter()
         .zip(workloads)
         .map(|(outcome, w)| settle(cfg, w, outcome))
@@ -255,14 +268,17 @@ pub fn run_suite(cfg: &SystemConfig, workloads: &[Workload]) -> Vec<RunStats> {
 
 /// Runs the full (config × workload) grid in parallel — all cells are
 /// scheduled at once, so a slow workload in one config does not serialize
-/// the others. Returns `result[config_index][workload_index]`. Failed
-/// cells degrade to placeholder stats and a recorded failure.
+/// the others. Returns `result[config_index][workload_index]`. Every
+/// cell runs under the [`supervisor`](crate::supervisor); cells that
+/// stay failed degrade to placeholder stats and a recorded failure.
 pub fn run_matrix(cfgs: &[SystemConfig], workloads: &[Workload]) -> Vec<Vec<RunStats>> {
     let cells: Vec<(usize, usize)> = (0..cfgs.len())
         .flat_map(|c| (0..workloads.len()).map(move |w| (c, w)))
         .collect();
     progress_begin(cells.len());
-    let flat = try_parallel_map(&cells, |&(c, w)| try_run_one(&cfgs[c], &workloads[w]));
+    let flat = try_parallel_map(&cells, |&(c, w)| {
+        supervisor::run_cell(&cfgs[c], &workloads[w])
+    });
     let mut out: Vec<Vec<RunStats>> = Vec::with_capacity(cfgs.len());
     let mut it = flat.into_iter().zip(&cells);
     for _ in 0..cfgs.len() {
@@ -353,6 +369,31 @@ mod tests {
             take_failures().iter().all(|f| f.workload != suite[0].name),
             "take_failures drains"
         );
+    }
+
+    #[test]
+    fn failure_ordering_is_worker_count_independent() {
+        let mk = |c: &str, w: &str, k: &str, a: usize| FailureRow {
+            config: c.into(),
+            workload: w.into(),
+            kind: k.into(),
+            error: format!("{c} × {w} broke"),
+            attempts: a,
+        };
+        // Two completion orders of the same failures (as different
+        // BEAR_WORKERS schedules would record them) sort identically.
+        let mut by_schedule_a = vec![
+            mk("BEAR", "rate:mcf", "panic", 3),
+            mk("Alloy", "rate:mcf", "config", 1),
+            mk("Alloy", "mix:a", "timeout", 3),
+        ];
+        let mut by_schedule_b: Vec<FailureRow> = by_schedule_a.iter().rev().cloned().collect();
+        sort_failures(&mut by_schedule_a);
+        sort_failures(&mut by_schedule_b);
+        assert_eq!(by_schedule_a, by_schedule_b);
+        assert_eq!(by_schedule_a[0].workload, "mix:a");
+        assert_eq!(by_schedule_a[1].kind, "config");
+        assert_eq!(by_schedule_a[2].config, "BEAR");
     }
 
     #[test]

@@ -46,6 +46,48 @@ fn in_process_resume_reloads_identical_stats() {
     fs::remove_dir_all(&dir).ok();
 }
 
+#[test]
+fn cell_torn_by_a_kill_mid_store_is_rerun_not_trusted() {
+    let dir = tmp("torn");
+    let plan = RunPlan {
+        warmup: 2_000,
+        measure: 3_000,
+        scale_shift: 12,
+    };
+    let cfg = config_for(DesignKind::Alloy, BearFeatures::full(), &plan);
+    let workload = bear_workloads::rate_workloads().remove(0);
+    checkpoint::set_active(Some(CellStore::new(&dir, "torn")));
+    let first = try_run_one(&cfg, &workload).expect("first run");
+
+    // Truncate the committed data file while its `.done` marker stands —
+    // the artifact a `kill -9` (or a torn page-cache flush) can leave
+    // between a cell's data write and its durability.
+    let store = CellStore::new(&dir, "torn");
+    let path = store
+        .committed_path(&cfg, &workload)
+        .expect("cell must be committed");
+    let bytes = fs::read(&path).expect("committed cell bytes");
+    fs::write(&path, &bytes[..bytes.len() / 2]).expect("tearing cell");
+    assert!(
+        store.load(&cfg, &workload).is_none(),
+        "a torn cell must fail its digest check, not parse"
+    );
+
+    // The resumed run must re-simulate (not trust the torn bytes), land
+    // on identical stats, and leave the cell loadable again.
+    let resumed = try_run_one(&cfg, &workload).expect("resumed run");
+    checkpoint::set_active(None);
+    assert_eq!(
+        first, resumed,
+        "re-running a torn cell must reproduce the original stats"
+    );
+    assert!(
+        store.load(&cfg, &workload).is_some(),
+        "the re-run must recommit a digest-valid cell"
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
 /// The campaign under test: `all_experiments --only fig07 --out DIR`,
 /// scaled down but long enough (~seconds) that a kill lands mid-run.
 fn campaign_cmd(out: &Path) -> Command {

@@ -65,6 +65,16 @@ pub enum SimError {
         /// The underlying OS error message.
         message: String,
     },
+    /// The harness-level supervisor declared the cell dead: it exceeded
+    /// its wall-clock deadline (the escalation of the in-sim watchdog to
+    /// the campaign layer — the sim may be live but too slow, wedged in a
+    /// syscall, or stalled in a way the in-sim watchdog cannot see).
+    Timeout {
+        /// What was running when the deadline expired (e.g. `"alloy/mcf"`).
+        context: String,
+        /// The wall-clock budget that was exceeded, in milliseconds.
+        limit_ms: u64,
+    },
     /// The cycle-level model and the untimed shadow oracle disagreed on a
     /// functional outcome (hit/miss classification, presence state, bypass
     /// legality, or cumulative byte accounting).
@@ -113,6 +123,14 @@ impl SimError {
         }
     }
 
+    /// Builds a [`SimError::Timeout`].
+    pub fn timeout(context: impl Into<String>, limit_ms: u64) -> Self {
+        SimError::Timeout {
+            context: context.into(),
+            limit_ms,
+        }
+    }
+
     /// Builds a [`SimError::Divergence`].
     pub fn divergence(
         cycle: u64,
@@ -145,12 +163,17 @@ impl SimError {
                 context: context.into(),
                 message,
             },
+            SimError::Timeout { limit_ms, .. } => SimError::Timeout {
+                context: context.into(),
+                limit_ms,
+            },
             other => other,
         }
     }
 
     /// Short machine-readable tag for report rows: one of `"config"`,
-    /// `"panic"`, `"stalled"`, `"invariant"`, `"io"`, `"divergence"`.
+    /// `"panic"`, `"stalled"`, `"invariant"`, `"io"`, `"timeout"`,
+    /// `"divergence"`.
     pub fn kind(&self) -> &'static str {
         match self {
             SimError::Config { .. } => "config",
@@ -158,7 +181,29 @@ impl SimError {
             SimError::Stalled { .. } => "stalled",
             SimError::Invariant { .. } => "invariant",
             SimError::Io { .. } => "io",
+            SimError::Timeout { .. } => "timeout",
             SimError::Divergence { .. } => "divergence",
+        }
+    }
+
+    /// Whether a retry could plausibly succeed.
+    ///
+    /// The campaign supervisor only retries *transient* failures — ones
+    /// caused by the environment (a poisoned worker, a wedged or slow
+    /// host, a full disk) rather than by the cell itself. Deterministic
+    /// failures (a rejected configuration, an invariant violation, an
+    /// oracle divergence) would fail identically on every attempt, so
+    /// retrying them wastes a full cell simulation per attempt and, worse,
+    /// buries the real diagnostic under retry noise.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            SimError::Panicked { .. }
+            | SimError::Stalled { .. }
+            | SimError::Io { .. }
+            | SimError::Timeout { .. } => true,
+            SimError::Config { .. } | SimError::Invariant { .. } | SimError::Divergence { .. } => {
+                false
+            }
         }
     }
 }
@@ -180,6 +225,12 @@ impl fmt::Display for SimError {
             }
             SimError::Io { context, message } => {
                 write!(f, "io error ({context}): {message}")
+            }
+            SimError::Timeout { context, limit_ms } => {
+                write!(
+                    f,
+                    "cell {context} exceeded its {limit_ms}ms wall-clock deadline"
+                )
             }
             SimError::Divergence {
                 cycle,
@@ -243,12 +294,44 @@ mod tests {
             .kind(),
             SimError::invariant("a", "b").kind(),
             SimError::io("a", "b").kind(),
+            SimError::timeout("a", 100).kind(),
             SimError::divergence(0, "a", "b", "c").kind(),
         ];
         let mut dedup = kinds.to_vec();
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), kinds.len());
+    }
+
+    #[test]
+    fn timeout_display_and_context() {
+        let e = SimError::timeout("BEAR/rate:mcf", 2_500);
+        assert_eq!(e.kind(), "timeout");
+        let s = format!("{e}");
+        assert!(s.contains("BEAR/rate:mcf"));
+        assert!(s.contains("2500ms"));
+        assert_eq!(
+            e.in_context("other"),
+            SimError::timeout("other", 2_500),
+            "in_context rewrites the timeout context, keeps the limit"
+        );
+    }
+
+    #[test]
+    fn transience_matches_retry_policy() {
+        // Environmental failures are worth a retry...
+        assert!(SimError::panicked("a", "b").is_transient());
+        assert!(SimError::io("a", "b").is_transient());
+        assert!(SimError::timeout("a", 1).is_transient());
+        assert!(SimError::Stalled {
+            cycle: 0,
+            snapshot: String::new(),
+        }
+        .is_transient());
+        // ...deterministic ones would fail identically every time.
+        assert!(!SimError::config("a", "b").is_transient());
+        assert!(!SimError::invariant("a", "b").is_transient());
+        assert!(!SimError::divergence(0, "a", "b", "c").is_transient());
     }
 
     #[test]

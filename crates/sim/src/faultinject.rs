@@ -8,6 +8,19 @@
 //! Tests then assert that every injected fault is caught and reported by
 //! the matching invariant, never silently absorbed into results.
 //!
+//! # Two fault levels
+//!
+//! [`FaultKind`]/[`FaultPlan`] corrupt state *inside* one simulation, and
+//! exist to prove the invariant checker fires. [`ChaosKind`]/[`ChaosPlan`]
+//! operate one level up: they describe faults of the **campaign harness**
+//! itself — worker panics, wall-clock stalls, torn or unsyncable
+//! checkpoint files, and whole-process kills — and exist to prove the
+//! campaign *supervision* layer (retry, backoff, quarantine, resume)
+//! recovers from them. Both plans are seeded and replayable: the same
+//! seed injects the same faults into the same cells, every time, on any
+//! worker count. This crate only declares and schedules the chaos faults;
+//! `bear-bench`'s supervisor applies them.
+//!
 //! # Example
 //!
 //! ```
@@ -153,6 +166,148 @@ impl FaultPlan {
     }
 }
 
+/// A class of harness-level fault the chaos injector knows how to apply
+/// to a campaign (as opposed to [`FaultKind`], which corrupts state
+/// inside one simulation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosKind {
+    /// Panic the worker thread running a cell (recovered by per-cell
+    /// panic isolation plus retry).
+    WorkerPanic,
+    /// Wedge a cell past its wall-clock deadline (recovered by the
+    /// harness deadline declaring a timeout, then retry).
+    Stall,
+    /// Truncate a cell's checkpoint file after it was written, leaving a
+    /// committed-looking but torn artifact (recovered by checkpoint
+    /// validation rejecting the file and re-running the cell).
+    TornCheckpoint,
+    /// Fail the checkpoint write at fsync time, leaving the cell
+    /// unpersisted (recovered by the in-memory result surviving and the
+    /// cell simply re-running after a crash).
+    CheckpointIo,
+    /// Kill the whole campaign process at a cell-completion boundary
+    /// (recovered by checkpoint/resume on the next invocation).
+    Kill,
+}
+
+impl ChaosKind {
+    /// Every chaos class, in catalogue order.
+    pub const ALL: [ChaosKind; 5] = [
+        ChaosKind::WorkerPanic,
+        ChaosKind::Stall,
+        ChaosKind::TornCheckpoint,
+        ChaosKind::CheckpointIo,
+        ChaosKind::Kill,
+    ];
+
+    /// Stable label for manifests and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ChaosKind::WorkerPanic => "worker-panic",
+            ChaosKind::Stall => "stall",
+            ChaosKind::TornCheckpoint => "torn-checkpoint",
+            ChaosKind::CheckpointIo => "checkpoint-io",
+            ChaosKind::Kill => "kill",
+        }
+    }
+
+    /// Parses a [`ChaosKind::label`] back into the kind. Returns `None`
+    /// for unknown labels.
+    pub fn from_label(label: &str) -> Option<ChaosKind> {
+        ChaosKind::ALL.into_iter().find(|k| k.label() == label)
+    }
+}
+
+/// One chaos fault scheduled against a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosFault {
+    /// What to inject.
+    pub kind: ChaosKind,
+    /// `false`: the fault fires on the cell's first attempt only, so a
+    /// single retry heals it. `true`: the fault fires on *every* attempt,
+    /// so the cell must exhaust its retries and be quarantined — the
+    /// deterministic way to exercise the quarantine path.
+    pub persistent: bool,
+}
+
+/// A seeded, replayable schedule of harness-level faults over a campaign
+/// grid.
+///
+/// Decisions are keyed on the cell's stable identity hash (the same
+/// `cell_hash` the checkpoint store uses), **not** on arrival order, so
+/// the same plan injects the same faults into the same cells regardless
+/// of `BEAR_WORKERS`, scheduling, or how many times the campaign was
+/// killed and resumed. That determinism is what lets the chaos suite
+/// assert byte-identical recovered reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Seed every per-cell decision derives from.
+    pub seed: u64,
+    /// Cell-completion counts at which to kill the whole process
+    /// (consumed at most once each; the harness records a marker so a
+    /// resumed campaign does not re-fire a spent kill point).
+    pub kill_points: Vec<u64>,
+}
+
+impl ChaosPlan {
+    /// The default plan for `seed`: roughly half the cells draw an
+    /// attempt fault, a quarter draw a checkpoint fault, and two kill
+    /// points land early in the campaign.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = SimRng::new(seed ^ 0xC4A0_5EED);
+        let first = 2 + rng.next_below(3);
+        let second = first + 3 + rng.next_below(3);
+        ChaosPlan {
+            seed,
+            kill_points: vec![first, second],
+        }
+    }
+
+    /// One deterministic draw for `cell_key` under `salt` (distinct salts
+    /// give independent decision streams for the same cell).
+    fn roll(&self, cell_key: u64, salt: u64) -> u64 {
+        SimRng::new(self.seed ^ cell_key.rotate_left(17) ^ salt).next_u64()
+    }
+
+    /// The attempt-level fault (worker panic or stall) to inject into
+    /// attempt `attempt` of the cell identified by `cell_key`, if any.
+    ///
+    /// Transient faults fire on attempt 0 only — the first retry heals
+    /// them. Persistent faults fire on every attempt and force the cell
+    /// through retry exhaustion into quarantine.
+    pub fn attempt_fault(&self, cell_key: u64, attempt: u32) -> Option<ChaosFault> {
+        let (kind, persistent) = match self.roll(cell_key, 0xA77E_3047) % 8 {
+            0 => (ChaosKind::WorkerPanic, false),
+            1 => (ChaosKind::Stall, false),
+            2 => (ChaosKind::WorkerPanic, true),
+            3 => (ChaosKind::Stall, true),
+            _ => return None,
+        };
+        if !persistent && attempt > 0 {
+            return None;
+        }
+        Some(ChaosFault { kind, persistent })
+    }
+
+    /// The checkpoint-persistence fault (torn file or fsync failure) to
+    /// inject when the cell identified by `cell_key` is stored, if any.
+    /// Independent of [`ChaosPlan::attempt_fault`]'s stream: a cell can
+    /// draw both.
+    pub fn checkpoint_fault(&self, cell_key: u64) -> Option<ChaosKind> {
+        match self.roll(cell_key, 0xC4EC_4901) % 8 {
+            0 => Some(ChaosKind::TornCheckpoint),
+            1 => Some(ChaosKind::CheckpointIo),
+            _ => None,
+        }
+    }
+
+    /// If `completed` cell completions is a scheduled kill point, returns
+    /// its index (for the harness's spent-kill marker file).
+    pub fn kill_due(&self, completed: u64) -> Option<usize> {
+        self.kill_points.iter().position(|&k| k == completed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,5 +393,125 @@ mod tests {
             assert_eq!(FaultKind::from_label(kind.label()), Some(kind));
         }
         assert_eq!(FaultKind::from_label("not-a-fault"), None);
+    }
+
+    #[test]
+    fn label_round_trip_property() {
+        use crate::check::{check, Source};
+        use crate::prop_assert;
+        // Any drawn kind round-trips; any mutation of its label (or any
+        // random short string) either parses to a kind whose label equals
+        // the input exactly, or parses to nothing — `from_label` never
+        // guesses and never panics.
+        check(256, |src: &mut Source| {
+            let kind = FaultKind::ALL[src.usize_in(0..FaultKind::ALL.len())];
+            prop_assert!(
+                FaultKind::from_label(kind.label()) == Some(kind),
+                "kind {kind:?} failed to round-trip"
+            );
+            let chaos = ChaosKind::ALL[src.usize_in(0..ChaosKind::ALL.len())];
+            prop_assert!(
+                ChaosKind::from_label(chaos.label()) == Some(chaos),
+                "chaos kind {chaos:?} failed to round-trip"
+            );
+            let garbled: String = src
+                .vec_with(0..12, |s| (b'a' + s.u64_in(0..26) as u8) as char)
+                .into_iter()
+                .collect();
+            if let Some(parsed) = FaultKind::from_label(&garbled) {
+                prop_assert!(
+                    parsed.label() == garbled,
+                    "from_label({garbled:?}) -> {parsed:?} but labels differ"
+                );
+            }
+            if let Some(parsed) = ChaosKind::from_label(&garbled) {
+                prop_assert!(
+                    parsed.label() == garbled,
+                    "chaos from_label({garbled:?}) -> {parsed:?} but labels differ"
+                );
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn deterministic_plan_with_zero_window_is_panic_free() {
+        // window == 0 degenerates to "inject everything exactly at
+        // `start`" instead of panicking in the RNG bound.
+        let plan = FaultPlan::deterministic(9, 1_234, 0);
+        assert_eq!(plan.len(), FaultKind::ALL.len());
+        for f in &plan.pending {
+            assert_eq!(f.at_cycle, 1_234);
+        }
+    }
+
+    #[test]
+    fn chaos_labels_are_distinct_and_disjoint_from_fault_labels() {
+        let mut labels: Vec<&str> = ChaosKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), ChaosKind::ALL.len());
+        for k in FaultKind::ALL {
+            assert_eq!(
+                ChaosKind::from_label(k.label()),
+                None,
+                "in-sim and harness fault namespaces must not overlap"
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_plan_is_reproducible_and_key_stable() {
+        let a = ChaosPlan::new(1234);
+        let b = ChaosPlan::new(1234);
+        assert_eq!(a, b);
+        for key in [0u64, 7, 0xDEAD_BEEF, u64::MAX] {
+            for attempt in 0..3 {
+                assert_eq!(a.attempt_fault(key, attempt), b.attempt_fault(key, attempt));
+            }
+            assert_eq!(a.checkpoint_fault(key), b.checkpoint_fault(key));
+        }
+        assert_ne!(
+            ChaosPlan::new(1235).kill_points,
+            Vec::<u64>::new(),
+            "kill points are scheduled"
+        );
+    }
+
+    #[test]
+    fn transient_chaos_faults_clear_on_retry_and_persistent_ones_do_not() {
+        let plan = ChaosPlan::new(42);
+        let mut saw_transient = false;
+        let mut saw_persistent = false;
+        for key in 0..512u64 {
+            if let Some(f) = plan.attempt_fault(key, 0) {
+                if f.persistent {
+                    saw_persistent = true;
+                    assert_eq!(
+                        plan.attempt_fault(key, 3),
+                        Some(f),
+                        "persistent faults fire on every attempt"
+                    );
+                } else {
+                    saw_transient = true;
+                    assert_eq!(
+                        plan.attempt_fault(key, 1),
+                        None,
+                        "transient faults heal on the first retry"
+                    );
+                }
+            }
+        }
+        assert!(saw_transient && saw_persistent, "both classes drawn");
+    }
+
+    #[test]
+    fn kill_points_are_positional_and_bounded() {
+        let armed = ChaosPlan::new(7);
+        assert_eq!(armed.kill_points.len(), 2);
+        assert!(armed.kill_points[0] < armed.kill_points[1]);
+        let p = armed.kill_points[0];
+        assert_eq!(armed.kill_due(p), Some(0));
+        assert_eq!(armed.kill_due(p + 100), None);
     }
 }

@@ -21,9 +21,12 @@ struct PhaseTotal {
 }
 
 impl SelfProfiler {
-    /// An empty profiler.
-    pub fn new() -> Self {
-        SelfProfiler::default()
+    /// An empty profiler (`const`, so it can seed a `static` — the
+    /// campaign supervisor keeps its recovery counters in one).
+    pub const fn new() -> Self {
+        SelfProfiler {
+            entries: Vec::new(),
+        }
     }
 
     /// Adds `ns` nanoseconds to `name`'s running total.
@@ -42,6 +45,14 @@ impl SelfProfiler {
             total_ns: ns,
             count: 1,
         });
+    }
+
+    /// Records an instantaneous occurrence of `name`: a pure event-count
+    /// bump that adds zero time. The campaign supervisor uses this for
+    /// discrete recovery events (retries, healed cells, quarantines)
+    /// where the *count* is the signal and duration is meaningless.
+    pub fn bump(&mut self, name: &'static str) {
+        self.record(name, 0);
     }
 
     /// Times `f` under `name`.
@@ -153,6 +164,16 @@ mod tests {
         assert_eq!(p.rows().count(), 1);
         let (name, _ns, count) = p.rows().next().unwrap();
         assert_eq!((name, count), ("work", 1));
+    }
+
+    #[test]
+    fn bump_counts_events_without_time() {
+        let mut p = SelfProfiler::new();
+        p.bump("supervisor.retry");
+        p.bump("supervisor.retry");
+        assert_eq!(p.total_ns(), 0, "bumps add no time");
+        let rows: Vec<_> = p.rows().collect();
+        assert_eq!(rows, vec![("supervisor.retry", 0, 2)]);
     }
 
     #[test]

@@ -28,6 +28,18 @@ echo "==> kill -9 then resume determinism check"
 # once cells are committed, reruns, diffs).
 cargo test -q -p bear-bench --offline --test resume
 
+echo "==> chaos smoke (seeded faults, retry/quarantine, byte-identical recovery)"
+# The supervision layer's recovery proof: the quick fig07 grid runs
+# fault-free and then under the pinned chaos seed (worker panics, stalls,
+# torn checkpoints, failed fsyncs, process kills); recovered cells must
+# byte-match the reference and every injected fault must be accounted
+# for. The recovery-overhead record lands in BENCH_chaos.json.
+CHAOS_SMOKE_DIR="$(mktemp -d)"
+cargo build -q --release -p bear-bench --bin chaos --bin all_experiments --offline
+./target/release/chaos --work-dir "$CHAOS_SMOKE_DIR" --bench-json BENCH_chaos.json
+rm -rf "$CHAOS_SMOKE_DIR"
+test -s BENCH_chaos.json
+
 echo "==> oracle-checks feature build (release fuzz runs arm the invariants)"
 # The feature must forward down the stack: building the oracle crate with
 # it enables InvariantSink panics even in release.
@@ -68,4 +80,4 @@ BEAR_BENCH_QUICK=1 ./target/release/telemetry --out "$TELEMETRY_SMOKE_DIR"
 test -s "$TELEMETRY_SMOKE_DIR/trace.json"
 test -s "$TELEMETRY_SMOKE_DIR/self_profile.txt"
 
-echo "OK: fmt, clippy, tests, fault injection, resume, fuzz smoke, and telemetry smoke all passed offline."
+echo "OK: fmt, clippy, tests, fault injection, resume, chaos smoke, fuzz smoke, and telemetry smoke all passed offline."
