@@ -49,7 +49,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 /// FNV-1a 64-bit hash (offline-first: no hasher dependencies).
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;
@@ -78,7 +78,7 @@ pub fn cell_stem(cfg: &SystemConfig, workload: &Workload) -> String {
 }
 
 /// Durable store for one experiment's finished cells.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CellStore {
     dir: PathBuf,
 }
@@ -91,12 +91,24 @@ impl CellStore {
         }
     }
 
-    fn paths(&self, cfg: &SystemConfig, workload: &Workload) -> (PathBuf, PathBuf) {
-        let stem = cell_stem(cfg, workload);
+    /// Store rooted at an explicit directory — for journals that reuse
+    /// the commit protocol but are not per-experiment cell caches (the
+    /// campaign daemon's job journal).
+    pub fn at(dir: &Path) -> CellStore {
+        CellStore {
+            dir: dir.to_path_buf(),
+        }
+    }
+
+    fn raw_paths(&self, stem: &str) -> (PathBuf, PathBuf) {
         (
             self.dir.join(format!("{stem}.json")),
             self.dir.join(format!("{stem}.done")),
         )
+    }
+
+    fn paths(&self, cfg: &SystemConfig, workload: &Workload) -> (PathBuf, PathBuf) {
+        self.raw_paths(&cell_stem(cfg, workload))
     }
 
     /// Loads a committed cell, or `None` when the cell is absent,
@@ -106,12 +118,7 @@ impl CellStore {
     /// mismatch). `None` simply means "re-run the cell" — a corrupt
     /// checkpoint can cost work, never correctness.
     pub fn load(&self, cfg: &SystemConfig, workload: &Workload) -> Option<RunStats> {
-        let (json_path, done_path) = self.paths(cfg, workload);
-        let committed_digest = fs::read_to_string(&done_path).ok()?;
-        let body = fs::read_to_string(&json_path).ok()?;
-        if committed_digest.trim() != format!("{:016x}", fnv1a64(body.as_bytes())) {
-            return None; // torn or truncated after commit
-        }
+        let body = self.load_raw(&cell_stem(cfg, workload))?;
         let doc = Json::parse(&body).ok()?;
         if doc.get("cell_hash")?.as_str()? != format!("{:016x}", cell_hash(cfg, workload)) {
             return None;
@@ -153,8 +160,6 @@ impl CellStore {
         stats: &RunStats,
         fault: Option<ChaosKind>,
     ) -> std::io::Result<()> {
-        fs::create_dir_all(&self.dir)?;
-        let (json_path, done_path) = self.paths(cfg, workload);
         let doc = Json::Obj(vec![
             (
                 "cell_hash".into(),
@@ -165,6 +170,15 @@ impl CellStore {
         ]);
         let mut body = doc.to_string_pretty();
         body.push('\n');
+        self.commit_raw(&cell_stem(cfg, workload), &body, fault)
+    }
+
+    /// The shared commit path: temp file, fsync, rename, fsync'd `.done`
+    /// marker recording the digest of the exact committed bytes, with the
+    /// optional chaos fault applied at the protocol's weakest points.
+    fn commit_raw(&self, stem: &str, body: &str, fault: Option<ChaosKind>) -> std::io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        let (json_path, done_path) = self.raw_paths(stem);
         let tmp = json_path.with_extension("json.tmp");
         {
             let mut f = File::create(&tmp)?;
@@ -194,6 +208,69 @@ impl CellStore {
             crate::chaos::tear_file(&json_path);
         }
         Ok(())
+    }
+
+    /// Commits an arbitrary record under `stem` with the full crash-safe
+    /// protocol. The daemon journals job submissions through this, so a
+    /// kill -9 at any instant leaves either a committed, digest-verified
+    /// record or an ignorable partial.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn store_raw(&self, stem: &str, body: &str) -> std::io::Result<()> {
+        self.commit_raw(stem, body, None)
+    }
+
+    /// Loads the committed record under `stem`, or `None` when it is
+    /// absent, uncommitted, or its bytes no longer hash to the digest the
+    /// `.done` marker recorded at commit time.
+    pub fn load_raw(&self, stem: &str) -> Option<String> {
+        let (json_path, done_path) = self.raw_paths(stem);
+        let committed_digest = fs::read_to_string(&done_path).ok()?;
+        let body = fs::read_to_string(&json_path).ok()?;
+        if committed_digest.trim() != format!("{:016x}", fnv1a64(body.as_bytes())) {
+            return None; // torn or truncated after commit
+        }
+        Some(body)
+    }
+
+    /// Stems of every committed record in the store, sorted. Partials
+    /// without a `.done` marker are invisible; torn records still list
+    /// (their marker exists) but fail [`CellStore::load_raw`].
+    pub fn list_raw(&self) -> Vec<String> {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut stems: Vec<String> = entries
+            .filter_map(|e| {
+                let name = e.ok()?.file_name().into_string().ok()?;
+                Some(name.strip_suffix(".done")?.to_string())
+            })
+            .collect();
+        stems.sort();
+        stems
+    }
+
+    /// Durably sets an auxiliary flag `<stem>.<flag>` next to the record
+    /// (e.g. the daemon's `cancelled` tombstones). Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn set_flag(&self, stem: &str, flag: &str) -> std::io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        let f = File::create(self.dir.join(format!("{stem}.{flag}")))?;
+        f.sync_all()?;
+        if let Ok(d) = File::open(&self.dir) {
+            d.sync_all().ok();
+        }
+        Ok(())
+    }
+
+    /// Whether [`CellStore::set_flag`] was durably recorded for `stem`.
+    pub fn has_flag(&self, stem: &str, flag: &str) -> bool {
+        self.dir.join(format!("{stem}.{flag}")).exists()
     }
 
     /// Path of this cell's committed data file, or `None` when the cell
@@ -432,6 +509,42 @@ mod tests {
         // A clean re-store heals the cell.
         store.store(&cfg, &workload, &stats).expect("re-store");
         assert_eq!(store.load(&cfg, &workload), Some(stats));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn raw_records_share_the_commit_protocol() {
+        let dir = tmp_dir("raw");
+        let store = CellStore::at(&dir.join("jobs"));
+        assert!(store.load_raw("job-1").is_none(), "empty store misses");
+        assert!(store.list_raw().is_empty());
+        store
+            .store_raw("job-1", "{\"id\": \"a\"}\n")
+            .expect("store");
+        store
+            .store_raw("job-2", "{\"id\": \"b\"}\n")
+            .expect("store");
+        assert_eq!(
+            store.load_raw("job-1").as_deref(),
+            Some("{\"id\": \"a\"}\n")
+        );
+        assert_eq!(store.list_raw(), vec!["job-1", "job-2"]);
+
+        // Torn after commit: listed (the marker exists) but rejected.
+        let (json_path, _) = store.raw_paths("job-1");
+        fs::write(&json_path, "{\"id\"").expect("tear");
+        assert!(store.load_raw("job-1").is_none());
+        assert_eq!(store.list_raw().len(), 2);
+
+        // Flags are durable and namespaced per stem.
+        assert!(!store.has_flag("job-2", "cancelled"));
+        store.set_flag("job-2", "cancelled").expect("flag");
+        assert!(store.has_flag("job-2", "cancelled"));
+        assert!(!store.has_flag("job-1", "cancelled"));
+        assert!(
+            store.load_raw("job-2").is_some(),
+            "flags do not disturb the record"
+        );
         fs::remove_dir_all(&dir).ok();
     }
 

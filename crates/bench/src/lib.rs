@@ -30,6 +30,7 @@ use bear_workloads::{mix_workloads, named_mixes, rate_workloads, Workload};
 pub mod chaos;
 pub mod checkpoint;
 pub mod cli;
+pub mod daemon;
 pub mod experiments;
 pub mod microbench;
 pub mod report;

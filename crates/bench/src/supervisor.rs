@@ -309,6 +309,64 @@ fn read_manifest_rows(dir: &Path) -> Vec<SupervisionRow> {
     rows
 }
 
+/// A held advisory lock on a directory's `failures.json`.
+///
+/// The manifest merge is read-merge-write: two concurrent writers — two
+/// daemon incarnations during a restart overlap, a campaign and a daemon
+/// sharing an out directory — can each read the pre-merge manifest and
+/// the loser's rows vanish, even though each individual write is an
+/// atomic rename. The lock file serializes the whole merge. It is
+/// advisory (plain `create_new`, no OS byte-range locks, per the
+/// no-registry rule) and self-healing: a lock older than
+/// [`ManifestLock::STALE_MS`] is presumed abandoned by a killed process
+/// and broken.
+struct ManifestLock {
+    path: PathBuf,
+}
+
+impl ManifestLock {
+    /// Age (ms) past which a lock file is presumed orphaned by a dead
+    /// writer and broken. Merges take milliseconds; a kill -9 between
+    /// acquire and drop is the only way a lock gets this old.
+    const STALE_MS: u128 = 5_000;
+
+    fn acquire(dir: &Path) -> std::io::Result<ManifestLock> {
+        let path = dir.join("failures.json.lock");
+        let deadline = std::time::Instant::now() + Duration::from_millis(10_000);
+        loop {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(_) => return Ok(ManifestLock { path }),
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let stale = path
+                        .metadata()
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|t| t.elapsed().ok())
+                        .is_some_and(|age| age.as_millis() > Self::STALE_MS);
+                    if stale || std::time::Instant::now() > deadline {
+                        // Orphaned (or wedged beyond any plausible merge):
+                        // break it and retry the create_new race.
+                        std::fs::remove_file(&path).ok();
+                        continue;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Drop for ManifestLock {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.path).ok();
+    }
+}
+
 /// Writes the machine-readable recovery manifest `DIR/failures.json`
 /// (atomically: temp file, fsync, rename) from everything recorded so
 /// far **merged with the manifest a previous incarnation of this
@@ -333,14 +391,29 @@ fn read_manifest_rows(dir: &Path) -> Vec<SupervisionRow> {
 ///
 /// Propagates the underlying filesystem error.
 pub fn write_manifest(dir: &Path) -> std::io::Result<PathBuf> {
+    let rows = MANIFEST
+        .lock()
+        .expect("supervision manifest poisoned")
+        .clone();
+    merge_rows_into(dir, rows)
+}
+
+/// Merges `new_rows` into `DIR/failures.json` under the manifest's
+/// advisory lock: existing rows are re-read *inside* the critical
+/// section, so two concurrent writer processes both land their rows
+/// instead of last-writer-wins dropping one side's. This is the write
+/// path for everything that persists supervision history — the in-process
+/// campaign manifest ([`write_manifest`]) and the daemon's per-job
+/// recovery rows.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem error.
+pub fn merge_rows_into(dir: &Path, new_rows: Vec<SupervisionRow>) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let _lock = ManifestLock::acquire(dir)?;
     let mut rows = read_manifest_rows(dir);
-    rows.extend(
-        MANIFEST
-            .lock()
-            .expect("supervision manifest poisoned")
-            .iter()
-            .cloned(),
-    );
+    rows.extend(new_rows);
     sort_rows(&mut rows);
     rows.dedup();
     let scfg = SupervisorConfig::from_env();
@@ -739,6 +812,84 @@ mod tests {
             "different cells jitter differently (for these keys)"
         );
         assert_eq!(backoff_ms(&scfg, 1, 30), 10_000, "hard 10s cap");
+    }
+
+    #[test]
+    fn concurrent_manifest_merges_drop_no_rows() {
+        // Regression: before the advisory lock, two writers could both
+        // read the pre-merge manifest and the loser's rows vanished
+        // (last-writer-wins), even though each rename was atomic.
+        let dir = std::env::temp_dir().join(format!(
+            "bear_manifest_merge_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let writers = 8;
+        let handles: Vec<_> = (0..writers)
+            .map(|i| {
+                let dir = dir.clone();
+                std::thread::spawn(move || {
+                    let row = SupervisionRow {
+                        experiment: "merge-race".into(),
+                        config: format!("W{i}"),
+                        workload: format!("w{i}"),
+                        disposition: Disposition::Quarantined,
+                        kind: "panic".into(),
+                        error: format!("writer {i}"),
+                        attempts: 1,
+                        chaos: None,
+                        checkpoint: None,
+                        repro: String::new(),
+                    };
+                    merge_rows_into(&dir, vec![row]).expect("merge");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("writer thread");
+        }
+        let rows = read_manifest_rows(&dir);
+        let mine: Vec<_> = rows
+            .iter()
+            .filter(|r| r.experiment == "merge-race")
+            .collect();
+        assert_eq!(
+            mine.len(),
+            writers,
+            "every concurrent writer's row must survive the merge: {mine:?}"
+        );
+        assert!(
+            !dir.join("failures.json.lock").exists(),
+            "the lock is released after the merge"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_manifest_locks_are_broken() {
+        let dir = std::env::temp_dir().join(format!("bear_manifest_stale_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        // An orphaned lock from a killed writer, aged past the stale bound.
+        let lock = dir.join("failures.json.lock");
+        std::fs::write(&lock, "").unwrap();
+        let old = std::time::SystemTime::now() - Duration::from_secs(60);
+        // Not every test filesystem lets us backdate mtime; fall back to
+        // exercising the wait-then-break path only when we can.
+        let backdated = std::fs::File::open(&lock)
+            .and_then(|f| f.set_modified(old))
+            .is_ok();
+        if backdated {
+            let t0 = std::time::Instant::now();
+            merge_rows_into(&dir, Vec::new()).expect("merge past stale lock");
+            assert!(
+                t0.elapsed() < Duration::from_secs(5),
+                "a stale lock must be broken promptly"
+            );
+            assert!(dir.join("failures.json").exists());
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -487,6 +487,17 @@ impl System {
         self.sync_gating();
     }
 
+    /// Streams every closed sample window through `sink` as it happens,
+    /// in addition to collecting it for the end-of-run report. No-op
+    /// unless telemetry is armed ([`System::set_telemetry`] first) —
+    /// live streaming is a *view* on sampling, not a second sampler.
+    #[cfg(feature = "telemetry")]
+    pub fn set_telemetry_live(&mut self, sink: bear_telemetry::LiveSink) {
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.set_live(sink);
+        }
+    }
+
     /// Hands out everything armed telemetry collected, disarming it.
     /// `None` when telemetry was never armed.
     #[cfg(feature = "telemetry")]

@@ -23,7 +23,7 @@ use crate::l4::L4Cache;
 use crate::traffic::BloatCategory;
 use bear_cpu::Core;
 use bear_dram::channel::TransferRecord;
-use bear_telemetry::{RingBuffer, Sample, SelfProfiler, TelemetryOptions};
+use bear_telemetry::{LiveSink, RingBuffer, Sample, SelfProfiler, TelemetryOptions};
 
 /// Cumulative counter values at one instant; windows are diffs of two.
 #[derive(Debug, Clone, Default)]
@@ -117,6 +117,9 @@ pub(crate) struct TelemetryState {
     window_index: u64,
     base: CounterSnapshot,
     samples: Vec<Sample>,
+    /// When set, every closed window is also streamed out immediately
+    /// (job-scoped: the daemon forwards it over the client's socket).
+    live: Option<LiveSink>,
     ring: RingBuffer<(u64, ObsEvent)>,
     pub(crate) profiler: SelfProfiler,
 }
@@ -132,9 +135,16 @@ impl TelemetryState {
             window_index: 0,
             base: CounterSnapshot::default(),
             samples: Vec::new(),
+            live: None,
             ring: RingBuffer::new(ring_capacity),
             profiler: SelfProfiler::new(),
         }
+    }
+
+    /// Arms live streaming: every subsequently closed window is also
+    /// sent through `sink` as it happens.
+    pub(crate) fn set_live(&mut self, sink: LiveSink) {
+        self.live = Some(sink);
     }
 
     pub(crate) fn trace_armed(&self) -> bool {
@@ -245,6 +255,9 @@ impl TelemetryState {
             predictor_wrong: cur.predictor_wrong - b.predictor_wrong,
             bank_queue_depths,
         });
+        if let Some(sink) = &self.live {
+            sink.send(self.samples.last().expect("just pushed").clone());
+        }
         self.base = cur;
         self.window_start = end;
         self.window_index += 1;

@@ -306,6 +306,87 @@ impl ChaosPlan {
     pub fn kill_due(&self, completed: u64) -> Option<usize> {
         self.kill_points.iter().position(|&k| k == completed)
     }
+
+    /// The daemon-level fault to inject into the job identified by
+    /// `job_key`, if any. Keyed on job identity (not arrival order), so a
+    /// killed-and-restarted daemon redraws the same faults for the same
+    /// jobs — which is what lets the daemon chaos suite assert
+    /// byte-identical recovered reports.
+    ///
+    /// Independent of [`ChaosPlan::attempt_fault`] /
+    /// [`ChaosPlan::checkpoint_fault`]: daemon faults attack the *service*
+    /// (worker threads, the journal/ack boundary), never the job's result,
+    /// so every daemon fault heals completely.
+    pub fn daemon_fault(&self, job_key: u64) -> Option<DaemonChaosKind> {
+        match self.roll(job_key, 0xDAE0_F417) % 8 {
+            0 => Some(DaemonChaosKind::WorkerKill),
+            1 => Some(DaemonChaosKind::DaemonKill),
+            _ => None,
+        }
+    }
+
+    /// Whether the daemon drops the connection instead of answering
+    /// request number `request_no` on connection number `conn_index`
+    /// (roughly one in four requests). Clients recover by reconnecting
+    /// and resubmitting; submissions are idempotent by job id.
+    pub fn conn_drop(&self, conn_index: u64, request_no: u64) -> bool {
+        let key = conn_index
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(request_no);
+        self.roll(key, 0xD0_C41D).is_multiple_of(4)
+    }
+}
+
+/// A class of fault the chaos injector knows how to apply to the
+/// *campaign daemon* (`beard`), one level above [`ChaosKind`]'s batch
+/// campaign: these attack the service machinery — connections, worker
+/// threads, the process itself — and every one of them must heal without
+/// affecting any accepted job's result.
+///
+/// Deliberately a separate enum from [`ChaosKind`]: the batch chaos
+/// suite pins a seed that covers exactly [`ChaosKind::ALL`], and growing
+/// that catalogue would invalidate the pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DaemonChaosKind {
+    /// Drop a client connection mid-stream without answering (recovered
+    /// by the client reconnecting and resubmitting; submissions are
+    /// idempotent by job id).
+    ConnDrop,
+    /// Kill the worker thread running a job, outside the supervised
+    /// attempt (recovered by the pool monitor requeueing the job and
+    /// respawning the worker).
+    WorkerKill,
+    /// Kill -9 the whole daemon *between* journaling a job and
+    /// acknowledging it — the worst admission window (recovered by the
+    /// restarted daemon resuming the journaled job and the client
+    /// resubmitting the unacknowledged one; both converge on one run).
+    DaemonKill,
+}
+
+impl DaemonChaosKind {
+    /// Every daemon chaos class, in catalogue order.
+    pub const ALL: [DaemonChaosKind; 3] = [
+        DaemonChaosKind::ConnDrop,
+        DaemonChaosKind::WorkerKill,
+        DaemonChaosKind::DaemonKill,
+    ];
+
+    /// Stable label for markers, counters, and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DaemonChaosKind::ConnDrop => "conn-drop",
+            DaemonChaosKind::WorkerKill => "worker-kill",
+            DaemonChaosKind::DaemonKill => "daemon-kill",
+        }
+    }
+
+    /// Parses a [`DaemonChaosKind::label`] back into the kind. Returns
+    /// `None` for unknown labels.
+    pub fn from_label(label: &str) -> Option<DaemonChaosKind> {
+        DaemonChaosKind::ALL
+            .into_iter()
+            .find(|k| k.label() == label)
+    }
 }
 
 #[cfg(test)]
@@ -503,6 +584,77 @@ mod tests {
             }
         }
         assert!(saw_transient && saw_persistent, "both classes drawn");
+    }
+
+    #[test]
+    fn daemon_labels_are_distinct_and_disjoint_from_both_namespaces() {
+        let mut labels: Vec<&str> = DaemonChaosKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), DaemonChaosKind::ALL.len());
+        for k in FaultKind::ALL {
+            assert_eq!(
+                DaemonChaosKind::from_label(k.label()),
+                None,
+                "in-sim and daemon fault namespaces must not overlap"
+            );
+        }
+        for k in ChaosKind::ALL {
+            assert_eq!(
+                DaemonChaosKind::from_label(k.label()),
+                None,
+                "campaign and daemon fault namespaces must not overlap"
+            );
+        }
+        for k in DaemonChaosKind::ALL {
+            assert_eq!(DaemonChaosKind::from_label(k.label()), Some(k));
+            assert_eq!(ChaosKind::from_label(k.label()), None);
+            assert_eq!(FaultKind::from_label(k.label()), None);
+        }
+    }
+
+    #[test]
+    fn daemon_faults_are_reproducible_and_draw_every_kind() {
+        let a = ChaosPlan::new(77);
+        let b = ChaosPlan::new(77);
+        let mut saw_worker = false;
+        let mut saw_daemon = false;
+        let mut saw_none = false;
+        for key in 0..512u64 {
+            let fault = a.daemon_fault(key);
+            assert_eq!(fault, b.daemon_fault(key), "same seed, same draw");
+            match fault {
+                Some(DaemonChaosKind::WorkerKill) => saw_worker = true,
+                Some(DaemonChaosKind::DaemonKill) => saw_daemon = true,
+                Some(DaemonChaosKind::ConnDrop) => {
+                    panic!("conn drops come from ChaosPlan::conn_drop, not daemon_fault")
+                }
+                None => saw_none = true,
+            }
+        }
+        assert!(
+            saw_worker && saw_daemon && saw_none,
+            "512 keys must draw both kill kinds and plenty of clean jobs"
+        );
+    }
+
+    #[test]
+    fn conn_drops_are_reproducible_and_partial() {
+        let a = ChaosPlan::new(77);
+        let b = ChaosPlan::new(77);
+        let mut dropped = 0u32;
+        let mut total = 0u32;
+        for conn in 0..16u64 {
+            for req in 0..16u64 {
+                assert_eq!(a.conn_drop(conn, req), b.conn_drop(conn, req));
+                total += 1;
+                if a.conn_drop(conn, req) {
+                    dropped += 1;
+                }
+            }
+        }
+        assert!(dropped > 0, "some requests must be dropped");
+        assert!(dropped < total, "not every request may be dropped");
     }
 
     #[test]

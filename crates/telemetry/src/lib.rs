@@ -84,6 +84,37 @@ pub struct TelemetryOptions {
     pub profile: bool,
 }
 
+/// A handle that streams [`Sample`]s out of a running simulation the
+/// moment each window closes, instead of (not in addition to — the
+/// receiver side decides what to persist) waiting for the end-of-run
+/// report. The campaign daemon hands one to each telemetry-armed job and
+/// forwards the samples over the client's socket as JSONL while the job
+/// runs.
+///
+/// Sends are non-blocking and infallible from the producer's view: a
+/// dropped receiver (client went away mid-run) silently discards further
+/// samples rather than stalling or failing the simulation.
+#[derive(Debug, Clone)]
+pub struct LiveSink {
+    tx: std::sync::mpsc::Sender<Sample>,
+}
+
+impl LiveSink {
+    /// Forwards one closed window. Errors (receiver gone) are swallowed:
+    /// telemetry is passive and must never affect the run.
+    pub fn send(&self, sample: Sample) {
+        self.tx.send(sample).ok();
+    }
+}
+
+/// Creates a live sample stream: the [`LiveSink`] goes to the simulator
+/// (via `System::set_telemetry_live`), the receiver to whoever forwards
+/// or records the samples.
+pub fn live_channel() -> (LiveSink, std::sync::mpsc::Receiver<Sample>) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    (LiveSink { tx }, rx)
+}
+
 /// Default `ObsEvent` ring capacity (also the number of context events a
 /// shrunk fuzz repro carries).
 pub const DEFAULT_RING_CAPACITY: usize = 256;
@@ -152,6 +183,19 @@ mod tests {
     fn escape_handles_quotes_and_control() {
         assert_eq!(escape_json("a\"b\\c\n"), "a\\\"b\\\\c\\n");
         assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn live_sink_streams_and_survives_a_dropped_receiver() {
+        let (sink, rx) = live_channel();
+        let sample = Sample {
+            window: 3,
+            ..Sample::default()
+        };
+        sink.send(sample.clone());
+        assert_eq!(rx.recv().unwrap(), sample);
+        drop(rx);
+        sink.send(sample); // must not panic or error out
     }
 
     #[test]

@@ -59,6 +59,24 @@ if ./target/release/fuzz --seeds 190 --cycles 10000 --fault tag-flip@2000 \
   exit 1
 fi
 
+echo "==> daemon smoke (resident service: admission, fairness, overload shed, drain)"
+# The beard daemon runs the smoke grid end to end in-process: two clients
+# submit over the wire, one job is cancelled mid-run, the daemon drains
+# cleanly, then a zero-worker instance is overloaded to prove typed
+# backpressure with retry-after hints. Latency/shed numbers land in
+# BENCH_daemon.json.
+DAEMON_SMOKE_DIR="$(mktemp -d)"
+cargo build -q --release -p bear-bench --bin beard --offline
+./target/release/beard --smoke --out "$DAEMON_SMOKE_DIR" --bench-json BENCH_daemon.json
+rm -rf "$DAEMON_SMOKE_DIR"
+test -s BENCH_daemon.json
+
+echo "==> daemon chaos proof (conn drops, worker kills, kill -9 between journal and ack)"
+# A chaos-riddled daemon run (connection drops mid-stream, workers killed
+# mid-job, the daemon killed between journaling and acking) must produce
+# a report byte-identical to a fault-free run after resume.
+cargo test -q -p bear-bench --offline --test daemon
+
 echo "==> telemetry-off compile check (bear-core without the feature)"
 # The telemetry hooks are gated behind a cargo feature; the core crate
 # must keep building with the feature off (no stray references).
@@ -80,4 +98,4 @@ BEAR_BENCH_QUICK=1 ./target/release/telemetry --out "$TELEMETRY_SMOKE_DIR"
 test -s "$TELEMETRY_SMOKE_DIR/trace.json"
 test -s "$TELEMETRY_SMOKE_DIR/self_profile.txt"
 
-echo "OK: fmt, clippy, tests, fault injection, resume, chaos smoke, fuzz smoke, and telemetry smoke all passed offline."
+echo "OK: fmt, clippy, tests, fault injection, resume, chaos smoke, fuzz smoke, daemon smoke, and telemetry smoke all passed offline."
