@@ -11,6 +11,9 @@
 //!   (e.g. `--only fig07,table5`).
 //! - `--telemetry [--sample-window N]` — write one windowed time-series
 //!   JSONL file per cell under `DIR/telemetry/` (requires `--out`).
+//! - `--metrics-out PATH` — collect every cell's attributed byte
+//!   decomposition in a metrics registry and dump its stable JSON to
+//!   `PATH` at campaign end (observability-only; reports unchanged).
 //!
 //! While running, a stderr heartbeat reports each completed cell
 //! (`[cell i/N (...) elapsed ..s, ETA ..s]`) so long campaigns are
@@ -28,7 +31,7 @@
 use bear_bench::checkpoint::{self, CellStore};
 use bear_bench::experiments as ex;
 use bear_bench::report::Report;
-use bear_bench::{chaos, cli, runner, supervisor, telemetry, RunPlan};
+use bear_bench::{chaos, cli, metrics, runner, supervisor, telemetry, RunPlan};
 use std::time::Instant;
 
 /// One experiment step: report id plus its entry point.
@@ -38,7 +41,7 @@ fn main() {
     let args = cli::parse_campaign_args(std::env::args().skip(1));
     let plan = RunPlan::from_env();
     let t0 = Instant::now();
-    let steps: [Step; 14] = [
+    let steps: [Step; 15] = [
         ("fig03", ex::fig03_designs::run),
         ("fig04", ex::fig04_breakdown::run),
         ("fig05", ex::fig05_prob_bypass::run),
@@ -48,6 +51,7 @@ fn main() {
         ("fig12", ex::fig12_bear::run),
         ("table4", ex::table4_latency::run),
         ("fig13", ex::fig13_bloat::run),
+        ("bloat_ledger", ex::bloat_ledger::run),
         ("fig14", ex::fig14_sensitivity::run),
         ("fig15", ex::fig15_banks::run),
         ("fig16", ex::fig16_sram_tags::run),
@@ -66,6 +70,9 @@ fn main() {
     chaos::arm_from_env(args.out.as_deref());
     supervisor::set_manifest_dir(args.out.as_deref());
     telemetry::set_active(args.telemetry_sink());
+    if args.metrics_out.is_some() {
+        metrics::set_active(Some(bear_telemetry::Registry::new()));
+    }
     runner::set_heartbeat(true);
     for (name, f) in steps {
         if !args.selected(name) {
@@ -94,6 +101,16 @@ fn main() {
     }
     if let Some(report) = supervisor::profile_report() {
         eprintln!("[{report}]");
+    }
+    if let Some(path) = args.metrics_out.as_deref() {
+        match metrics::write_active(path) {
+            Ok(p) => eprintln!("[metrics: {}]", p.display()),
+            Err(e) => eprintln!(
+                "[warning: failed to write metrics to {}: {e}]",
+                path.display()
+            ),
+        }
+        metrics::set_active(None);
     }
     runner::set_heartbeat(false);
     telemetry::set_active(None);

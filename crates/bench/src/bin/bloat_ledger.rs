@@ -1,0 +1,6 @@
+//! Ledger-backed bloat decomposition for the B/BD/BDN/BEAR ladder
+//! (see `bear_bench::experiments::bloat_ledger`).
+
+fn main() {
+    bear_bench::cli::run_single("bloat_ledger", bear_bench::experiments::bloat_ledger::run);
+}

@@ -82,12 +82,15 @@ fn run_armed(
     (stats, report)
 }
 
-/// Exports the ring buffer + transfer log as a Chrome trace document.
-fn export_trace(report: &TelemetryReport) -> ChromeTrace {
+/// Exports the ring buffer + transfer log as a Chrome trace document,
+/// tagged with the cell's correlation id so the trace joins against
+/// telemetry JSONL and metrics for the same cell.
+fn export_trace(report: &TelemetryReport, trace_id: &str) -> ChromeTrace {
     const PID_EVENTS: u64 = 1;
     const PID_BANKS: u64 = 2;
     let mut trace = ChromeTrace::new();
     trace.name_process(PID_EVENTS, "simulator");
+    trace.set_trace_id(PID_EVENTS, trace_id);
     trace.name_thread(PID_EVENTS, 0, "ObsEvent ring");
     trace.name_process(PID_BANKS, "DRAM cache");
     // One track per (channel, bank) that actually transferred data.
@@ -242,10 +245,22 @@ fn main() {
         jsonl.lines().count()
     );
 
-    // Chrome trace: validated by re-parsing the document.
-    let trace = export_trace(&report);
+    // Chrome trace: validated by re-parsing the document. The cell's
+    // trace id is the FNV digest of its (design, workload) name — the
+    // same stable-id scheme the daemon threads through job telemetry.
+    let trace_id = bear_telemetry::TraceId::from_name(&format!(
+        "{}/{}",
+        cfg.design.label(),
+        workloads[0].name
+    ))
+    .to_string();
+    let trace = export_trace(&report, &trace_id);
     let trace_json = trace.to_json();
     Json::parse(&trace_json).unwrap_or_else(|e| panic!("trace.json must re-parse: {e}"));
+    assert!(
+        trace_json.contains(&trace_id),
+        "trace.json must carry the cell's trace id"
+    );
     write(&out.join("trace.json"), &trace_json);
 
     // 2. A second cell with profiling only, to demonstrate campaign-wide

@@ -10,6 +10,10 @@
 //!   see [`crate::telemetry`]).
 //! - `--sample-window N` — telemetry window length in cycles (default
 //!   10k; only meaningful with `--telemetry`).
+//! - `--metrics-out PATH` — arm a process-wide metrics
+//!   [`Registry`](bear_telemetry::Registry) for the campaign and write
+//!   its stable JSON dump (per-cell attributed byte decomposition, bloat
+//!   factors) to `PATH` when the run finishes (see [`crate::metrics`]).
 //!
 //! Report-path notices go to **stderr** so stdout stays byte-identical
 //! with and without `--out` (experiment logs are diffed verbatim).
@@ -65,6 +69,8 @@ pub struct CampaignArgs {
     pub telemetry: bool,
     /// Telemetry window override in cycles (`--sample-window N`).
     pub sample_window: Option<u64>,
+    /// Write the final metrics-registry dump here (`--metrics-out PATH`).
+    pub metrics_out: Option<PathBuf>,
 }
 
 impl CampaignArgs {
@@ -139,6 +145,13 @@ fn parse_flags(
             parsed.sample_window = Some(parse_window(&v));
         } else if let Some(v) = arg.strip_prefix("--sample-window=") {
             parsed.sample_window = Some(parse_window(v));
+        } else if arg == "--metrics-out" {
+            let path = args
+                .next()
+                .unwrap_or_else(|| panic!("--metrics-out requires a file path"));
+            parsed.metrics_out = Some(PathBuf::from(path));
+        } else if let Some(path) = arg.strip_prefix("--metrics-out=") {
+            parsed.metrics_out = Some(PathBuf::from(path));
         } else {
             panic!("unrecognized argument `{arg}` (supported: {supported})");
         }
@@ -147,18 +160,23 @@ fn parse_flags(
 }
 
 /// Extracts the single-binary flags (`--out DIR`, `--telemetry`,
-/// `--sample-window N`) from an argument list.
+/// `--sample-window N`, `--metrics-out PATH`) from an argument list.
 ///
 /// # Panics
 ///
 /// Panics (with a usage message) on a flag without its value or on any
 /// unrecognized argument, matching [`parse_out_dir`]'s behavior.
 pub fn parse_single_args(args: impl Iterator<Item = String>) -> CampaignArgs {
-    parse_flags(args, false, "--out DIR, --telemetry, --sample-window N")
+    parse_flags(
+        args,
+        false,
+        "--out DIR, --telemetry, --sample-window N, --metrics-out PATH",
+    )
 }
 
 /// Extracts the campaign-driver flags (`--out DIR`, `--only LIST`,
-/// `--telemetry`, `--sample-window N`) from an argument list.
+/// `--telemetry`, `--sample-window N`, `--metrics-out PATH`) from an
+/// argument list.
 ///
 /// # Panics
 ///
@@ -168,20 +186,45 @@ pub fn parse_campaign_args(args: impl Iterator<Item = String>) -> CampaignArgs {
     parse_flags(
         args,
         true,
-        "--out DIR, --only LIST, --telemetry, --sample-window N",
+        "--out DIR, --only LIST, --telemetry, --sample-window N, --metrics-out PATH",
     )
 }
 
 /// Entry point for a single-experiment binary: builds the plan from the
-/// environment, runs `f`, and honors `--out DIR` / `--telemetry`.
+/// environment, runs `f`, and honors `--out DIR` / `--telemetry` /
+/// `--metrics-out`.
 pub fn run_single(experiment: &str, f: fn(&RunPlan, &mut Report)) {
-    let args = parse_single_args(std::env::args().skip(1));
+    run_single_with(experiment, parse_single_args(std::env::args().skip(1)), f);
+}
+
+/// [`run_single`] with pre-parsed arguments; returns the finished report
+/// so wrapper binaries (e.g. `loop_speedup`'s `BENCH_core.json` emitter)
+/// can derive further artifacts from its rows and scalars.
+pub fn run_single_with(
+    experiment: &str,
+    args: CampaignArgs,
+    f: fn(&RunPlan, &mut Report),
+) -> Report {
     let plan = RunPlan::from_env();
     crate::telemetry::set_active(args.telemetry_sink());
+    if args.metrics_out.is_some() {
+        crate::metrics::set_active(Some(bear_telemetry::Registry::new()));
+    }
     let mut report = Report::new(experiment);
     f(&plan, &mut report);
     write_report(&mut report, args.out.as_deref(), &plan);
+    if let Some(path) = args.metrics_out.as_deref() {
+        match crate::metrics::write_active(path) {
+            Ok(p) => eprintln!("[metrics: {}]", p.display()),
+            Err(e) => eprintln!(
+                "[warning: failed to write metrics to {}: {e}]",
+                path.display()
+            ),
+        }
+        crate::metrics::set_active(None);
+    }
     crate::telemetry::set_active(None);
+    report
 }
 
 /// Folds any cell failures recorded during the experiment into `report`,
@@ -268,6 +311,21 @@ mod tests {
         assert_eq!(b.sample_window, Some(250));
         assert!(!b.telemetry);
         assert!(b.telemetry_sink().is_none(), "window alone arms nothing");
+    }
+
+    #[test]
+    fn metrics_out_parses_in_both_forms() {
+        let a = parse_single_args(args(&["--metrics-out", "m.json"]));
+        assert_eq!(a.metrics_out, Some(PathBuf::from("m.json")));
+        let b = parse_campaign_args(args(&["--out=r", "--metrics-out=dir/m.json"]));
+        assert_eq!(b.metrics_out, Some(PathBuf::from("dir/m.json")));
+        assert!(parse_single_args(args(&[])).metrics_out.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "--metrics-out requires")]
+    fn rejects_dangling_metrics_out() {
+        parse_single_args(args(&["--metrics-out"]));
     }
 
     #[test]

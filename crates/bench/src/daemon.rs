@@ -23,8 +23,18 @@
 //!  "workload":"rate:mcf","warmup":2000,"measure":3000,"scale":12}
 //! {"op":"cancel","id":"j1"}
 //! {"op":"status"}
+//! {"op":"metrics"}
 //! {"op":"drain"}            // or {"op":"drain","mode":"fast"}
 //! ```
+//!
+//! `metrics` returns a live snapshot of the daemon's metrics registry —
+//! queue depth, per-client admission/shed counters, the EWMA retry-after
+//! hint, worker health, a job wall-time histogram, and the per-job bloat
+//! decomposition recorded so far — both as the registry's stable JSON
+//! dump (`"registry"`) and as Prometheus-style text (`"exposition"`).
+//! Every job carries a stable trace id (`{:016x}` of [`JobSpec::key`]),
+//! stamped onto streamed telemetry lines and supervision rows, so one
+//! submission can be correlated across retries and restarts.
 //!
 //! A submission is **acknowledged only after its journal entry is
 //! durably committed** — the `accepted` line is the client's receipt
@@ -90,7 +100,7 @@ use bear_core::config::{BearFeatures, DesignKind, SystemConfig};
 use bear_core::metrics::RunStats;
 use bear_core::system::System;
 use bear_sim::faultinject::{ChaosPlan, DaemonChaosKind};
-use bear_telemetry::live_channel;
+use bear_telemetry::{live_channel, Registry};
 use bear_workloads::Workload;
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, BufReader, Read, Write};
@@ -195,6 +205,14 @@ impl JobSpec {
         checkpoint::fnv1a64(self.canonical_line().as_bytes())
     }
 
+    /// The job's correlation/trace id: the identity hash rendered as 16
+    /// hex digits. Identical across retries, worker respawns, and daemon
+    /// restarts — grep it through streamed telemetry, supervision rows,
+    /// and Chrome traces to follow one submission end to end.
+    pub fn trace_id(&self) -> String {
+        format!("{:016x}", self.key())
+    }
+
     /// Journal file stem: a sanitized id slug plus the identity hash, so
     /// two specs reusing one id can never overwrite each other's entry.
     pub fn stem(&self) -> String {
@@ -236,6 +254,8 @@ pub enum Request {
     Cancel(String),
     /// Snapshot the daemon's counters.
     Status,
+    /// Snapshot the live metrics registry (JSON dump + exposition text).
+    Metrics,
     /// Stop intake and shut down; `fast` checkpoints queued jobs instead
     /// of finishing them.
     Drain {
@@ -386,6 +406,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         }
         "cancel" => Ok(Request::Cancel(str_field("id")?)),
         "status" => Ok(Request::Status),
+        "metrics" => Ok(Request::Metrics),
         "drain" => {
             let fast = match doc.get("mode").and_then(Json::as_str) {
                 None => false,
@@ -695,6 +716,9 @@ struct Shared {
     /// Signals waiters: a job settled, a worker exited, the listener
     /// closed.
     settled: Condvar,
+    /// Live metrics registry, shared by every service thread
+    /// (observability-only: nothing in it feeds `daemon_report.json`).
+    registry: Registry,
     conn_counter: AtomicU64,
     shutdown: AtomicBool,
     worker_handles: Mutex<Vec<Option<std::thread::JoinHandle<()>>>>,
@@ -850,6 +874,7 @@ impl Daemon {
             state: Mutex::new(st),
             work: Condvar::new(),
             settled: Condvar::new(),
+            registry: Registry::new(),
             conn_counter: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             worker_handles: Mutex::new(Vec::new()),
@@ -894,6 +919,12 @@ impl Daemon {
     /// The address clients dial (also in `OUT/daemon.addr`).
     pub fn addr(&self) -> &str {
         &self.shared.addr
+    }
+
+    /// The daemon's live metrics registry (what `{"op":"metrics"}`
+    /// snapshots). Cloning is cheap; all clones share the same series.
+    pub fn registry(&self) -> Registry {
+        self.shared.registry.clone()
     }
 
     /// Blocks until a client drains the daemon, then joins every service
@@ -1121,12 +1152,52 @@ fn serve_conn(shared: &Arc<Shared>, conn: Conn) {
                 drop(st);
                 reply.send_line(&line);
             }
+            Request::Metrics => {
+                reply.send_line(&metrics_line(shared));
+            }
             Request::Drain { fast } => {
                 handle_drain(shared, fast, &reply);
                 return; // the daemon is gone; nothing more to serve
             }
         }
     }
+}
+
+/// Builds the `{"op":"metrics"}` response: refreshes the state-derived
+/// gauges (queue depth, worker health, the EWMA-based retry-after hint),
+/// then snapshots the registry as both its stable JSON dump
+/// (`"registry"`) and Prometheus-style text (`"exposition"`).
+fn metrics_line(shared: &Arc<Shared>) -> String {
+    let reg = &shared.registry;
+    {
+        let st = shared.state.lock().expect("daemon state poisoned");
+        reg.set_help("beard_queue_depth", "Jobs queued and not yet running");
+        reg.gauge("beard_queue_depth", &[]).set(st.queued as f64);
+        reg.set_help("beard_running_jobs", "Jobs currently on a worker");
+        reg.gauge("beard_running_jobs", &[])
+            .set(st.running.len() as f64);
+        reg.set_help("beard_workers_alive", "Live worker threads");
+        reg.gauge("beard_workers_alive", &[])
+            .set(st.workers_alive as f64);
+        reg.set_help("beard_mean_job_ms", "EWMA of observed job wall time (ms)");
+        reg.gauge("beard_mean_job_ms", &[]).set(st.mean_job_ms);
+        reg.set_help(
+            "beard_retry_after_hint_ms",
+            "Retry-after hint an overloaded submission would receive right now (ms)",
+        );
+        reg.gauge("beard_retry_after_hint_ms", &[])
+            .set(retry_after_ms(&st, shared.cfg.workers) as f64);
+        reg.set_help("beard_draining", "1 once a drain has been requested");
+        reg.gauge("beard_draining", &[])
+            .set(if st.draining.is_some() { 1.0 } else { 0.0 });
+    }
+    let registry = Json::parse(&reg.to_json()).expect("registry dump is valid JSON");
+    Json::Obj(vec![
+        ("type".into(), Json::Str("metrics".into())),
+        ("registry".into(), registry),
+        ("exposition".into(), Json::Str(reg.exposition())),
+    ])
+    .to_string()
 }
 
 fn handle_submit(shared: &Arc<Shared>, spec: &JobSpec, reply: &ReplyHandle) -> String {
@@ -1168,11 +1239,13 @@ fn handle_submit(shared: &Arc<Shared>, spec: &JobSpec, reply: &ReplyHandle) -> S
         }
         if st.queued >= shared.cfg.queue_capacity {
             st.counters.shed += 1;
+            record_shed(&shared.registry, &spec.client);
             return overloaded_line(spec, &st, shared.cfg.workers, "queue full");
         }
         let client_depth = st.queues.get(&spec.client).map_or(0, VecDeque::len);
         if client_depth >= shared.cfg.client_quota {
             st.counters.shed += 1;
+            record_shed(&shared.registry, &spec.client);
             return overloaded_line(spec, &st, shared.cfg.workers, "client quota exhausted");
         }
         st.jobs.insert(
@@ -1187,6 +1260,13 @@ fn handle_submit(shared: &Arc<Shared>, spec: &JobSpec, reply: &ReplyHandle) -> S
         );
         enqueue(&mut st, &spec.client, spec.id.clone());
         st.counters.accepted += 1;
+        shared
+            .registry
+            .set_help("beard_admissions_total", "Jobs accepted, per client");
+        shared
+            .registry
+            .counter("beard_admissions_total", &[("client", &spec.client)])
+            .inc();
     }
     // Journal OUTSIDE the state lock (it fsyncs), but BEFORE the ack:
     // `accepted` is the durability receipt.
@@ -1209,6 +1289,17 @@ fn handle_submit(shared: &Arc<Shared>, spec: &JobSpec, reply: &ReplyHandle) -> S
     maybe_daemon_kill(shared, spec);
     shared.work.notify_all();
     accepted_line(&spec.id)
+}
+
+/// Bumps the per-client shed counter (both shed paths: queue full and
+/// client quota).
+fn record_shed(reg: &Registry, client: &str) {
+    reg.set_help(
+        "beard_sheds_total",
+        "Submissions shed with `overloaded`, per client",
+    );
+    reg.counter("beard_sheds_total", &[("client", client)])
+        .inc();
 }
 
 fn overloaded_line(spec: &JobSpec, st: &State, workers: usize, why: &str) -> String {
@@ -1377,17 +1468,29 @@ fn run_job(shared: &Arc<Shared>, idx: usize, id: &str) {
     );
 
     // Live telemetry: a per-job sink whose samples a forwarder thread
-    // streams down the submitting connection as each window closes.
+    // streams down the submitting connection as each window closes. Each
+    // line carries the job's trace id, and the attributed byte deltas
+    // accumulate into per-job gauges — the "decomposition so far" a
+    // metrics scrape sees while the job is still running.
+    let trace = spec.trace_id();
     let (live, forwarder) = if spec.telemetry && reply.is_some() {
         let (sink, rx) = live_channel();
         let fwd_reply = reply.clone().expect("checked above");
         let fwd_id = spec.id.clone();
+        let fwd_trace = trace.clone();
+        let fwd_reg = shared.registry.clone();
         let handle = std::thread::spawn(move || {
+            let mut attr = [0u64; 8];
             for sample in rx {
+                for (total, delta) in attr.iter_mut().zip(sample.attributed_bytes_by_class) {
+                    *total += delta;
+                }
+                record_job_decomposition(&fwd_reg, &fwd_id, &attr, None);
                 if let Ok(sample_json) = Json::parse(&sample.to_json_line()) {
                     let line = Json::Obj(vec![
                         ("type".into(), Json::Str("telemetry".into())),
                         ("id".into(), Json::Str(fwd_id.clone())),
+                        ("trace".into(), Json::Str(fwd_trace.clone())),
                         ("sample".into(), sample_json),
                     ])
                     .to_string();
@@ -1439,6 +1542,7 @@ fn run_job(shared: &Arc<Shared>, idx: usize, id: &str) {
 
     if let Some(mut row) = row {
         row.experiment = "daemon".into();
+        row.trace = Some(trace.clone());
         row.checkpoint = shared
             .results
             .committed_path(&cfg, &workload)
@@ -1449,6 +1553,29 @@ fn run_job(shared: &Arc<Shared>, idx: usize, id: &str) {
         if let Err(e) = supervisor::merge_rows_into(&shared.cfg.out, vec![row]) {
             eprintln!("[daemon: failed to persist failures.json: {e}]");
         }
+    }
+
+    // Observability: job wall time and, for completed jobs, the final
+    // attributed decomposition. Idempotent by construction — a cached
+    // replay or resumed job overwrites the same series.
+    shared
+        .registry
+        .set_help("beard_job_wall_ms", "Job wall time (ms)");
+    shared
+        .registry
+        .histogram(
+            "beard_job_wall_ms",
+            &[],
+            &[10.0, 100.0, 1_000.0, 10_000.0, 60_000.0],
+        )
+        .observe(started.elapsed().as_secs_f64() * 1_000.0);
+    if let Ok(stats) = &outcome {
+        record_job_decomposition(
+            &shared.registry,
+            &spec.id,
+            &stats.bloat.bytes,
+            Some(stats.bloat.factor()),
+        );
     }
 
     // Settle.
@@ -1498,6 +1625,25 @@ fn run_job(shared: &Arc<Shared>, idx: usize, id: &str) {
         reply.send_line(&line);
     }
     shared.settled.notify_all();
+}
+
+/// Sets the per-job attributed-byte gauges (and, once known, the final
+/// bloat factor). `set`, not `add`: live telemetry windows, retries, and
+/// the final stats all converge on the same series without double
+/// counting.
+fn record_job_decomposition(reg: &Registry, job: &str, bytes: &[u64; 8], factor: Option<f64>) {
+    reg.set_help(
+        "beard_job_cache_bytes",
+        "DRAM-cache bytes attributed per bloat category, per job (so far)",
+    );
+    for (key, &b) in bear_telemetry::CACHE_BYTE_KEYS.iter().zip(bytes) {
+        reg.gauge("beard_job_cache_bytes", &[("job", job), ("category", key)])
+            .set(b as f64);
+    }
+    if let Some(f) = factor {
+        reg.set_help("beard_job_bloat_factor", "Final bloat factor, per job");
+        reg.gauge("beard_job_bloat_factor", &[("job", job)]).set(f);
+    }
 }
 
 /// The notification line a settled job sends its client; `None` for
@@ -1557,11 +1703,24 @@ fn monitor_loop(shared: &Arc<Shared>) {
                 let mut st = shared.state.lock().expect("daemon state poisoned");
                 if let Some(id) = st.running.remove(&idx) {
                     requeue_front(&mut st, id.clone());
+                    shared.registry.set_help(
+                        "beard_requeues_total",
+                        "Jobs requeued after their worker died mid-job",
+                    );
+                    shared.registry.counter("beard_requeues_total", &[]).inc();
                     eprintln!("[daemon: worker {idx} died mid-job; requeued {id} and respawned]");
                 } else {
                     eprintln!("[daemon: worker {idx} died idle; respawned]");
                 }
                 st.counters.workers_respawned += 1;
+                shared.registry.set_help(
+                    "beard_workers_respawned_total",
+                    "Replacement workers spawned",
+                );
+                shared
+                    .registry
+                    .counter("beard_workers_respawned_total", &[])
+                    .inc();
             }
             let sh = shared.clone();
             handles[idx] = Some(std::thread::spawn(move || worker_loop(&sh, idx)));

@@ -9,6 +9,7 @@
 //! campaign.
 
 pub mod ablations;
+pub mod bloat_ledger;
 pub mod fig03_designs;
 pub mod fig04_breakdown;
 pub mod fig05_prob_bypass;

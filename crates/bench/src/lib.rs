@@ -32,6 +32,7 @@ pub mod checkpoint;
 pub mod cli;
 pub mod daemon;
 pub mod experiments;
+pub mod metrics;
 pub mod microbench;
 pub mod report;
 pub mod runner;
@@ -157,6 +158,10 @@ pub fn run_one(cfg: &SystemConfig, workload: &Workload) -> RunStats {
 /// to the reports. Cached cells skip both arming and writing, so a
 /// resumed campaign never duplicates or tears a cell's sample file.
 ///
+/// When a campaign armed a [`metrics`] registry (`--metrics-out`), each
+/// freshly simulated cell additionally records its attributed byte
+/// decomposition there — observability-only, never touching the stats.
+///
 /// # Errors
 ///
 /// Anything [`System::try_build`](bear_core::system::System::try_build)
@@ -172,6 +177,7 @@ pub fn try_run_one(cfg: &SystemConfig, workload: &Workload) -> RunOutcome<RunSta
     let mut stats = sys.run_monitored(cfg.warmup_cycles, cfg.measure_cycles)?;
     stats.workload = workload.name.clone();
     telemetry::write_active(cfg, workload, &mut sys);
+    metrics::record_cell(cfg, workload, &stats);
     checkpoint::store_active(cfg, workload, &stats);
     runner::heartbeat(cfg, workload);
     Ok(stats)

@@ -149,6 +149,10 @@ pub struct SupervisionRow {
     pub checkpoint: Option<String>,
     /// How to reproduce the cell in isolation.
     pub repro: String,
+    /// Correlation id threading this event to telemetry lines and
+    /// metrics (the daemon stamps its per-job trace id here; batch
+    /// campaigns leave it absent and their manifests unchanged).
+    pub trace: Option<String>,
 }
 
 impl SupervisionRow {
@@ -170,6 +174,11 @@ impl SupervisionRow {
             self.checkpoint.clone().map_or(Json::Null, Json::Str),
         ));
         fields.push(("repro".into(), Json::Str(self.repro.clone())));
+        // Only daemon rows carry a trace; omitting the key otherwise
+        // keeps batch-campaign manifests byte-identical to before.
+        if let Some(trace) = &self.trace {
+            fields.push(("trace".into(), Json::Str(trace.clone())));
+        }
         Json::Obj(fields)
     }
 }
@@ -262,6 +271,7 @@ fn sort_rows(v: &mut [SupervisionRow]) {
             r.chaos.clone(),
             r.checkpoint.clone(),
             r.repro.clone(),
+            r.trace.clone(),
         )
     };
     v.sort_by_key(key);
@@ -284,6 +294,7 @@ fn row_from_json(v: &Json, disposition: Disposition) -> Option<SupervisionRow> {
         chaos: s("chaos"),
         checkpoint: s("checkpoint"),
         repro: s("repro")?,
+        trace: s("trace"),
     })
 }
 
@@ -608,6 +619,7 @@ where
                         chaos: chaos_label.clone(),
                         checkpoint: None,
                         repro: repro.to_string(),
+                        trace: None,
                     }
                 });
                 return (Ok(r), row);
@@ -642,6 +654,7 @@ where
                     chaos: chaos_label,
                     checkpoint: None,
                     repro: repro.to_string(),
+                    trace: None,
                 };
                 return (Err(e), Some(row));
             }
@@ -664,6 +677,7 @@ pub(crate) fn record_absorbed(config: &str, workload: &str, kind: &str, chaos: &
         chaos: Some(chaos.to_string()),
         checkpoint: None,
         repro: String::new(),
+        trace: None,
     });
 }
 
@@ -841,6 +855,7 @@ mod tests {
                         chaos: None,
                         checkpoint: None,
                         repro: String::new(),
+                        trace: None,
                     };
                     merge_rows_into(&dir, vec![row]).expect("merge");
                 })
@@ -905,6 +920,7 @@ mod tests {
             chaos: None,
             checkpoint: None,
             repro: String::new(),
+            trace: None,
         };
         let mut a = vec![
             mk("B", "w2", "panic"),

@@ -1,0 +1,51 @@
+//! Property test for the bandwidth-attribution ledger's conservation
+//! law: every DRAM byte the simulator moves must be attributed to
+//! exactly one `BloatCategory`/`MemTraffic` source.
+//!
+//! Each case runs a full oracle lockstep (which arms the per-tick
+//! attribution-conservation invariant and, once the system drains,
+//! `bear_oracle::audit::audit_ledger` — an exact per-class and total
+//! comparison of the ledger against both devices' byte meters). The grid
+//! crosses all four adversarial trace generators with the paper's
+//! B/BD/BDN/BEAR feature ladder, so the law holds under set-conflict
+//! storms, dirty-eviction floods, duel-set thrash, and NTC neighbor
+//! aliasing alike — on every rung of the technique stack.
+
+use bear_core::config::DesignKind;
+use bear_oracle::fuzz::{run_case, FeatureSet, FuzzCase};
+use bear_workloads::AdversarialPattern;
+
+/// The B/BD/BDN/BEAR rungs (`bloat_ledger`'s ladder, oracle-side).
+const RUNGS: [FeatureSet; 4] = [
+    FeatureSet::None,
+    FeatureSet::Bab,
+    FeatureSet::BabDcp,
+    FeatureSet::Full,
+];
+
+#[test]
+fn attributed_bytes_conserve_across_adversarial_grid() {
+    for pattern in AdversarialPattern::ALL {
+        for features in RUNGS {
+            let mut case = FuzzCase::new(DesignKind::Alloy, features, pattern, 0xBEA2);
+            // Short but drain-complete: the post-drain ledger audit is
+            // the exact equality this test exists for.
+            case.cycles = 6_000;
+            case.trace_len = 1_500;
+            let report = run_case(&case).unwrap_or_else(|e| {
+                panic!(
+                    "{}/{}: attribution conservation violated: {e}",
+                    pattern.label(),
+                    features.label()
+                )
+            });
+            assert!(
+                report.drained,
+                "{}/{}: system failed to drain, so the ledger audit never ran",
+                pattern.label(),
+                features.label()
+            );
+            assert!(report.cycles > 0);
+        }
+    }
+}

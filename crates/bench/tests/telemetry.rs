@@ -7,11 +7,17 @@
 //!    returns before the sink is consulted, so rerunning a finished
 //!    campaign neither re-simulates nor rewrites (or tears) its sample
 //!    files.
+//! 3. **The metrics registry rides the same double gate** — arming a
+//!    campaign-wide registry records the cell's attributed decomposition
+//!    without changing a single report byte, and with the registry off
+//!    the run is byte-identical to one that never heard of metrics.
 //!
-//! The sink and checkpoint registries are process-wide, so everything
-//! runs in a single `#[test]` to keep activation windows disjoint.
+//! The sink, checkpoint, and metrics registries are process-wide, so
+//! everything runs in a single `#[test]` to keep activation windows
+//! disjoint.
 
 use bear_bench::checkpoint::{self, cell_stem, CellStore};
+use bear_bench::metrics;
 use bear_bench::report::{stats_to_json, Json};
 use bear_bench::telemetry::{self, TelemetrySink};
 use bear_bench::try_run_one;
@@ -79,6 +85,48 @@ fn telemetry_off_is_free_and_resume_does_not_duplicate() {
     }
     assert_eq!(lookup_sum, plain.l4.read_lookups, "window sums == totals");
     assert_eq!(mem_sum, plain.mem_bytes, "window sums == totals");
+
+    // Phase 1b: the metrics registry obeys the same double gate. An
+    // armed registry must observe the cell (non-empty, attributed bytes
+    // recorded) while the stats stay byte-identical to the plain run.
+    let reg = bear_telemetry::Registry::new();
+    metrics::set_active(Some(reg.clone()));
+    let metered = try_run_one(&cfg, &workload).expect("metered run");
+    metrics::set_active(None);
+    assert_eq!(
+        plain_json,
+        stats_to_json(&metered).to_string_pretty(),
+        "arming the metrics registry must not change a single report byte"
+    );
+    assert!(!reg.is_empty(), "the armed registry saw the cell");
+    let attributed: u64 = bear_telemetry::CACHE_BYTE_KEYS
+        .iter()
+        .map(|key| {
+            reg.counter(
+                "bear_cell_cache_bytes_total",
+                &[
+                    ("design", cfg.design.label()),
+                    ("workload", &workload.name),
+                    ("category", key),
+                ],
+            )
+            .get()
+        })
+        .sum();
+    assert_eq!(
+        attributed,
+        plain.bloat.total_bytes(),
+        "registry counters carry the full attributed decomposition"
+    );
+    // And a disarmed follow-up run records nothing new.
+    let before = reg.len();
+    let unmetered = try_run_one(&cfg, &workload).expect("unmetered run");
+    assert_eq!(plain_json, stats_to_json(&unmetered).to_string_pretty());
+    assert_eq!(
+        reg.len(),
+        before,
+        "a disarmed run must not touch the registry"
+    );
 
     // Phase 2: resume. Commit the cell to a checkpoint store, delete its
     // sample file, then rerun with both store and sink active: the cached

@@ -6,6 +6,7 @@
 //! queuing delay. Requests carry `(transaction id, leg)` so completions can
 //! be routed back to the owning state machine.
 
+use crate::ledger::AttributionLedger;
 use bear_dram::config::DramConfig;
 use bear_dram::device::{Completion, DramDevice};
 use bear_dram::mapping::{AddressMapper, Interleave};
@@ -65,6 +66,10 @@ pub struct DeviceHarness {
     /// Bytes submitted to the cache device since the last stats reset —
     /// the "expected" side of the byte-conservation invariant.
     expected_cache_bytes: u64,
+    /// Per-class byte attribution for both devices, charged at submit
+    /// time — the "expected" side of the attribution-conservation
+    /// invariant and the source feeding window samples and metrics.
+    ledger: AttributionLedger,
     /// When set, [`DeviceHarness::tick`] elides channels whose memoized
     /// busy hint proves this cycle a no-op (see
     /// [`DramDevice::tick_gated`]). Both settings produce bit-identical
@@ -85,6 +90,7 @@ impl DeviceHarness {
             mem_retry: VecDeque::new(),
             scratch: Vec::with_capacity(16),
             expected_cache_bytes: 0,
+            ledger: AttributionLedger::new(),
             event_gated: false,
         }
     }
@@ -110,7 +116,9 @@ impl DeviceHarness {
         now: Cycle,
     ) {
         debug_assert!(matches!(leg, Leg::CacheProbe | Leg::CacheData));
-        self.expected_cache_bytes += beats * self.cache.config().topology.beat_bytes;
+        let bytes = beats * self.cache.config().topology.beat_bytes;
+        self.expected_cache_bytes += bytes;
+        self.ledger.charge(class, bytes);
         self.cache_retry.push_back(DramRequest::read(
             Self::encode_id(txn, leg),
             location,
@@ -129,7 +137,9 @@ impl DeviceHarness {
         class: TrafficClass,
         now: Cycle,
     ) {
-        self.expected_cache_bytes += beats * self.cache.config().topology.beat_bytes;
+        let bytes = beats * self.cache.config().topology.beat_bytes;
+        self.expected_cache_bytes += bytes;
+        self.ledger.charge(class, bytes);
         self.cache_retry.push_back(DramRequest::write(
             Self::encode_id(txn, Leg::PostedWrite),
             location,
@@ -143,6 +153,8 @@ impl DeviceHarness {
     pub fn mem_read(&mut self, txn: u64, line_addr: u64, class: TrafficClass, now: Cycle) {
         let loc = self.mem_mapper.map(line_addr * 64);
         let beats = self.mem.config().topology.beats_for(64);
+        self.ledger
+            .charge(class, beats * self.mem.config().topology.beat_bytes);
         self.mem_retry.push_back(DramRequest::read(
             Self::encode_id(txn, Leg::MemRead),
             loc,
@@ -156,6 +168,8 @@ impl DeviceHarness {
     pub fn mem_write(&mut self, txn: u64, line_addr: u64, class: TrafficClass, now: Cycle) {
         let loc = self.mem_mapper.map(line_addr * 64);
         let beats = self.mem.config().topology.beats_for(64);
+        self.ledger
+            .charge(class, beats * self.mem.config().topology.beat_bytes);
         self.mem_retry.push_back(DramRequest::write(
             Self::encode_id(txn, Leg::PostedWrite),
             loc,
@@ -246,6 +260,44 @@ impl DeviceHarness {
         self.cache_retry.iter().map(|r| r.beats * beat_bytes).sum()
     }
 
+    /// The bandwidth-attribution ledger (per-class bytes, both devices).
+    pub fn ledger(&self) -> &AttributionLedger {
+        &self.ledger
+    }
+
+    /// Per-class bytes held in retry queues (both devices), not yet
+    /// visible to either device's meters or channel queues.
+    fn retry_bytes_by_class(&self) -> [u64; TrafficClass::COUNT] {
+        let mut out = [0u64; TrafficClass::COUNT];
+        let cache_beat = self.cache.config().topology.beat_bytes;
+        for r in &self.cache_retry {
+            out[(r.class.0 as usize).min(TrafficClass::COUNT - 1)] += r.beats * cache_beat;
+        }
+        let mem_beat = self.mem.config().topology.beat_bytes;
+        for r in &self.mem_retry {
+            out[(r.class.0 as usize).min(TrafficClass::COUNT - 1)] += r.beats * mem_beat;
+        }
+        out
+    }
+
+    /// Per-class bytes observable outside the ledger: device meters
+    /// (counted at CAS issue) plus channel queues plus retry queues,
+    /// summed over both devices. The attribution-conservation invariant
+    /// compares this against the ledger class by class.
+    fn observed_bytes_by_class(&self) -> [u64; TrafficClass::COUNT] {
+        let mut out = self.retry_bytes_by_class();
+        let cache_queued = self.cache.queued_bytes_by_class();
+        let mem_queued = self.mem.queued_bytes_by_class();
+        for (idx, slot) in out.iter_mut().enumerate() {
+            let class = TrafficClass(idx as u8);
+            *slot += self.cache.bytes_in_class(class)
+                + self.mem.bytes_in_class(class)
+                + cache_queued[idx]
+                + mem_queued[idx];
+        }
+        out
+    }
+
     /// Resets both devices' statistics and re-seeds the expected-bytes
     /// counter so the byte-conservation invariant stays balanced across a
     /// reset: transferred bytes restart at zero, so only bytes still
@@ -256,11 +308,26 @@ impl DeviceHarness {
         self.cache.reset_stats();
         self.mem.reset_stats();
         self.expected_cache_bytes = self.cache.queued_bytes() + self.cache_retry_bytes();
+        // Reseed the ledger the same way, class by class: transferred
+        // bytes restart at zero, so only bytes still queued (channel
+        // queues + retry queues, both devices) remain attributed.
+        let mut seed = self.retry_bytes_by_class();
+        let cache_queued = self.cache.queued_bytes_by_class();
+        let mem_queued = self.mem.queued_bytes_by_class();
+        for (idx, slot) in seed.iter_mut().enumerate() {
+            *slot += cache_queued[idx] + mem_queued[idx];
+        }
+        self.ledger.reseed(seed);
     }
 
     /// Perturbs the expected-bytes counter (fault injection only).
     pub fn corrupt_expected_bytes(&mut self) {
         self.expected_cache_bytes ^= 0x40;
+    }
+
+    /// Perturbs the attribution ledger (fault injection only).
+    pub fn corrupt_ledger(&mut self) {
+        self.ledger.corrupt();
     }
 
     /// Byte-conservation invariant: every byte submitted on the cache bus
@@ -284,6 +351,32 @@ impl DeviceHarness {
                      (transferred {transferred} + queued {queued} + retry {retry})"
                 )
             });
+        }
+    }
+
+    /// Attribution-conservation invariant: the per-class refinement of
+    /// [`DeviceHarness::check_byte_conservation`], over *both* devices.
+    /// Every byte the ledger attributed to a class must be transferred,
+    /// queued in a channel, or waiting in a retry queue under that same
+    /// class — so per-source attributed bytes always sum to total bytes
+    /// moved, with nothing double-counted or dropped.
+    pub fn check_attribution(&self, now: Cycle, sink: &mut InvariantSink) {
+        if !sink.enabled() {
+            return;
+        }
+        let observed = self.observed_bytes_by_class();
+        for (idx, &seen) in observed.iter().enumerate() {
+            let class = TrafficClass(idx as u8);
+            let attributed = self.ledger.bytes_in_class(class);
+            if attributed != seen {
+                sink.report("attribution-conservation", now.0, || {
+                    format!(
+                        "class {idx}: ledger attributed {attributed} bytes \
+                         but devices observed {seen}"
+                    )
+                });
+                return;
+            }
         }
     }
 }
@@ -398,6 +491,105 @@ mod tests {
         let done = run(&mut h, 20, 1_000_000);
         assert_eq!(done.len(), 20, "all requests eventually serviced");
         assert_eq!(h.pending(), 0);
+    }
+
+    #[test]
+    fn ledger_matches_devices_at_every_tick() {
+        use bear_sim::invariants::{CheckMode, InvariantSink};
+        let mut h = harness();
+        let mut sink = InvariantSink::new(CheckMode::Record);
+        h.cache_read(
+            1,
+            Leg::CacheProbe,
+            loc(0, 0, 1),
+            5,
+            BloatCategory::MissProbe.class(),
+            Cycle(0),
+        );
+        h.cache_write(
+            2,
+            loc(1, 0, 2),
+            5,
+            BloatCategory::MissFill.class(),
+            Cycle(0),
+        );
+        h.mem_read(3, 0x1000, MemTraffic::DemandRead.class(), Cycle(0));
+        h.mem_write(4, 0x2000, MemTraffic::VictimWrite.class(), Cycle(0));
+        let mut out = Vec::new();
+        let mut t = Cycle(0);
+        while h.pending() > 0 && t.0 < 1_000_000 {
+            h.tick(t, &mut out);
+            h.check_attribution(t, &mut sink);
+            h.check_byte_conservation(t, &mut sink);
+            t += 1;
+        }
+        assert_eq!(h.pending(), 0);
+        assert!(sink.violations().is_empty(), "{:?}", sink.violations());
+        // Fully drained: attribution equals the device meters exactly.
+        assert_eq!(
+            h.ledger().bytes_in_class(BloatCategory::MissProbe.class()),
+            h.cache.bytes_in_class(BloatCategory::MissProbe.class())
+        );
+        assert_eq!(
+            h.ledger().total(),
+            h.cache.total_bytes() + h.mem.total_bytes()
+        );
+    }
+
+    #[test]
+    fn ledger_survives_stats_reset_with_queued_work() {
+        use bear_sim::invariants::{CheckMode, InvariantSink};
+        let mut h = harness();
+        for i in 0..12 {
+            h.cache_read(
+                i,
+                Leg::CacheProbe,
+                loc(0, 0, i),
+                5,
+                BloatCategory::Hit.class(),
+                Cycle(0),
+            );
+            h.mem_write(
+                100 + i,
+                0x3000 + i * 64,
+                MemTraffic::Writeback.class(),
+                Cycle(0),
+            );
+        }
+        // Advance a little so some requests are mid-flight, then reset.
+        let mut out = Vec::new();
+        for t in 0..40u64 {
+            h.tick(Cycle(t), &mut out);
+        }
+        h.reset_device_stats();
+        let mut sink = InvariantSink::new(CheckMode::Record);
+        h.check_attribution(Cycle(40), &mut sink);
+        let mut t = Cycle(41);
+        while h.pending() > 0 && t.0 < 1_000_000 {
+            h.tick(t, &mut out);
+            h.check_attribution(t, &mut sink);
+            t += 1;
+        }
+        assert!(sink.violations().is_empty(), "{:?}", sink.violations());
+    }
+
+    #[test]
+    fn corrupted_ledger_trips_the_invariant() {
+        use bear_sim::invariants::{CheckMode, InvariantSink};
+        let mut h = harness();
+        h.cache_read(
+            1,
+            Leg::CacheProbe,
+            loc(0, 0, 1),
+            5,
+            BloatCategory::Hit.class(),
+            Cycle(0),
+        );
+        h.corrupt_ledger();
+        let mut sink = InvariantSink::new(CheckMode::Record);
+        h.check_attribution(Cycle(0), &mut sink);
+        assert_eq!(sink.violations().len(), 1);
+        assert!(sink.violations()[0].detail.contains("ledger attributed"));
     }
 
     #[test]

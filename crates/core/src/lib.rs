@@ -44,6 +44,7 @@ pub mod events;
 pub mod harness;
 pub mod l3;
 pub mod l4;
+pub mod ledger;
 pub mod metrics;
 pub mod ntc;
 pub mod overhead;

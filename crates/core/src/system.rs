@@ -740,6 +740,7 @@ impl System {
         self.l4
             .harness()
             .check_byte_conservation(now, &mut self.sink);
+        self.l4.harness().check_attribution(now, &mut self.sink);
         // DCP coherence: a set presence bit must imply the line is in the
         // DRAM cache. Only Alloy-with-DCP maintains the bit exactly
         // (InclusiveAlloy back-invalidates instead of clearing; with DCP
@@ -1180,9 +1181,12 @@ mod tests {
             sys.l4_cache()
                 .harness()
                 .check_byte_conservation(sys.now(), &mut sink);
+            sys.l4_cache()
+                .harness()
+                .check_attribution(sys.now(), &mut sink);
             assert!(
                 sink.violations().is_empty(),
-                "{design:?} byte conservation violated at drain: {:?}",
+                "{design:?} byte/attribution conservation violated at drain: {:?}",
                 sink.violations()
             );
             assert!(

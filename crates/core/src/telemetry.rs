@@ -44,6 +44,7 @@ pub(crate) struct CounterSnapshot {
     parallel_squashed: u64,
     wasted_parallel: u64,
     cache_bytes: [u64; 8],
+    attr_bytes: [u64; 8],
     mem_bytes: u64,
     bab_bypassed: u64,
     bab_filled: u64,
@@ -62,6 +63,7 @@ fn counter_snapshot(cores: &[Core], l3: &L3Cache, l4: &dyn L4Cache) -> CounterSn
     for (slot, cat) in cache_bytes.iter_mut().zip(BloatCategory::ALL) {
         *slot = l4.harness().cache.bytes_in_class(cat.class());
     }
+    let attr_bytes = l4.harness().ledger().cache_bytes();
     CounterSnapshot {
         insts: cores.iter().map(|c| c.retired_insts()).sum(),
         l3_hits: l3.hits(),
@@ -79,6 +81,7 @@ fn counter_snapshot(cores: &[Core], l3: &L3Cache, l4: &dyn L4Cache) -> CounterSn
         parallel_squashed: stats.parallel_squashed,
         wasted_parallel: stats.wasted_parallel,
         cache_bytes,
+        attr_bytes,
         mem_bytes: l4.harness().mem.total_bytes(),
         bab_bypassed: probe.bab_bypassed,
         bab_filled: probe.bab_filled,
@@ -212,6 +215,13 @@ impl TelemetryState {
         {
             *slot = now_b - base_b;
         }
+        let mut attributed_bytes_by_class = [0u64; 8];
+        for (slot, (now_b, base_b)) in attributed_bytes_by_class
+            .iter_mut()
+            .zip(cur.attr_bytes.iter().zip(b.attr_bytes))
+        {
+            *slot = now_b - base_b;
+        }
         let useful_bytes = (cur.useful_lines - b.useful_lines) * 64;
         let cache_bytes: u64 = cache_bytes_by_class.iter().sum();
         let bloat_factor = if useful_bytes == 0 {
@@ -240,6 +250,7 @@ impl TelemetryState {
             wasted_parallel: cur.wasted_parallel - b.wasted_parallel,
             cache_bytes_by_class,
             mem_bytes: cur.mem_bytes - b.mem_bytes,
+            attributed_bytes_by_class,
             bloat_factor,
             occupied_lines: probe.occupied_lines,
             dirty_lines: probe.dirty_lines,

@@ -91,6 +91,24 @@ pub enum MemTraffic {
 }
 
 impl MemTraffic {
+    /// Every memory-traffic kind, in class order.
+    pub const ALL: [MemTraffic; 4] = [
+        MemTraffic::DemandRead,
+        MemTraffic::VictimWrite,
+        MemTraffic::Writeback,
+        MemTraffic::WastedParallel,
+    ];
+
+    /// Short snake_case label (report keys, metrics labels).
+    pub fn label(self) -> &'static str {
+        match self {
+            MemTraffic::DemandRead => "demand_read",
+            MemTraffic::VictimWrite => "victim_write",
+            MemTraffic::Writeback => "writeback",
+            MemTraffic::WastedParallel => "wasted_parallel",
+        }
+    }
+
     /// The DRAM-model traffic class for this memory traffic kind.
     pub fn class(self) -> TrafficClass {
         TrafficClass(self as u8)

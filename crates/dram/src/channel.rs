@@ -244,6 +244,15 @@ impl Channel {
             .sum()
     }
 
+    /// [`Channel::queued_bytes`], accumulated per traffic class into
+    /// `out` (the attribution-conservation invariant's queued term).
+    pub fn add_queued_bytes_by_class(&self, out: &mut [u64; TrafficClass::COUNT]) {
+        let beat_bytes = self.cfg.topology.beat_bytes;
+        for r in self.read_queue.iter().chain(self.write_queue.iter()) {
+            out[(r.class.0 as usize).min(TrafficClass::COUNT - 1)] += r.beats * beat_bytes;
+        }
+    }
+
     /// Advances the channel to CPU cycle `now`: retires finished transfers
     /// into `completions` and issues at most one command.
     pub fn tick(&mut self, now: Cycle, completions: &mut Vec<ChannelCompletion>) {

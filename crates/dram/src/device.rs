@@ -196,6 +196,15 @@ impl DramDevice {
         self.channels.iter().map(|c| c.queued_bytes()).sum()
     }
 
+    /// [`DramDevice::queued_bytes`], broken down per traffic class.
+    pub fn queued_bytes_by_class(&self) -> [u64; TrafficClass::COUNT] {
+        let mut out = [0u64; TrafficClass::COUNT];
+        for c in &self.channels {
+            c.add_queued_bytes_by_class(&mut out);
+        }
+        out
+    }
+
     /// Total data-bus busy cycles summed over channels.
     pub fn bus_busy_cycles(&self) -> u64 {
         self.channels.iter().map(|c| c.stats.bus_busy_cycles).sum()

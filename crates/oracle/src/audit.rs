@@ -257,6 +257,53 @@ pub fn audit_bytes(
     Ok(())
 }
 
+/// Reconciles the bandwidth-attribution ledger against both devices'
+/// byte meters, class by class plus in total. Only meaningful after a
+/// full drain (queued and retrying bytes are zero then), where the
+/// conservation law degenerates to exact per-class equality: bytes
+/// attributed at submit time == bytes the devices metered at CAS issue,
+/// and their sum == total bytes moved.
+///
+/// # Errors
+///
+/// The first class whose attribution disagrees with the device meter,
+/// as a `divergence` (same shape as the other audits).
+pub fn audit_ledger(l4: &dyn L4Cache) -> Result<(), SimError> {
+    let harness = l4.harness();
+    let ledger = harness.ledger();
+    for cat in BloatCategory::ALL {
+        let attributed = ledger.bytes_in_class(cat.class());
+        let metered = harness.cache.bytes_in_class(cat.class());
+        if attributed != metered {
+            return Err(mismatch(
+                "ledger-audit",
+                format!("cache {} metered {metered} B", cat.label()),
+                format!("ledger attributed {attributed} B"),
+            ));
+        }
+    }
+    for m in MemTraffic::ALL {
+        let attributed = ledger.bytes_in_class(m.class());
+        let metered = harness.mem.bytes_in_class(m.class());
+        if attributed != metered {
+            return Err(mismatch(
+                "ledger-audit",
+                format!("memory {} metered {metered} B", m.label()),
+                format!("ledger attributed {attributed} B"),
+            ));
+        }
+    }
+    let moved = harness.cache.total_bytes() + harness.mem.total_bytes();
+    if ledger.total() != moved {
+        return Err(mismatch(
+            "ledger-audit",
+            format!("devices moved {moved} B"),
+            format!("ledger attributed {} B", ledger.total()),
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

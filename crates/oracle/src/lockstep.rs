@@ -5,7 +5,7 @@
 //! system quiesces — reconciles the controller's counters and both
 //! devices' byte meters against the shadow's independent tallies.
 
-use crate::audit::{audit_bytes, audit_counters};
+use crate::audit::{audit_bytes, audit_counters, audit_ledger};
 use crate::shadow::Shadow;
 use bear_core::events::ObsEvent;
 use bear_core::system::System;
@@ -114,6 +114,7 @@ fn lockstep_inner(
     if drained {
         audit_counters(sys.l4_cache().stats(), &shadow.counts)?;
         audit_bytes(sys.config(), sys.l4_cache(), &shadow.counts)?;
+        audit_ledger(sys.l4_cache())?;
     }
     Ok(LockstepReport {
         cycles: sys.now().0,

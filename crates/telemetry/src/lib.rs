@@ -17,16 +17,22 @@
 //!   one track per bank/component.
 //! - [`SelfProfiler`] — scoped wall-clock timers around host-side tick
 //!   phases, aggregated into a top-N "where did the campaign go" report.
+//! - [`Registry`] — labelled atomic counters/gauges/histograms with a
+//!   stable JSON dump and Prometheus-style text exposition, plus
+//!   [`Span`]s carrying a correlation [`TraceId`] (see
+//!   [`metrics`](crate::metrics) module docs).
 //!
 //! Everything here is inert unless armed: the simulator gates its hooks
 //! behind both a `telemetry` cargo feature and a runtime
 //! [`TelemetryConfig::Off`] default, so disabled runs pay nothing.
 
+pub mod metrics;
 mod profile;
 mod ring;
 mod sample;
 mod trace;
 
+pub use metrics::{Counter, Gauge, Histogram, Registry, Span, SpanRecord, TraceId};
 pub use profile::SelfProfiler;
 pub use ring::RingBuffer;
 pub use sample::{Sample, CACHE_BYTE_KEYS};

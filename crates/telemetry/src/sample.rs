@@ -61,10 +61,17 @@ pub struct Sample {
     pub parallel_squashed: u64,
     /// Parallel memory reads issued but wasted.
     pub wasted_parallel: u64,
-    /// DRAM-cache bus bytes by `BloatCategory` (see [`CACHE_BYTE_KEYS`]).
+    /// DRAM-cache bus bytes by `BloatCategory` (see [`CACHE_BYTE_KEYS`]),
+    /// metered at CAS issue by the device model.
     pub cache_bytes_by_class: [u64; 8],
     /// Main-memory bus bytes.
     pub mem_bytes: u64,
+    /// DRAM-cache bytes *attributed* by the bandwidth-attribution ledger
+    /// during the window, same key order as `cache_bytes_by_class`.
+    /// Charged at submit time, so a window's attribution can lead the
+    /// device meters by whatever is still queued; over a whole run the
+    /// two columns reconcile (the conservation invariant).
+    pub attributed_bytes_by_class: [u64; 8],
     /// Instantaneous Bloat Factor over the window (cache bytes moved per
     /// useful byte delivered), as computed by the core's accounting.
     pub bloat_factor: f64,
@@ -167,6 +174,18 @@ impl Sample {
             s.push_str(&format!("\"{}\":{},", escape_json(key), bytes));
         }
         s.push_str(&format!("\"mem\":{}}},", self.mem_bytes));
+        s.push_str("\"attr\":{");
+        for (i, (key, bytes)) in CACHE_BYTE_KEYS
+            .iter()
+            .zip(self.attributed_bytes_by_class)
+            .enumerate()
+        {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\":{}", escape_json(key), bytes));
+        }
+        s.push_str("},");
         s.push_str(&format!(
             "\"bloat_factor\":{},",
             json_num(self.bloat_factor)
@@ -230,6 +249,7 @@ mod tests {
             ..Sample::default()
         };
         s.cache_bytes_by_class[1] = 96;
+        s.attributed_bytes_by_class[1] = 96;
         let line = s.to_json_line();
         assert_eq!(
             line.matches('{').count(),
@@ -243,6 +263,7 @@ mod tests {
             "\"bloat_factor\":1.625",
             "\"bank_depths\":[0,2,5]",
             "\"read_hits\":7",
+            "\"attr\":{\"hit\":0,\"miss_probe\":96",
         ] {
             assert!(line.contains(key), "missing {key} in {line}");
         }

@@ -39,6 +39,17 @@ impl ChromeTrace {
         ));
     }
 
+    /// Tags a process track with a correlation/trace id (`ph: "M"`
+    /// metadata event named `trace_id`) so one trace file can be joined
+    /// against telemetry JSONL lines and metrics carrying the same id.
+    pub fn set_trace_id(&mut self, pid: u64, trace: &str) {
+        self.events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"trace_id\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape_json(trace)
+        ));
+    }
+
     /// Names a thread track (`ph: "M"` metadata event).
     pub fn name_thread(&mut self, pid: u64, tid: u64, name: &str) {
         self.events.push(format!(
@@ -145,6 +156,16 @@ mod tests {
         let t = ChromeTrace::new();
         assert!(t.is_empty());
         assert!(t.to_json().contains("\"traceEvents\":[\n]"));
+    }
+
+    #[test]
+    fn trace_id_metadata_round_trips() {
+        let mut t = ChromeTrace::new();
+        t.set_trace_id(1, "00c0ffee00c0ffee");
+        let json = t.to_json();
+        assert!(json.contains("\"name\":\"trace_id\""));
+        assert!(json.contains("00c0ffee00c0ffee"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -98,4 +98,24 @@ BEAR_BENCH_QUICK=1 ./target/release/telemetry --out "$TELEMETRY_SMOKE_DIR"
 test -s "$TELEMETRY_SMOKE_DIR/trace.json"
 test -s "$TELEMETRY_SMOKE_DIR/self_profile.txt"
 
-echo "OK: fmt, clippy, tests, fault injection, resume, chaos smoke, fuzz smoke, daemon smoke, and telemetry smoke all passed offline."
+echo "==> ledger conservation property (adversarial grid, B/BD/BDN/BEAR)"
+# Every DRAM byte the simulator moves must be attributed to exactly one
+# bloat source: the oracle's post-drain ledger audit across all four
+# adversarial generators and every rung of the technique ladder.
+cargo test -q -p bear-bench --offline --test ledger
+
+echo "==> metrics smoke (live beard registry scrape + exposition parse)"
+# An in-process daemon runs two jobs, the {"op":"metrics"} scrape must
+# parse (JSON dump and Prometheus-style text) and its counters must match
+# the daemon's own status counters; telemetry lines carry trace ids.
+cargo test -q -p bear-bench --offline --test metrics
+
+echo "==> run-loop speedup record (BENCH_core.json)"
+# The event-driven-vs-polling microbench asserts bit-identical results
+# between run-loop modes and records per-cell wall clock + the gmean
+# speedup at the repo root.
+cargo build -q --release -p bear-bench --bin loop_speedup --offline
+BEAR_QUICK=1 ./target/release/loop_speedup --bench-json BENCH_core.json
+test -s BENCH_core.json
+
+echo "OK: fmt, clippy, tests, fault injection, resume, chaos smoke, fuzz smoke, daemon smoke, telemetry smoke, ledger property, metrics smoke, and the run-loop speedup record all passed offline."
