@@ -14,6 +14,11 @@
 //!   [`Registry`](bear_telemetry::Registry) for the campaign and write
 //!   its stable JSON dump (per-cell attributed byte decomposition, bloat
 //!   factors) to `PATH` when the run finishes (see [`crate::metrics`]).
+//! - `--scale {1/512,1/64,1/8,1}` — joint capacity/budget preset (see
+//!   [`ScalePreset`]): sets the capacity shift and proportionally grows
+//!   the cycle budget. Default `1/512`, the historical 2 MB development
+//!   scale; `BEAR_SCALE`/`BEAR_WARMUP`/`BEAR_CYCLES` still override the
+//!   preset field by field.
 //!
 //! Report-path notices go to **stderr** so stdout stays byte-identical
 //! with and without `--out` (experiment logs are diffed verbatim).
@@ -21,6 +26,7 @@
 use crate::report::Report;
 use crate::telemetry::TelemetrySink;
 use crate::{runner, RunPlan};
+use bear_core::config::ScalePreset;
 use std::path::PathBuf;
 
 /// Extracts `--out DIR` / `--out=DIR` from an argument list.
@@ -71,6 +77,9 @@ pub struct CampaignArgs {
     pub sample_window: Option<u64>,
     /// Write the final metrics-registry dump here (`--metrics-out PATH`).
     pub metrics_out: Option<PathBuf>,
+    /// Joint capacity/budget preset (`--scale`); `None` keeps the
+    /// default [`ScalePreset::Half512`].
+    pub scale: Option<ScalePreset>,
 }
 
 impl CampaignArgs {
@@ -119,6 +128,9 @@ fn parse_flags(
         assert!(n > 0, "--sample-window must be positive");
         n
     }
+    fn parse_scale(v: &str) -> ScalePreset {
+        ScalePreset::parse(v).unwrap_or_else(|e| panic!("{e}"))
+    }
     let mut parsed = CampaignArgs::default();
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
@@ -152,6 +164,13 @@ fn parse_flags(
             parsed.metrics_out = Some(PathBuf::from(path));
         } else if let Some(path) = arg.strip_prefix("--metrics-out=") {
             parsed.metrics_out = Some(PathBuf::from(path));
+        } else if arg == "--scale" {
+            let v = args
+                .next()
+                .unwrap_or_else(|| panic!("--scale requires a preset (1/512, 1/64, 1/8, or 1)"));
+            parsed.scale = Some(parse_scale(&v));
+        } else if let Some(v) = arg.strip_prefix("--scale=") {
+            parsed.scale = Some(parse_scale(v));
         } else {
             panic!("unrecognized argument `{arg}` (supported: {supported})");
         }
@@ -160,7 +179,8 @@ fn parse_flags(
 }
 
 /// Extracts the single-binary flags (`--out DIR`, `--telemetry`,
-/// `--sample-window N`, `--metrics-out PATH`) from an argument list.
+/// `--sample-window N`, `--metrics-out PATH`, `--scale PRESET`) from an
+/// argument list.
 ///
 /// # Panics
 ///
@@ -170,13 +190,13 @@ pub fn parse_single_args(args: impl Iterator<Item = String>) -> CampaignArgs {
     parse_flags(
         args,
         false,
-        "--out DIR, --telemetry, --sample-window N, --metrics-out PATH",
+        "--out DIR, --telemetry, --sample-window N, --metrics-out PATH, --scale PRESET",
     )
 }
 
 /// Extracts the campaign-driver flags (`--out DIR`, `--only LIST`,
-/// `--telemetry`, `--sample-window N`, `--metrics-out PATH`) from an
-/// argument list.
+/// `--telemetry`, `--sample-window N`, `--metrics-out PATH`,
+/// `--scale PRESET`) from an argument list.
 ///
 /// # Panics
 ///
@@ -186,7 +206,7 @@ pub fn parse_campaign_args(args: impl Iterator<Item = String>) -> CampaignArgs {
     parse_flags(
         args,
         true,
-        "--out DIR, --only LIST, --telemetry, --sample-window N, --metrics-out PATH",
+        "--out DIR, --only LIST, --telemetry, --sample-window N, --metrics-out PATH, --scale PRESET",
     )
 }
 
@@ -205,6 +225,9 @@ pub fn run_single_with(
     args: CampaignArgs,
     f: fn(&RunPlan, &mut Report),
 ) -> Report {
+    if let Some(preset) = args.scale {
+        crate::set_scale_preset(preset);
+    }
     let plan = RunPlan::from_env();
     crate::telemetry::set_active(args.telemetry_sink());
     if args.metrics_out.is_some() {
@@ -320,6 +343,27 @@ mod tests {
         let b = parse_campaign_args(args(&["--out=r", "--metrics-out=dir/m.json"]));
         assert_eq!(b.metrics_out, Some(PathBuf::from("dir/m.json")));
         assert!(parse_single_args(args(&[])).metrics_out.is_none());
+    }
+
+    #[test]
+    fn scale_parses_in_both_forms() {
+        let a = parse_single_args(args(&["--scale", "1/64"]));
+        assert_eq!(a.scale, Some(ScalePreset::Half64));
+        let b = parse_campaign_args(args(&["--scale=1"]));
+        assert_eq!(b.scale, Some(ScalePreset::Full));
+        assert_eq!(parse_single_args(args(&[])).scale, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "--scale")]
+    fn unknown_scale_preset_is_rejected() {
+        parse_single_args(args(&["--scale", "1/2"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "--scale requires")]
+    fn rejects_dangling_scale() {
+        parse_single_args(args(&["--scale"]));
     }
 
     #[test]

@@ -18,9 +18,12 @@
 //!
 //! Every experiment binary accepts `--out DIR` and then writes a
 //! machine-readable JSON report next to its human-readable tables (see
-//! [`report`] for the schema).
+//! [`report`] for the schema). `--scale {1/512,1/64,1/8,1}` selects a
+//! joint capacity/budget preset (see
+//! [`ScalePreset`](bear_core::config::ScalePreset)); the environment
+//! knobs above still override it field by field.
 
-use bear_core::config::{BearFeatures, DesignKind, SystemConfig};
+use bear_core::config::{BearFeatures, DesignKind, ScalePreset, SystemConfig};
 use bear_core::metrics::RunStats;
 use bear_core::system::System;
 use bear_cpu::metrics::{normalized_weighted_speedup, rate_mode_speedup};
@@ -40,6 +43,27 @@ pub mod supervisor;
 pub mod telemetry;
 
 use bear_sim::error::RunOutcome;
+use std::sync::Mutex;
+
+/// Campaign-wide `--scale` preset, consulted by [`RunPlan::from_env`].
+/// `None` means the default [`ScalePreset::Half512`] (the historical
+/// 2 MB development scale).
+static SCALE_PRESET: Mutex<Option<ScalePreset>> = Mutex::new(None);
+
+/// Selects the joint capacity/budget scale for the rest of the process.
+///
+/// The CLI layer calls this once, before any plan is built; every
+/// subsequent [`RunPlan::from_env`] picks the preset up. Explicit
+/// `BEAR_SCALE` / `BEAR_WARMUP` / `BEAR_CYCLES` overrides still win over
+/// the preset, knob by knob.
+pub fn set_scale_preset(preset: ScalePreset) {
+    *SCALE_PRESET.lock().unwrap() = Some(preset);
+}
+
+/// The active `--scale` preset (default [`ScalePreset::Half512`]).
+pub fn scale_preset() -> ScalePreset {
+    SCALE_PRESET.lock().unwrap().unwrap_or_default()
+}
 
 /// Cycle/scale parameters for one experiment campaign.
 #[derive(Debug, Clone, Copy)]
@@ -53,13 +77,23 @@ pub struct RunPlan {
 }
 
 impl RunPlan {
-    /// The default experiment plan, honoring the environment knobs.
+    /// The default experiment plan, honoring the active `--scale` preset
+    /// and the environment knobs.
     pub fn from_env() -> Self {
+        Self::from_env_with(scale_preset())
+    }
+
+    /// [`RunPlan::from_env`] under an explicit preset: the preset sets
+    /// the capacity shift and multiplies the cycle budget (bigger caches
+    /// need longer windows to warm), then the environment knobs override
+    /// whichever fields they name.
+    pub fn from_env_with(preset: ScalePreset) -> Self {
         let quick = quick_mode();
+        let factor = preset.budget_factor();
         let mut plan = RunPlan {
-            warmup: if quick { 400_000 } else { 1_500_000 },
-            measure: if quick { 300_000 } else { 1_000_000 },
-            scale_shift: 9,
+            warmup: if quick { 400_000 } else { 1_500_000 } * factor,
+            measure: if quick { 300_000 } else { 1_000_000 } * factor,
+            scale_shift: preset.shift(),
         };
         if let Ok(v) = std::env::var("BEAR_WARMUP") {
             plan.warmup = v.parse().expect("BEAR_WARMUP must be an integer");
@@ -185,10 +219,25 @@ pub fn try_run_one(cfg: &SystemConfig, workload: &Workload) -> RunOutcome<RunSta
 
 /// Normalized speedup of `sys` over `base` for `workload` (rate mode uses
 /// throughput, mixes use weighted speedup — Section 3.3).
+///
+/// A quarantined *baseline* cell leaves zeroed placeholder stats behind;
+/// dividing by those would violate the metrics' positive-baseline
+/// contract and panic the whole experiment. Such a cell degrades to a
+/// speedup of `0.0` instead — exactly the value [`gmean`] filters out —
+/// so one dead baseline pollutes its workload's column, not the campaign.
 pub fn speedup(workload: &Workload, sys: &RunStats, base: &RunStats) -> f64 {
+    if base.ipc_per_core.len() != sys.ipc_per_core.len() {
+        return 0.0;
+    }
     if workload.is_rate {
+        if base.ipc_per_core.iter().sum::<f64>() <= 0.0 {
+            return 0.0;
+        }
         rate_mode_speedup(&sys.ipc_per_core, &base.ipc_per_core)
     } else {
+        if !base.ipc_per_core.iter().all(|&b| b > 0.0) {
+            return 0.0;
+        }
         normalized_weighted_speedup(&sys.ipc_per_core, &base.ipc_per_core)
     }
 }
@@ -245,6 +294,20 @@ mod tests {
     }
 
     #[test]
+    fn scale_presets_move_shift_and_budget_together() {
+        // Compare presets against each other rather than against absolute
+        // numbers so the test is immune to BEAR_QUICK in the environment.
+        let base = RunPlan::from_env_with(ScalePreset::Half512);
+        assert_eq!(base.scale_shift, 9, "historical default preserved");
+        for preset in ScalePreset::ALL {
+            let plan = RunPlan::from_env_with(preset);
+            assert_eq!(plan.scale_shift, preset.shift());
+            assert_eq!(plan.warmup, base.warmup * preset.budget_factor());
+            assert_eq!(plan.measure, base.measure * preset.budget_factor());
+        }
+    }
+
+    #[test]
     fn config_for_applies_bear_only_to_alloy() {
         let plan = RunPlan {
             warmup: 1,
@@ -284,6 +347,28 @@ mod tests {
         };
         b8.ipc_per_core[0] = 3.0;
         assert!((speedup(&mix, &b8, &a8) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quarantined_baseline_degrades_speedup_instead_of_panicking() {
+        let rate = Workload::rate(bear_workloads::BenchmarkProfile::by_name("mcf").unwrap());
+        let mix = Workload::mix(
+            "m",
+            ["mcf", "lbm", "mcf", "lbm", "mcf", "lbm", "mcf", "lbm"],
+        );
+        let healthy = RunStats {
+            ipc_per_core: vec![1.0; 8],
+            ..Default::default()
+        };
+        // A quarantined cell's placeholder: zeroed stats.
+        let placeholder = RunStats::default();
+        assert_eq!(speedup(&rate, &healthy, &placeholder), 0.0);
+        assert_eq!(speedup(&mix, &healthy, &placeholder), 0.0);
+        let mut one_dead_core = healthy.clone();
+        one_dead_core.ipc_per_core[3] = 0.0;
+        assert_eq!(speedup(&mix, &healthy, &one_dead_core), 0.0);
+        // Rate mode only needs positive total throughput.
+        assert!(speedup(&rate, &healthy, &one_dead_core) > 1.0);
     }
 
     #[test]

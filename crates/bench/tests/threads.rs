@@ -1,0 +1,101 @@
+//! Thread-invariance property test for the channel-sharded run loop.
+//!
+//! The sharded span advance claims `BEAR_SIM_THREADS` is purely a
+//! wall-clock knob: any thread count must produce the *identical*
+//! simulation — same observable-event stream, same statistics, same
+//! attribution ledger, same report bytes. This test pins that contract
+//! where it is hardest to keep: the four adversarial trace generators
+//! (set-conflict storms, dirty-eviction floods, duel-set thrash, NTC
+//! neighbor aliasing) crossed with the paper's B/BD/BDN/BEAR feature
+//! ladder, each replayed at 1, 2, 4, and 7 threads (odd counts catch
+//! uneven channel/worker splits).
+
+use bear_bench::report::Report;
+use bear_bench::RunPlan;
+use bear_core::config::DesignKind;
+use bear_core::system::System;
+use bear_oracle::fuzz::{quick_config, trace_for, FeatureSet, FuzzCase};
+use bear_workloads::{AdversarialPattern, ScriptedTrace, TraceSource};
+
+/// The B/BD/BDN/BEAR rungs of the technique ladder.
+const RUNGS: [FeatureSet; 4] = [
+    FeatureSet::None,
+    FeatureSet::Bab,
+    FeatureSet::BabDcp,
+    FeatureSet::Full,
+];
+
+/// Thread counts under test: serial, even splits, and a prime count that
+/// cannot divide the channel set evenly.
+const THREADS: [usize; 4] = [1, 2, 4, 7];
+
+/// Everything an observer can extract from one run, rendered to bytes.
+struct Fingerprint {
+    events: String,
+    stats: String,
+    ledger: String,
+    report: String,
+}
+
+/// Replays `case`'s trace at `threads` shard threads and fingerprints
+/// every observable surface.
+fn fingerprint(case: &FuzzCase, threads: usize) -> Fingerprint {
+    let cfg = quick_config(case.design, case.features);
+    let src: Box<dyn TraceSource> = Box::new(ScriptedTrace::new(
+        case.pattern.label(),
+        trace_for(case).to_vec(),
+    ));
+    let mut sys = System::build_with_sources(&cfg, vec![src]).expect("valid fuzz config");
+    sys.set_event_driven(true);
+    sys.set_sim_threads(threads);
+    sys.set_observe(true);
+    let stats = sys.run(0, case.cycles);
+    sys.quiesce(case.quiesce_budget);
+    let events = format!("{:?}", sys.drain_events());
+    let ledger = format!("{:?}", sys.l4_cache().harness().ledger());
+    let plan = RunPlan {
+        warmup: 0,
+        measure: case.cycles,
+        scale_shift: cfg.scale_shift,
+    };
+    let mut report = Report::new("threads_invariance");
+    report.add_run(case.pattern.label(), &stats, None);
+    Fingerprint {
+        events,
+        stats: format!("{stats:?}"),
+        ledger,
+        report: report.to_json(&plan).to_string_pretty(),
+    }
+}
+
+#[test]
+fn thread_count_is_invisible_across_adversarial_grid() {
+    for pattern in AdversarialPattern::ALL {
+        for features in RUNGS {
+            let mut case = FuzzCase::new(DesignKind::Alloy, features, pattern, 0xBEA2);
+            case.cycles = 6_000;
+            case.trace_len = 1_500;
+            let baseline = fingerprint(&case, THREADS[0]);
+            for &threads in &THREADS[1..] {
+                let run = fingerprint(&case, threads);
+                let cell = format!("{}/{}@t{threads}", pattern.label(), features.label());
+                assert_eq!(
+                    baseline.events, run.events,
+                    "{cell}: ObsEvent stream diverged from serial"
+                );
+                assert_eq!(
+                    baseline.stats, run.stats,
+                    "{cell}: run statistics diverged from serial"
+                );
+                assert_eq!(
+                    baseline.ledger, run.ledger,
+                    "{cell}: attribution ledger diverged from serial"
+                );
+                assert_eq!(
+                    baseline.report, run.report,
+                    "{cell}: report bytes diverged from serial"
+                );
+            }
+        }
+    }
+}

@@ -132,6 +132,94 @@ impl BearFeatures {
     }
 }
 
+/// Joint capacity/budget scale presets (`--scale {1/512,1/64,1/8,1}`).
+///
+/// The paper evaluates a 1 GB L4; development campaigns run
+/// shrunken-but-proportional systems instead. A preset couples the two
+/// halves of that shrink: the capacity shift (L4/L3 sizes and therefore
+/// set counts, via [`SystemConfig::scale_shift`]) and the instruction
+/// budget (warmup/measure windows must grow with capacity or the larger
+/// cache never warms). This replaces the ad-hoc fixed 2 MB default the
+/// experiment harness used to hardcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ScalePreset {
+    /// 1/512 of full scale: 2 MB L4, 1× cycle budget (the historical
+    /// harness default).
+    #[default]
+    Half512,
+    /// 1/64 of full scale: 16 MB L4, 2× cycle budget.
+    Half64,
+    /// 1/8 of full scale: 128 MB L4, 4× cycle budget.
+    Half8,
+    /// Full scale: 1 GB L4, 8× cycle budget (the gigascale demo point).
+    Full,
+}
+
+impl ScalePreset {
+    /// Every preset, smallest first.
+    pub const ALL: [ScalePreset; 4] = [
+        ScalePreset::Half512,
+        ScalePreset::Half64,
+        ScalePreset::Half8,
+        ScalePreset::Full,
+    ];
+
+    /// Parses the CLI spelling (`1/512`, `1/64`, `1/8`, `1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError::Config`] listing the accepted spellings.
+    pub fn parse(raw: &str) -> Result<Self, SimError> {
+        match raw.trim() {
+            "1/512" => Ok(ScalePreset::Half512),
+            "1/64" => Ok(ScalePreset::Half64),
+            "1/8" => Ok(ScalePreset::Half8),
+            "1" => Ok(ScalePreset::Full),
+            other => Err(SimError::config(
+                "--scale",
+                format!("unknown preset {other:?} (expected 1/512, 1/64, 1/8, or 1)"),
+            )),
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScalePreset::Half512 => "1/512",
+            ScalePreset::Half64 => "1/64",
+            ScalePreset::Half8 => "1/8",
+            ScalePreset::Full => "1",
+        }
+    }
+
+    /// Capacity scale shift: capacities shrink by `2^shift`.
+    pub fn shift(self) -> u32 {
+        match self {
+            ScalePreset::Half512 => 9,
+            ScalePreset::Half64 => 6,
+            ScalePreset::Half8 => 3,
+            ScalePreset::Full => 0,
+        }
+    }
+
+    /// Cycle-budget multiplier: larger caches need proportionally longer
+    /// warmup and measurement windows to reach steady state.
+    pub fn budget_factor(self) -> u64 {
+        match self {
+            ScalePreset::Half512 => 1,
+            ScalePreset::Half64 => 2,
+            ScalePreset::Half8 => 4,
+            ScalePreset::Full => 8,
+        }
+    }
+
+    /// Applies the preset's capacity half to a configuration (the budget
+    /// half lives in the experiment plan, which owns the cycle windows).
+    pub fn apply(self, cfg: &mut SystemConfig) {
+        cfg.scale_shift = self.shift();
+    }
+}
+
 /// Complete system configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
@@ -300,6 +388,36 @@ mod tests {
         c.scale_shift = 30;
         assert_eq!(c.l4_capacity(), 1 << 20);
         assert_eq!(c.l3_capacity(), 64 << 10);
+    }
+
+    #[test]
+    fn scale_presets_round_trip_and_scale_jointly() {
+        for preset in ScalePreset::ALL {
+            assert_eq!(ScalePreset::parse(preset.label()).unwrap(), preset);
+        }
+        // Capacity shrink and budget growth move together: halving the
+        // shift by 3 doubles the budget.
+        assert_eq!(ScalePreset::Half512.shift(), 9);
+        assert_eq!(ScalePreset::Full.shift(), 0);
+        assert_eq!(ScalePreset::Half512.budget_factor(), 1);
+        assert_eq!(ScalePreset::Full.budget_factor(), 8);
+        let mut cfg = SystemConfig::paper_baseline(DesignKind::Alloy);
+        ScalePreset::Half64.apply(&mut cfg);
+        assert_eq!(cfg.l4_capacity(), 16 << 20);
+        ScalePreset::Full.apply(&mut cfg);
+        assert_eq!(cfg.l4_capacity(), 1 << 30);
+    }
+
+    #[test]
+    fn scale_preset_rejects_unknown_spellings() {
+        for bad in ["", "1/2", "0.5", "512", "full", "1 / 8"] {
+            let err = ScalePreset::parse(bad).unwrap_err();
+            assert_eq!(err.kind(), "config", "{bad:?} should be a config error");
+            assert!(
+                format!("{err}").contains("--scale"),
+                "error should name the flag: {err}"
+            );
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::config::{DesignKind, SystemConfig};
 use crate::contents::DirectStore;
 use crate::events::{FillCause, ObsEvent};
 use crate::harness::{DeviceHarness, Leg};
-use crate::l4::engine::Engine;
+use crate::l4::engine::{Engine, TxnTable};
 use crate::l4::placement::SetPlacement;
 use crate::l4::stack::TechniqueStack;
 use crate::l4::{ControllerProbe, Delivery, L4Cache, L4Outputs, L4Stats};
@@ -27,7 +27,6 @@ use crate::traffic::{BloatCategory, MemTraffic};
 use bear_sim::faultinject::FaultKind;
 use bear_sim::invariants::InvariantSink;
 use bear_sim::time::Cycle;
-use std::collections::HashMap;
 
 /// Beats per TAD transfer (80 B on a 16 B bus).
 const TAD_BEATS: u64 = 5;
@@ -56,6 +55,15 @@ struct WbTxn {
     line: u64,
 }
 
+/// An in-flight transaction of either flavor. Reads and writebacks share
+/// one [`TxnTable`] so a probe completion can be routed by matching the
+/// variant — a slot id alone could alias across two separate tables.
+#[derive(Debug, Clone, Copy)]
+enum Txn {
+    Read(ReadTxn),
+    Wb(WbTxn),
+}
+
 /// Controller for the Alloy family.
 #[derive(Debug)]
 pub struct AlloyController {
@@ -67,8 +75,11 @@ pub struct AlloyController {
     /// tooling can reach devices and techniques directly.
     pub engine: Engine,
     writeback_allocate: bool,
-    reads: HashMap<u64, ReadTxn>,
-    writebacks: HashMap<u64, WbTxn>,
+    /// In-flight demand reads and writeback probes, arena-indexed. Ids
+    /// come from the table (deterministic slot + generation), not from
+    /// [`Engine::alloc_txn`], which remains the source for fire-and-forget
+    /// posted-write legs that are never routed back.
+    txns: TxnTable<Txn>,
 }
 
 impl AlloyController {
@@ -98,13 +109,27 @@ impl AlloyController {
             placement,
             engine: Engine::new(cfg, stack),
             writeback_allocate: cfg.writeback_allocate,
-            reads: HashMap::new(),
-            writebacks: HashMap::new(),
+            txns: TxnTable::new(),
         }
     }
 
     fn is_ideal(&self) -> bool {
         self.design == DesignKind::BwOpt
+    }
+
+    /// Copies out the in-flight read named by `id`, if it is one.
+    fn read_txn(&self, id: u64) -> Option<ReadTxn> {
+        match self.txns.get(id) {
+            Some(Txn::Read(r)) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Writes an updated read back into its slot.
+    fn store_read(&mut self, id: u64, txn: ReadTxn) {
+        if let Some(slot) = self.txns.get_mut(id) {
+            *slot = Txn::Read(txn);
+        }
     }
 
     /// Installs `line` after a demand miss, handling the victim.
@@ -166,11 +191,11 @@ impl AlloyController {
             l4_hit: false,
             in_l4: fill,
         });
-        self.reads.remove(&txn_id);
+        self.txns.remove(txn_id);
     }
 
     fn on_probe_complete(&mut self, txn_id: u64, finish: Cycle, out: &mut L4Outputs) {
-        let Some(mut txn) = self.reads.get(&txn_id).copied() else {
+        let Some(mut txn) = self.read_txn(txn_id) else {
             return;
         };
         txn.probe_outstanding = false;
@@ -203,9 +228,9 @@ impl AlloyController {
                 // the memory completion.
                 self.engine.stats.wasted_parallel += 1;
                 txn.delivered = true;
-                self.reads.insert(txn_id, txn);
+                self.store_read(txn_id, txn);
             } else {
-                self.reads.remove(&txn_id);
+                self.txns.remove(txn_id);
             }
             return;
         }
@@ -215,25 +240,25 @@ impl AlloyController {
         if txn.mem_done {
             self.finish_demand_miss(txn_id, txn, finish, out);
         } else if txn.mem_outstanding {
-            self.reads.insert(txn_id, txn);
+            self.store_read(txn_id, txn);
         } else {
             txn.mem_outstanding = true;
             self.engine
                 .harness
                 .mem_read(txn_id, txn.line, MemTraffic::DemandRead.class(), finish);
-            self.reads.insert(txn_id, txn);
+            self.store_read(txn_id, txn);
         }
     }
 
     fn on_mem_complete(&mut self, txn_id: u64, finish: Cycle, out: &mut L4Outputs) {
-        let Some(mut txn) = self.reads.get(&txn_id).copied() else {
+        let Some(mut txn) = self.read_txn(txn_id) else {
             return;
         };
         txn.mem_outstanding = false;
         txn.mem_done = true;
         if txn.delivered {
             // Wasted parallel access on a probe hit; transaction is done.
-            self.reads.remove(&txn_id);
+            self.txns.remove(txn_id);
             return;
         }
         match txn.probe_hit {
@@ -241,7 +266,7 @@ impl AlloyController {
             Some(true) => {
                 // Probe hit already delivered (handled via `delivered`),
                 // defensive path.
-                self.reads.remove(&txn_id);
+                self.txns.remove(txn_id);
             }
             None if txn.ntc_skip => {
                 // NTC guaranteed the miss; no probe was ever issued.
@@ -249,13 +274,13 @@ impl AlloyController {
             }
             None => {
                 // Parallel access returned before the probe: wait for it.
-                self.reads.insert(txn_id, txn);
+                self.store_read(txn_id, txn);
             }
         }
     }
 
     fn on_wb_probe_complete(&mut self, txn_id: u64, finish: Cycle, out: &mut L4Outputs) {
-        let Some(txn) = self.writebacks.remove(&txn_id) else {
+        let Some(Txn::Wb(txn)) = self.txns.remove(txn_id) else {
             return;
         };
         let (set, _) = self.store.decompose(txn.line);
@@ -303,7 +328,6 @@ impl L4Cache for AlloyController {
     fn submit_read(&mut self, line: u64, pc: u64, core: u32, now: Cycle) {
         self.engine.stats.read_lookups += 1;
         let (set, tag) = self.store.decompose(line);
-        let txn_id = self.engine.alloc_txn();
 
         if self.is_ideal() {
             // BW-Opt: perfect knowledge, 64 B hit transfers, free misses.
@@ -316,21 +340,18 @@ impl L4Cache for AlloyController {
                 self.engine.emit(ObsEvent::ReadClassified { line, hit });
             }
             if hit {
-                self.reads.insert(
-                    txn_id,
-                    ReadTxn {
-                        line,
-                        pc,
-                        core,
-                        arrival: now,
-                        probe_outstanding: true,
-                        mem_outstanding: false,
-                        probe_hit: None,
-                        mem_done: false,
-                        delivered: false,
-                        ntc_skip: false,
-                    },
-                );
+                let txn_id = self.txns.insert(Txn::Read(ReadTxn {
+                    line,
+                    pc,
+                    core,
+                    arrival: now,
+                    probe_outstanding: true,
+                    mem_outstanding: false,
+                    probe_hit: None,
+                    mem_done: false,
+                    delivered: false,
+                    ntc_skip: false,
+                }));
                 self.engine.harness.cache_read(
                     txn_id,
                     Leg::CacheProbe,
@@ -340,21 +361,18 @@ impl L4Cache for AlloyController {
                     now,
                 );
             } else {
-                self.reads.insert(
-                    txn_id,
-                    ReadTxn {
-                        line,
-                        pc,
-                        core,
-                        arrival: now,
-                        probe_outstanding: false,
-                        mem_outstanding: true,
-                        probe_hit: None,
-                        mem_done: false,
-                        delivered: false,
-                        ntc_skip: true,
-                    },
-                );
+                let txn_id = self.txns.insert(Txn::Read(ReadTxn {
+                    line,
+                    pc,
+                    core,
+                    arrival: now,
+                    probe_outstanding: false,
+                    mem_outstanding: true,
+                    probe_hit: None,
+                    mem_done: false,
+                    delivered: false,
+                    ntc_skip: true,
+                }));
                 self.engine
                     .harness
                     .mem_read(txn_id, line, MemTraffic::DemandRead.class(), now);
@@ -378,21 +396,18 @@ impl L4Cache for AlloyController {
             self.engine.stats.miss_probes_avoided += 1;
         }
 
-        self.reads.insert(
-            txn_id,
-            ReadTxn {
-                line,
-                pc,
-                core,
-                arrival: now,
-                probe_outstanding: plan.issue_probe,
-                mem_outstanding: plan.issue_parallel_mem,
-                probe_hit: None,
-                mem_done: false,
-                delivered: false,
-                ntc_skip: plan.ntc_skip,
-            },
-        );
+        let txn_id = self.txns.insert(Txn::Read(ReadTxn {
+            line,
+            pc,
+            core,
+            arrival: now,
+            probe_outstanding: plan.issue_probe,
+            mem_outstanding: plan.issue_parallel_mem,
+            probe_hit: None,
+            mem_done: false,
+            delivered: false,
+            ntc_skip: plan.ntc_skip,
+        }));
 
         if plan.issue_probe {
             let class = if plan.probe_class_is_hit() {
@@ -493,8 +508,7 @@ impl L4Cache for AlloyController {
 
         // Probe path (baseline, or DCP says absent: probe is still needed
         // to learn whether the victim being replaced is dirty).
-        let txn_id = self.engine.alloc_txn();
-        self.writebacks.insert(txn_id, WbTxn { line });
+        let txn_id = self.txns.insert(Txn::Wb(WbTxn { line }));
         self.engine.harness.cache_read(
             txn_id,
             Leg::CacheProbe,
@@ -513,13 +527,11 @@ impl L4Cache for AlloyController {
         let completions = self.engine.begin_tick(now);
         for c in &completions {
             match c.leg {
-                Leg::CacheProbe => {
-                    if self.reads.contains_key(&c.txn) {
-                        self.on_probe_complete(c.txn, c.finish, out);
-                    } else {
-                        self.on_wb_probe_complete(c.txn, c.finish, out);
-                    }
-                }
+                Leg::CacheProbe => match self.txns.get(c.txn) {
+                    Some(Txn::Read(_)) => self.on_probe_complete(c.txn, c.finish, out),
+                    Some(Txn::Wb(_)) => self.on_wb_probe_complete(c.txn, c.finish, out),
+                    None => {}
+                },
                 Leg::MemRead => self.on_mem_complete(c.txn, c.finish, out),
                 Leg::CacheData | Leg::PostedWrite => {}
             }
@@ -552,13 +564,18 @@ impl L4Cache for AlloyController {
     }
 
     fn pending_txns(&self) -> usize {
-        self.reads.len() + self.writebacks.len()
+        self.txns.len()
     }
 
     fn next_busy_cycle(&self, now: Cycle) -> Cycle {
         // Purely completion-driven: every read/writeback transaction is
         // waiting on a device leg, so the device hint is exact.
         self.engine.next_busy_cycle(now)
+    }
+
+    fn controller_idle_until(&self, _now: Cycle) -> Cycle {
+        // Purely completion-driven (see next_busy_cycle).
+        Cycle::NEVER
     }
 
     /// NTC-mirror invariant: every NTC entry must agree with the tag

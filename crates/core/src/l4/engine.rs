@@ -21,6 +21,118 @@ use crate::l4::{ControllerProbe, L4Outputs, L4Stats};
 use crate::traffic::MemTraffic;
 use bear_sim::time::Cycle;
 
+/// Generational arena for in-flight transaction state.
+///
+/// Controllers used to keep their transactions in `HashMap<u64, Txn>`,
+/// which scatters the per-completion lookup across the heap and re-hashes
+/// an id that is already dense. `TxnTable` stores transactions in slot
+/// order (structure-of-arrays friendly: slots vector + generations
+/// vector), recycles slots through a free list, and folds a 30-bit
+/// generation into the id so a stale id from a recycled slot can never
+/// alias a live transaction. Ids are nonzero and fit in 62 bits, leaving
+/// the two low bits free for the harness leg encoding
+/// (`DeviceHarness::encode_id`).
+///
+/// Allocation order is deterministic (LIFO free list), so the ids a run
+/// produces — and everything keyed on them, like completion routing —
+/// are identical across runs and thread counts.
+#[derive(Debug, Clone, Default)]
+pub struct TxnTable<T> {
+    slots: Vec<Option<T>>,
+    gens: Vec<u32>,
+    free: Vec<u32>,
+}
+
+/// Generation mask: 30 bits, keeping `(gen << 32) | slot` within 62 bits.
+const GEN_MASK: u64 = (1 << 30) - 1;
+
+impl<T> TxnTable<T> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        TxnTable {
+            slots: Vec::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Inserts a transaction, returning its id (nonzero, ≤ 62 bits).
+    pub fn insert(&mut self, value: T) -> u64 {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(value);
+                s
+            }
+            None => {
+                let s = self.slots.len() as u32;
+                assert!(
+                    u64::from(s) < u64::from(u32::MAX),
+                    "transaction table overflow"
+                );
+                self.slots.push(Some(value));
+                self.gens.push(0);
+                s
+            }
+        };
+        let gen = u64::from(self.gens[slot as usize]) & GEN_MASK;
+        (gen << 32) | (u64::from(slot) + 1)
+    }
+
+    fn decode(&self, id: u64) -> Option<usize> {
+        let slot = (id & 0xFFFF_FFFF).checked_sub(1)? as usize;
+        let gen = (id >> 32) & GEN_MASK;
+        if self.gens.get(slot).copied().map(u64::from) == Some(gen)
+            && self.slots.get(slot).is_some_and(Option::is_some)
+        {
+            Some(slot)
+        } else {
+            None
+        }
+    }
+
+    /// Whether `id` names a live transaction.
+    pub fn contains(&self, id: u64) -> bool {
+        self.decode(id).is_some()
+    }
+
+    /// The live transaction named by `id`, if any.
+    pub fn get(&self, id: u64) -> Option<&T> {
+        let slot = self.decode(id)?;
+        self.slots[slot].as_ref()
+    }
+
+    /// Mutable access to the live transaction named by `id`, if any.
+    pub fn get_mut(&mut self, id: u64) -> Option<&mut T> {
+        let slot = self.decode(id)?;
+        self.slots[slot].as_mut()
+    }
+
+    /// Removes and returns the transaction named by `id`, bumping the
+    /// slot's generation so the stale id can never resolve again.
+    pub fn remove(&mut self, id: u64) -> Option<T> {
+        let slot = self.decode(id)?;
+        let value = self.slots[slot].take();
+        self.gens[slot] = self.gens[slot].wrapping_add(1) & (GEN_MASK as u32);
+        self.free.push(slot as u32);
+        value
+    }
+
+    /// Number of live transactions.
+    pub fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Whether the table holds no live transactions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates live transactions in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.slots.iter().filter_map(Option::as_ref)
+    }
+}
+
 /// The organization-independent half of an L4 controller.
 #[derive(Debug)]
 pub struct Engine {
@@ -161,6 +273,58 @@ mod tests {
         let a = e.alloc_txn();
         let b = e.alloc_txn();
         assert!(a > 0 && b > a);
+    }
+
+    #[test]
+    fn txn_table_round_trips_and_recycles() {
+        let mut t = TxnTable::new();
+        let a = t.insert("a");
+        let b = t.insert("b");
+        assert!(a > 0 && b > 0 && a != b);
+        assert!(a >> 62 == 0 && b >> 62 == 0, "ids must fit in 62 bits");
+        assert_eq!(t.get(a), Some(&"a"));
+        assert_eq!(t.len(), 2);
+        *t.get_mut(b).unwrap() = "b2";
+        assert_eq!(t.remove(b), Some("b2"));
+        assert_eq!(t.len(), 1);
+        // The recycled slot gets a new generation: the stale id is dead.
+        let c = t.insert("c");
+        assert_ne!(c, b);
+        assert!(!t.contains(b));
+        assert_eq!(t.remove(b), None);
+        assert_eq!(t.get(c), Some(&"c"));
+        assert_eq!(t.iter().count(), 2);
+    }
+
+    #[test]
+    fn txn_table_rejects_garbage_ids() {
+        let mut t: TxnTable<u8> = TxnTable::new();
+        let id = t.insert(7);
+        for bad in [0, id + 1, id | (1 << 32), u64::MAX] {
+            if bad != id {
+                assert!(!t.contains(bad), "{bad:#x} must not resolve");
+                assert_eq!(t.get(bad), None);
+            }
+        }
+    }
+
+    #[test]
+    fn txn_table_allocation_is_deterministic() {
+        // Two tables fed the same insert/remove schedule hand out the
+        // same ids — the property thread-count invariance leans on.
+        let mut x = TxnTable::new();
+        let mut y = TxnTable::new();
+        let mut ids_x = Vec::new();
+        let mut ids_y = Vec::new();
+        for round in 0..3 {
+            for i in 0..5 {
+                ids_x.push(x.insert((round, i)));
+                ids_y.push(y.insert((round, i)));
+            }
+            x.remove(ids_x[ids_x.len() - 2]);
+            y.remove(ids_y[ids_y.len() - 2]);
+        }
+        assert_eq!(ids_x, ids_y);
     }
 
     #[test]

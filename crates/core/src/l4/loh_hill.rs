@@ -358,6 +358,14 @@ impl L4Cache for LohHillController {
         front.max(now).min(self.engine.next_busy_cycle(now))
     }
 
+    fn controller_idle_until(&self, now: Cycle) -> Cycle {
+        // Only the staged delay queue can act without a device completion.
+        match self.staged.front() {
+            Some((ready, _)) => (*ready).max(now),
+            None => Cycle::NEVER,
+        }
+    }
+
     fn contains_line(&self, line: u64) -> Option<bool> {
         Some(self.store.contains(line))
     }

@@ -219,6 +219,18 @@ pub trait L4Cache {
         now
     }
 
+    /// Earliest cycle at which the controller *itself* — excluding the
+    /// DRAM devices — can act without a device completion arriving first.
+    /// [`Cycle::NEVER`] means "purely completion-driven": with no new
+    /// submissions, the controller does nothing until a device completes.
+    /// The span-advance fast path in `System` uses this to prove that a
+    /// window of cycles can be executed entirely inside the devices; the
+    /// conservative default (`now`) declares the controller always busy,
+    /// which disables span advancement but is never wrong.
+    fn controller_idle_until(&self, now: Cycle) -> Cycle {
+        now
+    }
+
     /// Runs design-specific structural self-checks, reporting violations to
     /// `sink`. Controllers without internal redundancy inherit the no-op
     /// default; the byte-conservation check is design-independent and runs

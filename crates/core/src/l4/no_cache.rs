@@ -109,6 +109,11 @@ impl L4Cache for NoCacheController {
         self.engine.next_busy_cycle(now)
     }
 
+    fn controller_idle_until(&self, _now: Cycle) -> Cycle {
+        // Purely completion-driven.
+        Cycle::NEVER
+    }
+
     fn contains_line(&self, _line: u64) -> Option<bool> {
         Some(false)
     }

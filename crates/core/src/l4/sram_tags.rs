@@ -431,6 +431,16 @@ macro_rules! delegate_l4 {
                 self.inner.engine.next_busy_cycle(now)
             }
 
+            fn controller_idle_until(&self, now: Cycle) -> Cycle {
+                // The deferred-eviction backlog is the only non-device
+                // work; with it empty the controller waits on completions.
+                if self.inner.pending_evictions.is_empty() {
+                    Cycle::NEVER
+                } else {
+                    now
+                }
+            }
+
             fn contains_line(&self, line: u64) -> Option<bool> {
                 Some(match &self.inner.tags {
                     TagModel::Tis(t) => t.contains(line * 64),

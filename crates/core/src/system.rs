@@ -12,6 +12,7 @@ use crate::l3::{L3Cache, L3Result};
 use crate::l4::{build_controller, L4Cache, L4Outputs};
 use crate::metrics::{BloatBreakdown, L4StatsSnapshot, RunStats};
 use bear_cpu::{Core, LoadToken};
+use bear_dram::shard::{sim_threads_from_env, ShardPool};
 use bear_sim::error::SimError;
 use bear_sim::faultinject::{FaultKind, FaultPlan};
 use bear_sim::invariants::{CheckMode, InvariantSink, Violation};
@@ -102,7 +103,7 @@ pub struct System {
     /// results.
     event_driven: bool,
     /// Clock value before which idle probes are suppressed (probe
-    /// throttling; see [`System::throttled_idle_gap`]).
+    /// throttling; see `System::fast_forward`).
     next_probe: u64,
     /// Current probe back-off stride, doubled on each failed probe up to
     /// [`System::MAX_PROBE_STRIDE`], reset to 1 on success.
@@ -112,6 +113,11 @@ pub struct System {
     skipped_cycles: u64,
     /// Live [`System::tick`] calls since construction (diagnostic).
     live_ticks: u64,
+    /// Cycles covered by channel-sharded span advances (diagnostic).
+    span_cycles: u64,
+    /// Worker pool for span advances. One thread (the default) spawns no
+    /// workers and executes spans inline on the calling thread.
+    shard_pool: ShardPool,
     /// Telemetry state while armed (`None` costs one pointer check per
     /// tick; absent entirely without the `telemetry` feature).
     #[cfg(feature = "telemetry")]
@@ -152,6 +158,7 @@ impl System {
     /// Returns [`SimError::Config`] when `cfg` fails validation.
     pub fn try_build(cfg: &SystemConfig, workload: &Workload) -> Result<Self, SimError> {
         cfg.validate()?;
+        let threads = sim_threads_from_env()?;
         let cores = workload
             .benchmarks
             .iter()
@@ -166,7 +173,7 @@ impl System {
                 Core::new(i as u32, Box::new(trace), cfg.core)
             })
             .collect();
-        Ok(Self::assemble(cfg, cores))
+        Ok(Self::assemble(cfg, cores, threads))
     }
 
     /// Builds the system from explicit trace sources, one core per source.
@@ -182,15 +189,16 @@ impl System {
         sources: Vec<Box<dyn TraceSource>>,
     ) -> Result<Self, SimError> {
         cfg.validate()?;
+        let threads = sim_threads_from_env()?;
         let cores = sources
             .into_iter()
             .enumerate()
             .map(|(i, src)| Core::new(i as u32, src, cfg.core))
             .collect();
-        Ok(Self::assemble(cfg, cores))
+        Ok(Self::assemble(cfg, cores, threads))
     }
 
-    fn assemble(cfg: &SystemConfig, cores: Vec<Core>) -> Self {
+    fn assemble(cfg: &SystemConfig, cores: Vec<Core>, sim_threads: usize) -> Self {
         let mut sys = System {
             cores,
             l3: L3Cache::new(cfg.l3_capacity(), cfg.l3_ways),
@@ -210,6 +218,8 @@ impl System {
             probe_stride: 1,
             skipped_cycles: 0,
             live_ticks: 0,
+            span_cycles: 0,
+            shard_pool: ShardPool::new(sim_threads),
             #[cfg(feature = "telemetry")]
             telemetry: None,
             cfg: cfg.clone(),
@@ -381,32 +391,6 @@ impl System {
     /// back-off engages in fine-grained phases.
     const MIN_SKIP: u64 = 4;
 
-    /// [`System::idle_gap`] behind an exponential back-off: while probes
-    /// keep failing — the system is genuinely busy — they are re-attempted
-    /// only every `probe_stride` ticks (doubling up to
-    /// [`System::MAX_PROBE_STRIDE`]), because a failed probe walks the
-    /// same hint chain a successful one does and busy phases would
-    /// otherwise pay that walk on every tick. A successful probe resets
-    /// the stride. Throttling only delays *noticing* idleness; the ticks
-    /// polled in between are unconditionally correct.
-    fn throttled_idle_gap(&mut self, limit: u64) -> u64 {
-        if self.clock.0 < self.next_probe {
-            return 0;
-        }
-        let gap = self.idle_gap(limit);
-        if gap < Self::MIN_SKIP.min(limit) {
-            self.next_probe = self.clock.0 + self.probe_stride;
-            self.probe_stride = (self.probe_stride * 2).min(Self::MAX_PROBE_STRIDE);
-            return 0;
-        }
-        // A skip lands exactly on a busy cycle, so the immediate post-skip
-        // probe would always fail: suppress it and resume probing one tick
-        // later.
-        self.probe_stride = 1;
-        self.next_probe = self.clock.0 + gap + 1;
-        gap
-    }
-
     /// Fast-forwards `n` provably idle ticks (callers must have obtained
     /// `n` from [`System::idle_gap`]): cores replay their retire/stall
     /// arithmetic in closed form and the clock jumps; every other
@@ -428,6 +412,146 @@ impl System {
         (self.skipped_cycles, self.live_ticks)
     }
 
+    /// Cycles covered by channel-sharded span advances since construction
+    /// (diagnostic; these cycles appear in neither [`System::loop_counters`]
+    /// bucket — the devices ticked, the system loop did not).
+    pub fn span_cycles(&self) -> u64 {
+        self.span_cycles
+    }
+
+    /// Active simulation thread count (1 = serial).
+    pub fn sim_threads(&self) -> usize {
+        self.shard_pool.threads()
+    }
+
+    /// Replaces the span-advance worker pool with one of `threads`
+    /// threads, overriding the `BEAR_SIM_THREADS` environment value the
+    /// system was built with. Results are byte-identical across any
+    /// setting; only wall-clock changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0 or above the shard-pool cap; validate raw
+    /// input with [`bear_dram::shard::parse_sim_threads`] first.
+    pub fn set_sim_threads(&mut self, threads: usize) {
+        if threads != self.shard_pool.threads() {
+            self.shard_pool = ShardPool::new(threads);
+        }
+    }
+
+    /// Shortest span worth the channel-sharded fast path: below this the
+    /// horizon walk (a scheduler-window scan per channel) costs more than
+    /// the handful of `System::tick` calls it would elide.
+    const MIN_SPAN: u64 = 8;
+
+    /// Channel-sharded span fast path. When every non-device component is
+    /// provably quiet — cores mid-gap, wheel and fault plan idle, the L4
+    /// controller waiting purely on completions, retry queues empty — the
+    /// only work in the next cycles happens *inside* the DRAM channels,
+    /// and [`DeviceHarness::completion_horizon`] bounds how long that
+    /// stays true: no completion (the only signal that can wake the rest
+    /// of the system) can retire before it. The span
+    /// `[now, min(horizon, first component wake-up))` is then executed by
+    /// ticking each busy channel independently — in parallel across the
+    /// shard pool — and jumping the clock, which is bit-identical to
+    /// per-cycle `System::tick` driving because each of those ticks would
+    /// have reduced to exactly the per-channel device tick being replayed.
+    /// Returns the cycles advanced (0 = fast path not applicable).
+    ///
+    /// [`DeviceHarness::completion_horizon`]: crate::harness::DeviceHarness::completion_horizon
+    fn try_span_advance(&mut self, limit: u64) -> u64 {
+        if limit < Self::MIN_SPAN || !self.component_gating() {
+            return 0;
+        }
+        let now = self.clock;
+        let mut span = limit;
+        // Same quiet conditions as `idle_gap`, minus the devices.
+        if !self.cores_halted {
+            for core in &self.cores {
+                let quiet = core.quiet_cycles();
+                if quiet == 0 {
+                    return 0;
+                }
+                span = span.min(quiet);
+            }
+        }
+        if let Some(at) = self.faults.next_at() {
+            if at <= now.0 {
+                return 0;
+            }
+            span = span.min(at - now.0);
+        }
+        if self.wheel_next != u64::MAX {
+            if self.wheel_next <= now.0 {
+                return 0;
+            }
+            span = span.min(self.wheel_next - now.0);
+        }
+        let ctrl = self.l4.controller_idle_until(now);
+        if ctrl <= now {
+            return 0;
+        }
+        if ctrl != Cycle::NEVER {
+            span = span.min(ctrl - now);
+        }
+        let harness = self.l4.harness();
+        if harness.retry_depth() > 0 {
+            return 0;
+        }
+        let horizon = harness.completion_horizon(now);
+        if horizon <= now || horizon == Cycle::NEVER {
+            // Either a completion is due this very cycle (must tick live)
+            // or the devices are drained (the plain idle skip covers it).
+            return 0;
+        }
+        span = span.min(horizon - now);
+        if span < Self::MIN_SPAN {
+            return 0;
+        }
+        let end = now + span;
+        self.l4
+            .harness_mut()
+            .advance_span(now, end, &mut self.shard_pool);
+        if !self.cores_halted {
+            for core in &mut self.cores {
+                core.skip_quiet(span);
+            }
+        }
+        self.clock = end;
+        self.span_cycles += span;
+        span
+    }
+
+    /// One fast-forward attempt: the plain idle skip first, then the
+    /// channel-sharded span advance, both behind the shared probe
+    /// back-off. Returns whether the clock moved (false = the caller must
+    /// run a live [`System::tick`]).
+    fn fast_forward(&mut self, limit: u64) -> bool {
+        if self.clock.0 < self.next_probe {
+            return false;
+        }
+        let gap = self.idle_gap(limit);
+        if gap >= Self::MIN_SKIP.min(limit) {
+            self.probe_stride = 1;
+            // A skip lands exactly on a busy cycle, so the immediate
+            // post-skip probe would always fail: suppress it and resume
+            // probing one tick later.
+            self.next_probe = self.clock.0 + gap + 1;
+            self.skip_idle(gap);
+            return true;
+        }
+        if self.try_span_advance(limit) > 0 {
+            // A span lands on a completion cycle: probe again right after
+            // the live tick that consumes it, since spans often chain.
+            self.probe_stride = 1;
+            self.next_probe = self.clock.0 + 1;
+            return true;
+        }
+        self.next_probe = self.clock.0 + self.probe_stride;
+        self.probe_stride = (self.probe_stride * 2).min(Self::MAX_PROBE_STRIDE);
+        false
+    }
+
     /// Halts the cores and ticks until the memory system drains, up to
     /// `budget` cycles. Returns whether it fully drained — exact
     /// end-of-run audits (byte accounting, counter totals) are only
@@ -439,10 +563,7 @@ impl System {
             if self.is_drained() {
                 return true;
             }
-            let n = self.throttled_idle_gap(end - self.clock);
-            if n > 0 {
-                self.skip_idle(n);
-            } else {
+            if !self.fast_forward(end - self.clock) {
                 self.tick();
             }
         }
@@ -889,10 +1010,7 @@ impl System {
             // boundaries so invariant checks and the watchdog observe the
             // same clock values (and states) as per-cycle polling would.
             let to_boundary = CHECK_STRIDE - (self.clock.0 % CHECK_STRIDE);
-            let n = self.throttled_idle_gap((end - self.clock).min(to_boundary));
-            if n > 0 {
-                self.skip_idle(n);
-            } else {
+            if !self.fast_forward((end - self.clock).min(to_boundary)) {
                 self.tick();
             }
             if self.clock.0.is_multiple_of(CHECK_STRIDE) {

@@ -4,6 +4,14 @@
 //! CAS→data (tCAS), ACT→PRE (tRAS), and PRE→ACT (tRP). The controller uses
 //! an open-page policy: a row stays open after an access until a conflicting
 //! request forces a precharge.
+//!
+//! Banks may be split into SALP-style *subarrays* (rows striped by
+//! `row % subarrays`): each subarray keeps its own open row and its own
+//! ACT/PRE/CAS timing windows, so activates and precharges of distinct
+//! subarrays overlap. Data transfers still serialize on the channel's
+//! shared bus (modeled in [`crate::channel::Channel`]), which is the
+//! dominant SALP constraint. With one subarray the bank degenerates to the
+//! conventional single-row-buffer model, bit for bit.
 
 use crate::config::DramTimings;
 use bear_sim::time::Cycle;
@@ -13,15 +21,17 @@ use bear_sim::time::Cycle;
 pub enum BankAction {
     /// Row already open: a CAS may issue at (or after) the given time.
     Cas(Cycle),
-    /// Bank is closed: an ACT may issue at (or after) the given time.
+    /// Target subarray is closed: an ACT may issue at (or after) the given
+    /// time.
     Act(Cycle),
-    /// A different row is open: a PRE may issue at (or after) the given time.
+    /// A different row is open in the target subarray: a PRE may issue at
+    /// (or after) the given time.
     Pre(Cycle),
 }
 
-/// Row-buffer state machine for one DRAM bank.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Bank {
+/// Row-buffer state for one subarray.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Subarray {
     open_row: Option<u64>,
     /// Earliest time the next ACT may issue (enforces tRP).
     ready_act: Cycle,
@@ -29,7 +39,24 @@ pub struct Bank {
     ready_cas: Cycle,
     /// Earliest time the next PRE may issue (enforces tRAS and CAS drain).
     ready_pre: Cycle,
-    /// Statistics: row-buffer hits and misses (ACT count), precharges.
+}
+
+impl Subarray {
+    fn new() -> Self {
+        Subarray {
+            open_row: None,
+            ready_act: Cycle::ZERO,
+            ready_cas: Cycle::NEVER,
+            ready_pre: Cycle::ZERO,
+        }
+    }
+}
+
+/// Row-buffer state machine for one DRAM bank (one or more subarrays).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bank {
+    subarrays: Vec<Subarray>,
+    /// Statistics: row-buffer hits.
     pub row_hits: u64,
     /// Number of row activations performed.
     pub activations: u64,
@@ -38,31 +65,54 @@ pub struct Bank {
 }
 
 impl Bank {
-    /// Creates a closed, idle bank.
+    /// Creates a closed, idle bank with a single subarray (the
+    /// conventional model).
     pub fn new() -> Self {
+        Self::with_subarrays(1)
+    }
+
+    /// Creates a closed, idle bank split into `subarrays` SALP subarrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subarrays` is zero.
+    pub fn with_subarrays(subarrays: u32) -> Self {
+        assert!(subarrays > 0, "a bank needs at least one subarray");
         Bank {
-            open_row: None,
-            ready_act: Cycle::ZERO,
-            ready_cas: Cycle::NEVER,
-            ready_pre: Cycle::ZERO,
+            subarrays: (0..subarrays).map(|_| Subarray::new()).collect(),
             row_hits: 0,
             activations: 0,
             precharges: 0,
         }
     }
 
-    /// Currently open row, if any.
+    /// Subarray index serving `row`.
+    #[inline]
+    fn sub_of(&self, row: u64) -> usize {
+        (row % self.subarrays.len() as u64) as usize
+    }
+
+    /// Currently open row in the subarray serving `row`, if any.
+    pub fn open_row_for(&self, row: u64) -> Option<u64> {
+        self.subarrays[self.sub_of(row)].open_row
+    }
+
+    /// Currently open row of the first subarray (exact for single-subarray
+    /// banks; see [`Bank::open_row_for`] for SALP banks).
     pub fn open_row(&self) -> Option<u64> {
-        self.open_row
+        self.subarrays[0].open_row
     }
 
     /// Determines the next command required to service `row`, and the
-    /// earliest time it can issue.
+    /// earliest time it can issue. Only the subarray serving `row` is
+    /// consulted: rows striped to other subarrays neither conflict with nor
+    /// gate this request.
     pub fn next_action(&self, row: u64) -> BankAction {
-        match self.open_row {
-            Some(open) if open == row => BankAction::Cas(self.ready_cas),
-            Some(_) => BankAction::Pre(self.ready_pre),
-            None => BankAction::Act(self.ready_act),
+        let s = &self.subarrays[self.sub_of(row)];
+        match s.open_row {
+            Some(open) if open == row => BankAction::Cas(s.ready_cas),
+            Some(_) => BankAction::Pre(s.ready_pre),
+            None => BankAction::Act(s.ready_act),
         }
     }
 
@@ -70,55 +120,66 @@ impl Bank {
     ///
     /// # Panics
     ///
-    /// Panics (debug) if the bank is not closed or `now` violates tRP.
+    /// Panics (debug) if the target subarray is not closed or `now`
+    /// violates tRP.
     pub fn activate(&mut self, row: u64, now: Cycle, t: &DramTimings) {
-        debug_assert!(self.open_row.is_none(), "ACT on open bank");
-        debug_assert!(now >= self.ready_act, "ACT violates tRP window");
-        self.open_row = Some(row);
-        self.ready_cas = now + t.t_rcd;
-        self.ready_pre = now + t.t_ras;
+        let idx = self.sub_of(row);
+        let s = &mut self.subarrays[idx];
+        debug_assert!(s.open_row.is_none(), "ACT on open bank");
+        debug_assert!(now >= s.ready_act, "ACT violates tRP window");
+        s.open_row = Some(row);
+        s.ready_cas = now + t.t_rcd;
+        s.ready_pre = now + t.t_ras;
         self.activations += 1;
     }
 
-    /// Issues a CAS (read or write) at `now` for the open row; returns the
-    /// time the first data beat appears on the bus (`now + tCAS`).
+    /// Issues a CAS (read or write) at `now` for `row` (open in its
+    /// subarray); returns the time the first data beat appears on the bus
+    /// (`now + tCAS`).
     ///
-    /// `burst_cycles` is the bus occupancy of the transfer; the bank cannot
-    /// be precharged until the burst has drained.
+    /// `burst_cycles` is the bus occupancy of the transfer; the subarray
+    /// cannot be precharged until the burst has drained.
     ///
     /// # Panics
     ///
-    /// Panics (debug) if no row is open or `now` violates tRCD.
-    pub fn cas(&mut self, now: Cycle, burst_cycles: u64, t: &DramTimings) -> Cycle {
-        debug_assert!(self.open_row.is_some(), "CAS on closed bank");
-        debug_assert!(now >= self.ready_cas, "CAS violates tRCD window");
+    /// Panics (debug) if `row` is not the open row of its subarray or `now`
+    /// violates tRCD.
+    pub fn cas(&mut self, row: u64, now: Cycle, burst_cycles: u64, t: &DramTimings) -> Cycle {
+        let idx = self.sub_of(row);
+        let s = &mut self.subarrays[idx];
+        debug_assert!(s.open_row == Some(row), "CAS on closed bank");
+        debug_assert!(now >= s.ready_cas, "CAS violates tRCD window");
         let data_start = now + t.t_cas;
         // The row must stay open until the burst completes.
-        self.ready_pre = self.ready_pre.max(data_start + burst_cycles);
+        s.ready_pre = s.ready_pre.max(data_start + burst_cycles);
         self.row_hits += 1;
         data_start
     }
 
-    /// Forcibly closes the bank for a refresh ending at `ready`: any open
-    /// row is lost and no command may issue before `ready`.
+    /// Forcibly closes the whole bank for a refresh ending at `ready`: all
+    /// open rows are lost and no command may issue before `ready`.
     pub fn refresh_until(&mut self, ready: Cycle) {
-        self.open_row = None;
-        self.ready_act = self.ready_act.max(ready);
-        self.ready_cas = Cycle::NEVER;
-        self.ready_pre = Cycle::ZERO;
+        for s in &mut self.subarrays {
+            s.open_row = None;
+            s.ready_act = s.ready_act.max(ready);
+            s.ready_cas = Cycle::NEVER;
+            s.ready_pre = Cycle::ZERO;
+        }
     }
 
-    /// Issues a PRE at `now`, closing the open row.
+    /// Issues a PRE at `now`, closing the subarray serving `row`.
     ///
     /// # Panics
     ///
-    /// Panics (debug) if the bank is closed or `now` violates tRAS.
-    pub fn precharge(&mut self, now: Cycle, t: &DramTimings) {
-        debug_assert!(self.open_row.is_some(), "PRE on closed bank");
-        debug_assert!(now >= self.ready_pre, "PRE violates tRAS window");
-        self.open_row = None;
-        self.ready_act = now + t.t_rp;
-        self.ready_cas = Cycle::NEVER;
+    /// Panics (debug) if the subarray is closed or `now` violates tRAS.
+    pub fn precharge(&mut self, row: u64, now: Cycle, t: &DramTimings) {
+        let idx = self.sub_of(row);
+        let s = &mut self.subarrays[idx];
+        debug_assert!(s.open_row.is_some(), "PRE on closed bank");
+        debug_assert!(now >= s.ready_pre, "PRE violates tRAS window");
+        s.open_row = None;
+        s.ready_act = now + t.t_rp;
+        s.ready_cas = Cycle::NEVER;
         self.precharges += 1;
     }
 }
@@ -153,7 +214,7 @@ mod tests {
             BankAction::Cas(ready) => assert_eq!(ready, Cycle(136)), // +tRCD
             other => panic!("expected CAS, got {other:?}"),
         }
-        let data = b.cas(Cycle(136), 5, &t());
+        let data = b.cas(5, Cycle(136), 5, &t());
         assert_eq!(data, Cycle(172)); // +tCAS
     }
 
@@ -171,8 +232,8 @@ mod tests {
     fn pre_then_act_respects_trp() {
         let mut b = Bank::new();
         b.activate(1, Cycle(0), &t());
-        b.cas(Cycle(36), 4, &t());
-        b.precharge(Cycle(144), &t());
+        b.cas(1, Cycle(36), 4, &t());
+        b.precharge(1, Cycle(144), &t());
         assert_eq!(b.open_row(), None);
         match b.next_action(2) {
             BankAction::Act(ready) => assert_eq!(ready, Cycle(180)), // +tRP
@@ -185,7 +246,7 @@ mod tests {
         let mut b = Bank::new();
         b.activate(1, Cycle(0), &t());
         // CAS late enough that data drain (not tRAS) limits the precharge.
-        let data = b.cas(Cycle(200), 10, &t());
+        let data = b.cas(1, Cycle(200), 10, &t());
         assert_eq!(data, Cycle(236));
         match b.next_action(2) {
             BankAction::Pre(ready) => assert_eq!(ready, Cycle(246)),
@@ -197,12 +258,65 @@ mod tests {
     fn stats_count_commands() {
         let mut b = Bank::new();
         b.activate(1, Cycle(0), &t());
-        b.cas(Cycle(36), 4, &t());
-        b.cas(Cycle(80), 4, &t());
-        b.precharge(Cycle(144), &t());
+        b.cas(1, Cycle(36), 4, &t());
+        b.cas(1, Cycle(80), 4, &t());
+        b.precharge(1, Cycle(144), &t());
         assert_eq!(b.activations, 1);
         assert_eq!(b.row_hits, 2);
         assert_eq!(b.precharges, 1);
+    }
+
+    #[test]
+    fn distinct_subarrays_activate_independently() {
+        // Rows 0 and 1 stripe to different subarrays of a 4-subarray bank:
+        // no precharge is needed between them and both stay open.
+        let mut b = Bank::with_subarrays(4);
+        b.activate(0, Cycle(0), &t());
+        match b.next_action(1) {
+            BankAction::Act(ready) => assert_eq!(ready, Cycle::ZERO),
+            other => panic!("expected independent ACT, got {other:?}"),
+        }
+        b.activate(1, Cycle(1), &t());
+        assert_eq!(b.open_row_for(0), Some(0));
+        assert_eq!(b.open_row_for(1), Some(1));
+        // Both rows are CAS-ready after their own tRCD windows.
+        assert_eq!(b.next_action(0), BankAction::Cas(Cycle(36)));
+        assert_eq!(b.next_action(1), BankAction::Cas(Cycle(37)));
+    }
+
+    #[test]
+    fn same_subarray_rows_still_conflict() {
+        // Rows 0 and 4 both stripe to subarray 0 of a 4-subarray bank.
+        let mut b = Bank::with_subarrays(4);
+        b.activate(0, Cycle(0), &t());
+        match b.next_action(4) {
+            BankAction::Pre(ready) => assert_eq!(ready, Cycle(144)), // tRAS
+            other => panic!("expected PRE, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precharge_closes_only_the_target_subarray() {
+        let mut b = Bank::with_subarrays(2);
+        b.activate(0, Cycle(0), &t());
+        b.activate(1, Cycle(0), &t());
+        b.cas(0, Cycle(36), 4, &t());
+        b.precharge(0, Cycle(144), &t());
+        assert_eq!(b.open_row_for(0), None);
+        assert_eq!(b.open_row_for(1), Some(1), "sibling subarray unaffected");
+        assert_eq!(b.precharges, 1);
+    }
+
+    #[test]
+    fn refresh_closes_every_subarray() {
+        let mut b = Bank::with_subarrays(2);
+        b.activate(0, Cycle(0), &t());
+        b.activate(1, Cycle(0), &t());
+        b.refresh_until(Cycle(500));
+        assert_eq!(b.open_row_for(0), None);
+        assert_eq!(b.open_row_for(1), None);
+        assert_eq!(b.next_action(0), BankAction::Act(Cycle(500)));
+        assert_eq!(b.next_action(1), BankAction::Act(Cycle(500)));
     }
 
     #[test]
@@ -210,7 +324,7 @@ mod tests {
     #[cfg(debug_assertions)]
     fn cas_on_closed_bank_panics() {
         let mut b = Bank::new();
-        b.cas(Cycle(0), 4, &t());
+        b.cas(0, Cycle(0), 4, &t());
     }
 
     #[test]

@@ -13,8 +13,7 @@
 
 use crate::bank::{Bank, BankAction};
 use crate::config::DramConfig;
-use crate::request::{DramRequest, TrafficClass};
-use bear_sim::queue::BoundedQueue;
+use crate::request::{DramRequest, RequestQueue, TrafficClass};
 use bear_sim::time::Cycle;
 
 /// A request whose data transfer has been scheduled and will complete at
@@ -111,8 +110,8 @@ impl ChannelStats {
 pub struct Channel {
     cfg: DramConfig,
     banks: Vec<Bank>,
-    read_queue: BoundedQueue<DramRequest>,
-    write_queue: BoundedQueue<DramRequest>,
+    read_queue: RequestQueue,
+    write_queue: RequestQueue,
     /// Data bus is busy until this time.
     bus_free_at: Cycle,
     /// Transfers in flight (data phase scheduled, completion pending).
@@ -136,12 +135,12 @@ impl Channel {
     /// Creates an idle channel per `cfg`.
     pub fn new(cfg: DramConfig) -> Self {
         let banks = (0..cfg.topology.banks_per_channel())
-            .map(|_| Bank::new())
+            .map(|_| Bank::with_subarrays(cfg.topology.subarrays_per_bank))
             .collect();
         Channel {
             banks,
-            read_queue: BoundedQueue::new(cfg.read_queue_capacity),
-            write_queue: BoundedQueue::new(cfg.write_queue_capacity),
+            read_queue: RequestQueue::new(cfg.read_queue_capacity, cfg.topology.banks_per_rank),
+            write_queue: RequestQueue::new(cfg.write_queue_capacity, cfg.topology.banks_per_rank),
             bus_free_at: Cycle::ZERO,
             in_flight: Vec::with_capacity(8),
             draining: false,
@@ -182,14 +181,10 @@ impl Channel {
         let banks_per_rank = self.cfg.topology.banks_per_rank;
         let base = out.len();
         out.resize(base + banks, 0);
-        let queued = self
-            .read_queue
-            .iter()
-            .chain(self.write_queue.iter())
-            .map(|r| &r.location);
-        let flying = self.in_flight.iter().map(|f| &f.request.location);
-        for loc in queued.chain(flying) {
-            let bank = loc.bank_in_channel(banks_per_rank) as usize;
+        self.read_queue.add_bank_depths(base, out);
+        self.write_queue.add_bank_depths(base, out);
+        for f in &self.in_flight {
+            let bank = f.request.location.bank_in_channel(banks_per_rank) as usize;
             if let Some(slot) = out.get_mut(base + bank) {
                 *slot += 1;
             }
@@ -203,7 +198,7 @@ impl Channel {
         } else {
             &mut self.read_queue
         };
-        let res = queue.try_push(req).map_err(|e| e.0);
+        let res = queue.try_push(req);
         if res.is_ok() {
             self.hint_cache.set(None);
         }
@@ -237,20 +232,15 @@ impl Channel {
     /// bytes transferred.
     pub fn queued_bytes(&self) -> u64 {
         let beat_bytes = self.cfg.topology.beat_bytes;
-        self.read_queue
-            .iter()
-            .chain(self.write_queue.iter())
-            .map(|r| r.beats * beat_bytes)
-            .sum()
+        (self.read_queue.total_beats() + self.write_queue.total_beats()) * beat_bytes
     }
 
     /// [`Channel::queued_bytes`], accumulated per traffic class into
     /// `out` (the attribution-conservation invariant's queued term).
     pub fn add_queued_bytes_by_class(&self, out: &mut [u64; TrafficClass::COUNT]) {
         let beat_bytes = self.cfg.topology.beat_bytes;
-        for r in self.read_queue.iter().chain(self.write_queue.iter()) {
-            out[(r.class.0 as usize).min(TrafficClass::COUNT - 1)] += r.beats * beat_bytes;
-        }
+        self.read_queue.add_bytes_by_class(beat_bytes, out);
+        self.write_queue.add_bytes_by_class(beat_bytes, out);
     }
 
     /// Advances the channel to CPU cycle `now`: retires finished transfers
@@ -387,17 +377,13 @@ impl Channel {
         if queue.is_empty() {
             return Cycle::NEVER;
         }
-        let banks_per_rank = self.cfg.topology.banks_per_rank;
         let bus_free = Cycle(self.bus_free_at.0.saturating_sub(self.cfg.timings.t_cas));
         // Pass-1 preview: the first CAS issues once some windowed row-hit
         // is past its tRCD window AND its data can start on a free bus.
         let mut ready_cas_min = Cycle::NEVER;
-        for req in queue.iter().take(self.cfg.sched_window) {
-            if let Some(bank) = self
-                .banks
-                .get(req.location.bank_in_channel(banks_per_rank) as usize)
-            {
-                if let BankAction::Cas(ready) = bank.next_action(req.location.row) {
+        for i in 0..queue.len().min(self.cfg.sched_window) {
+            if let Some(bank) = self.banks.get(queue.bank_index(i) as usize) {
+                if let BankAction::Cas(ready) = bank.next_action(queue.row(i)) {
                     if ready.max(bus_free) <= now {
                         // A CAS is provably issuable this cycle; nothing
                         // can be earlier, so skip the rest of the scan.
@@ -422,18 +408,83 @@ impl Channel {
         // while no windowed CAS is ready — a ready-but-bus-blocked CAS
         // returns early without reaching it — so the front's ready time
         // counts only when it precedes every CAS window.
-        let front_t = match queue.front().map(|req| {
-            self.banks
-                .get(req.location.bank_in_channel(banks_per_rank) as usize)
-                .map(|b| b.next_action(req.location.row))
-        }) {
-            Some(Some(BankAction::Act(ready) | BankAction::Pre(ready))) => ready,
+        let front_t = match self
+            .banks
+            .get(queue.bank_index(0) as usize)
+            .map(|b| b.next_action(queue.row(0)))
+        {
+            Some(BankAction::Act(ready) | BankAction::Pre(ready)) => ready,
             _ => Cycle::NEVER,
         };
         if front_t < ready_cas_min {
             cas_issue.min(front_t)
         } else {
             cas_issue
+        }
+    }
+
+    /// A cycle strictly before which this channel can produce **no**
+    /// completion, assuming its queues stay frozen (no enqueues) from `now`
+    /// on. Two bounds compose:
+    ///
+    /// - an in-flight transfer retires no earlier than its scheduled
+    ///   finish, and
+    /// - any *new* CAS issues at some tick `t ≥ next_schedule_cycle(now)`
+    ///   (no command of any kind can issue earlier), so its data finishes
+    ///   at `t + tCAS + burst ≥ next_schedule_cycle(now) + tCAS + 1 beat`.
+    ///
+    /// Internal activity (ACT/PRE, refresh, CAS issue, drain flips) may
+    /// happen freely inside the window — only *completions* are excluded —
+    /// which is exactly the contract [`Channel::advance_to`] needs to run
+    /// a whole span of ticks without synchronizing with the caller.
+    /// [`Cycle::NEVER`] when the channel is drained.
+    pub fn completion_horizon(&self, now: Cycle) -> Cycle {
+        let flight = self
+            .in_flight
+            .iter()
+            .map(|f| f.finish)
+            .min()
+            .unwrap_or(Cycle::NEVER);
+        let sched = self.next_schedule_cycle(now);
+        let first_new_finish = if sched == Cycle::NEVER {
+            Cycle::NEVER
+        } else {
+            sched.max(now) + self.cfg.timings.t_cas + self.cfg.topology.beat_cpu_cycles
+        };
+        flight.min(first_new_finish)
+    }
+
+    /// Replays every live tick this channel would have executed in
+    /// `[now, horizon)` under per-cycle driving, following its own busy
+    /// hints — issuing commands, flipping drain mode, and performing
+    /// refreshes exactly as [`Channel::tick`] at those cycles would. The
+    /// caller must pass a `horizon` no later than
+    /// [`Channel::completion_horizon`]`(now)` and must not enqueue during
+    /// the span; under that contract no completion can retire, so channels
+    /// can be advanced concurrently and merged deterministically at the
+    /// horizon. Resulting state is bit-identical to serial per-cycle
+    /// ticking because each tick runs at exactly the cycle the busy hint
+    /// names — the same cycles a per-cycle driver would find non-elidable.
+    pub fn advance_to(
+        &mut self,
+        now: Cycle,
+        horizon: Cycle,
+        completions: &mut Vec<ChannelCompletion>,
+    ) {
+        let mut cur = now;
+        loop {
+            let t = self.next_busy_cycle(cur);
+            if t >= horizon {
+                break;
+            }
+            let before = completions.len();
+            self.tick(t, completions);
+            debug_assert_eq!(
+                completions.len(),
+                before,
+                "completion retired inside a span at {t:?} (horizon {horizon:?})"
+            );
+            cur = t + 1;
         }
     }
 
@@ -453,7 +504,6 @@ impl Channel {
     /// FR-FCFS over the chosen queue; issues at most one command at `now`.
     fn schedule_from(&mut self, writes: bool, now: Cycle) {
         let window = self.cfg.sched_window;
-        let banks_per_rank = self.cfg.topology.banks_per_rank;
         let queue = if writes {
             &self.write_queue
         } else {
@@ -464,31 +514,27 @@ impl Channel {
         }
 
         // Pass 1: oldest row-hit whose CAS can issue now and whose data can
-        // start on a free bus. The request is copied out during the scan so
-        // no second (panicking) indexed lookup is needed.
-        let mut cas_candidate: Option<(usize, DramRequest)> = None;
-        for (idx, req) in queue.iter().take(window).enumerate() {
-            let Some(bank) = self
-                .banks
-                .get(req.location.bank_in_channel(banks_per_rank) as usize)
-            else {
+        // start on a free bus. Only the SoA hot columns (row + flat bank
+        // index) are touched during the scan.
+        let mut cas_candidate: Option<usize> = None;
+        for idx in 0..queue.len().min(window) {
+            let Some(bank) = self.banks.get(queue.bank_index(idx) as usize) else {
                 continue; // out-of-range bank: never schedulable
             };
-            if let BankAction::Cas(ready) = bank.next_action(req.location.row) {
+            if let BankAction::Cas(ready) = bank.next_action(queue.row(idx)) {
                 if ready <= now {
-                    cas_candidate = Some((idx, *req));
+                    cas_candidate = Some(idx);
                     break;
                 }
             }
         }
 
-        if let Some((idx, req)) = cas_candidate {
-            let burst = self.burst_cycles_of(&req);
+        if let Some(idx) = cas_candidate {
             // Data may not start before the bus frees; model the CAS as
             // delayed until the data window fits.
-            let bank_idx = req.location.bank_in_channel(banks_per_rank) as usize;
             let data_start_unconstrained = now + self.cfg.timings.t_cas;
             if self.bus_free_at <= data_start_unconstrained {
+                let bank_idx = queue.bank_index(idx) as usize;
                 let queue = if writes {
                     &mut self.write_queue
                 } else {
@@ -498,7 +544,9 @@ impl Channel {
                     return; // queue mutated unexpectedly; retry next cycle
                 };
                 self.hint_cache.set(None);
-                let data_start = self.banks[bank_idx].cas(now, burst, &self.cfg.timings);
+                let burst = req.beats * self.cfg.topology.beat_cpu_cycles;
+                let data_start =
+                    self.banks[bank_idx].cas(req.location.row, now, burst, &self.cfg.timings);
                 let finish = data_start + burst;
                 self.bus_free_at = finish;
                 self.stats.bus_busy_cycles += burst;
@@ -528,29 +576,22 @@ impl Channel {
         }
 
         // Pass 2: advance the oldest request's bank (ACT or PRE).
-        let oldest = *match queue.front() {
-            Some(r) => r,
-            None => return,
-        };
-        let bank_idx = oldest.location.bank_in_channel(banks_per_rank) as usize;
+        let row = queue.row(0);
+        let bank_idx = queue.bank_index(0) as usize;
         let Some(bank) = self.banks.get_mut(bank_idx) else {
             return; // out-of-range bank: request can never be scheduled
         };
-        match bank.next_action(oldest.location.row) {
+        match bank.next_action(row) {
             BankAction::Act(ready) if ready <= now => {
-                bank.activate(oldest.location.row, now, &self.cfg.timings);
+                bank.activate(row, now, &self.cfg.timings);
                 self.hint_cache.set(None);
             }
             BankAction::Pre(ready) if ready <= now => {
-                bank.precharge(now, &self.cfg.timings);
+                bank.precharge(row, now, &self.cfg.timings);
                 self.hint_cache.set(None);
             }
             _ => {}
         }
-    }
-
-    fn burst_cycles_of(&self, req: &DramRequest) -> u64 {
-        req.beats * self.cfg.topology.beat_cpu_cycles
     }
 
     fn account_bytes(&mut self, req: &DramRequest) {

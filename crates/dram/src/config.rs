@@ -85,6 +85,14 @@ pub struct DramTopology {
     /// The 64-bit, 800 MHz DDR DIMM bus moves 8 B per beat every 2 CPU
     /// cycles: `beat_cpu_cycles = 2`.
     pub beat_cpu_cycles: u64,
+    /// Subarrays per bank (SALP). Rows are striped across subarrays
+    /// (`subarray = row % subarrays_per_bank`); each subarray keeps its own
+    /// open row and ACT/PRE timing windows, so activates and precharges of
+    /// distinct subarrays overlap while CAS data transfers still serialize
+    /// on the shared channel bus. `1` models a conventional bank (one row
+    /// buffer, full intra-bank serialization) and is bit-identical to the
+    /// pre-SALP model.
+    pub subarrays_per_bank: u32,
 }
 
 impl DramTopology {
@@ -146,6 +154,7 @@ impl DramConfig {
                 row_bytes: 2048,
                 beat_bytes: 16,
                 beat_cpu_cycles: 1,
+                subarrays_per_bank: 1,
             },
             timings: DramTimings::table1(),
             read_queue_capacity: 32,
@@ -184,6 +193,7 @@ impl DramConfig {
                 row_bytes: 2048,
                 beat_bytes: 8,
                 beat_cpu_cycles: 2,
+                subarrays_per_bank: 1,
             },
             timings: DramTimings::table1(),
             read_queue_capacity: 32,
@@ -208,6 +218,9 @@ impl DramConfig {
         }
         if t.row_bytes == 0 || t.beat_bytes == 0 || t.beat_cpu_cycles == 0 {
             return err("row/beat sizes must be non-zero");
+        }
+        if t.subarrays_per_bank == 0 {
+            return err("subarrays_per_bank must be at least 1");
         }
         if self.read_queue_capacity == 0 || self.write_queue_capacity == 0 {
             return err("queue capacities must be non-zero");
@@ -311,6 +324,9 @@ mod tests {
         let mut bad_channels = base;
         bad_channels.topology.channels = 0;
         assert!(bad_channels.validate().is_err());
+        let mut bad_subarrays = base;
+        bad_subarrays.topology.subarrays_per_bank = 0;
+        assert!(bad_subarrays.validate().is_err());
         let mut bad_beats = base;
         bad_beats.topology.beat_bytes = 0;
         assert!(bad_beats.validate().is_err());

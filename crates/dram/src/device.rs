@@ -171,6 +171,24 @@ impl DramDevice {
         best
     }
 
+    /// A cycle strictly before which no channel can produce a completion,
+    /// provided no new requests are enqueued (min over
+    /// [`Channel::completion_horizon`]). [`Cycle::NEVER`] when drained.
+    pub fn completion_horizon(&self, now: Cycle) -> Cycle {
+        self.channels
+            .iter()
+            .map(|c| c.completion_horizon(now))
+            .min()
+            .unwrap_or(Cycle::NEVER)
+    }
+
+    /// Exclusive access to the per-channel controllers, for span-advancing
+    /// them in parallel via [`crate::shard::ShardPool`]. Channels share no
+    /// state, so distinct elements may be mutated concurrently.
+    pub fn channels_mut(&mut self) -> &mut [Channel] {
+        &mut self.channels
+    }
+
     /// Per-channel statistics.
     pub fn channel_stats(&self) -> impl Iterator<Item = &ChannelStats> {
         self.channels.iter().map(|c| &c.stats)

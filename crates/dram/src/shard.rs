@@ -1,0 +1,466 @@
+//! Channel-sharded span execution.
+//!
+//! Between two completion horizons the channels of a device (or of several
+//! devices) share no state: the data bus, bank timing windows, refresh
+//! counters, and queues are all per-channel, and the horizon contract
+//! ([`Channel::completion_horizon`]) guarantees no completion — the only
+//! cross-channel interaction — can retire inside the span. [`ShardPool`]
+//! exploits that independence: it advances a batch of channels to their
+//! horizons on a small set of persistent worker threads, then joins at a
+//! barrier before control returns to the serial system loop. Because zero
+//! completions are produced mid-span and every channel lands in exactly
+//! the state per-cycle ticking would have produced, the merged simulation
+//! is byte-identical across any thread count — ordering at the merge point
+//! is pinned by the serial (cycle, channel, txn id) walk of the system
+//! tick, never by thread arrival.
+//!
+//! The pool size comes from `BEAR_SIM_THREADS` (default 1 = today's serial
+//! path, no worker threads spawned at all). Malformed values are a typed
+//! [`SimError::Config`], not a panic, mirroring how `BEAR_WORKERS` is
+//! policed at the campaign layer.
+
+use crate::channel::{Channel, ChannelCompletion};
+use bear_sim::error::SimError;
+use bear_sim::time::Cycle;
+use std::sync::{Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Environment variable naming the simulation thread count.
+pub const SIM_THREADS_ENV: &str = "BEAR_SIM_THREADS";
+
+/// Upper bound on accepted thread counts; a fat-finger guard, not a tuning
+/// statement (the pool never helps past the channel count anyway).
+pub const MAX_SIM_THREADS: usize = 64;
+
+/// Parses a `BEAR_SIM_THREADS` value.
+///
+/// # Errors
+///
+/// Returns [`SimError::Config`] when the value is not an integer in
+/// `1..=`[`MAX_SIM_THREADS`]. Unlike the warn-and-fall-back policy of
+/// `BEAR_WORKERS`, a malformed simulation thread count is rejected
+/// outright: it changes how results are *computed*, so silently running
+/// with a different value than asked would be worse than refusing.
+pub fn parse_sim_threads(raw: &str) -> Result<usize, SimError> {
+    let trimmed = raw.trim();
+    let n: usize = trimmed.parse().map_err(|_| {
+        SimError::config(
+            SIM_THREADS_ENV,
+            format!("expected an integer thread count, got {trimmed:?}"),
+        )
+    })?;
+    if n == 0 {
+        return Err(SimError::config(
+            SIM_THREADS_ENV,
+            "thread count must be at least 1 (1 = serial)",
+        ));
+    }
+    if n > MAX_SIM_THREADS {
+        return Err(SimError::config(
+            SIM_THREADS_ENV,
+            format!("thread count {n} exceeds the cap of {MAX_SIM_THREADS}"),
+        ));
+    }
+    Ok(n)
+}
+
+/// Reads `BEAR_SIM_THREADS` from the environment; unset or empty means 1.
+///
+/// # Errors
+///
+/// Propagates [`parse_sim_threads`] errors for present-but-malformed
+/// values.
+pub fn sim_threads_from_env() -> Result<usize, SimError> {
+    match std::env::var(SIM_THREADS_ENV) {
+        Ok(v) if !v.trim().is_empty() => parse_sim_threads(&v),
+        _ => Ok(1),
+    }
+}
+
+/// One unit of span work: advance `channel` from `now` to `horizon`.
+///
+/// The caller promises `horizon <= channel.completion_horizon(now)` and
+/// that nothing enqueues into the channel during the span (see
+/// [`Channel::advance_to`]).
+pub struct SpanTask<'a> {
+    /// The channel to advance (exclusive access for the span).
+    pub channel: &'a mut Channel,
+    /// Current system cycle.
+    pub now: Cycle,
+    /// Exclusive end of the span.
+    pub horizon: Cycle,
+}
+
+/// Type-erased [`SpanTask`]: the pool's shared round table cannot carry
+/// the caller's lifetime. Soundness is restored by the barrier —
+/// [`ShardPool::run`] does not return until every task has finished, so
+/// the erased `&mut Channel` never outlives its borrow, and each task
+/// points at a distinct channel, so exclusivity is preserved.
+#[derive(Clone, Copy)]
+struct RawTask {
+    channel: *mut Channel,
+    now: Cycle,
+    horizon: Cycle,
+}
+
+// SAFETY: a RawTask is only ever executed by exactly one thread per round
+// (claimed under the round mutex), and the pointed-to Channel is borrowed
+// mutably for the whole round by `ShardPool::run`.
+unsafe impl Send for RawTask {}
+
+struct Round {
+    /// Incremented once per dispatched batch; workers sleep until it moves.
+    epoch: u64,
+    tasks: Vec<RawTask>,
+    /// Next unclaimed task index.
+    next: usize,
+    /// Tasks not yet finished (claimed included).
+    unfinished: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    round: Mutex<Round>,
+    /// Signals workers that a new epoch (or shutdown) is available.
+    work_cv: Condvar,
+    /// Signals the dispatcher that `unfinished` reached zero.
+    done_cv: Condvar,
+}
+
+impl Shared {
+    /// Claims and runs tasks until the current round is exhausted.
+    /// Returns with the round lock released.
+    fn drain_round(&self, scratch: &mut Vec<ChannelCompletion>) {
+        loop {
+            let task = {
+                let mut round = self.round.lock().unwrap();
+                if round.next >= round.tasks.len() {
+                    return;
+                }
+                let t = round.tasks[round.next];
+                round.next += 1;
+                t
+            };
+            // SAFETY: see `RawTask`. Exactly one thread claimed this index.
+            let channel = unsafe { &mut *task.channel };
+            scratch.clear();
+            channel.advance_to(task.now, task.horizon, scratch);
+            assert!(
+                scratch.is_empty(),
+                "span produced a completion before its horizon — \
+                 completion_horizon contract violated"
+            );
+            let mut round = self.round.lock().unwrap();
+            round.unfinished -= 1;
+            if round.unfinished == 0 {
+                self.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// A persistent pool advancing independent channels in parallel.
+///
+/// With `threads == 1` no workers are spawned and [`ShardPool::run`]
+/// executes inline — exactly the serial path. With `threads == n`, `n - 1`
+/// workers are parked on a condvar and the dispatching thread participates
+/// in each round itself, so a round never pays more than one wake-up per
+/// worker and nothing spins between rounds.
+#[derive(Debug)]
+pub struct ShardPool {
+    threads: usize,
+    shared: std::sync::Arc<SharedHandle>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Newtype so `ShardPool` can derive `Debug` without exposing internals.
+struct SharedHandle(Shared);
+
+impl std::fmt::Debug for SharedHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SharedHandle")
+    }
+}
+
+impl ShardPool {
+    /// Creates a pool. `threads` must be in `1..=`[`MAX_SIM_THREADS`]
+    /// (use [`parse_sim_threads`] to validate raw input first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is outside that range.
+    pub fn new(threads: usize) -> Self {
+        assert!(
+            (1..=MAX_SIM_THREADS).contains(&threads),
+            "thread count {threads} outside 1..={MAX_SIM_THREADS}"
+        );
+        let shared = std::sync::Arc::new(SharedHandle(Shared {
+            round: Mutex::new(Round {
+                epoch: 0,
+                tasks: Vec::new(),
+                next: 0,
+                unfinished: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        }));
+        let workers = (1..threads)
+            .map(|i| {
+                let shared = std::sync::Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("bear-shard-{i}"))
+                    .spawn(move || {
+                        let mut scratch = Vec::new();
+                        let mut seen_epoch = 0u64;
+                        loop {
+                            {
+                                let mut round = shared.0.round.lock().unwrap();
+                                while round.epoch == seen_epoch && !round.shutdown {
+                                    round = shared.0.work_cv.wait(round).unwrap();
+                                }
+                                if round.shutdown {
+                                    return;
+                                }
+                                seen_epoch = round.epoch;
+                            }
+                            shared.0.drain_round(&mut scratch);
+                        }
+                    })
+                    .expect("failed to spawn shard worker")
+            })
+            .collect();
+        ShardPool {
+            threads,
+            shared,
+            workers,
+        }
+    }
+
+    /// Number of threads (including the dispatching caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Advances every task's channel to its horizon, returning only after
+    /// all are done. Serial (`threads == 1`) and parallel execution are
+    /// bit-identical: each channel replays exactly the ticks per-cycle
+    /// driving would have executed, and the horizon contract guarantees no
+    /// completion (the only cross-channel observable) occurs mid-span.
+    pub fn run(&mut self, tasks: &mut [SpanTask<'_>]) {
+        if tasks.is_empty() {
+            return;
+        }
+        if self.threads == 1 || tasks.len() == 1 {
+            let mut scratch = Vec::new();
+            for t in tasks {
+                scratch.clear();
+                t.channel.advance_to(t.now, t.horizon, &mut scratch);
+                assert!(
+                    scratch.is_empty(),
+                    "span produced a completion before its horizon — \
+                     completion_horizon contract violated"
+                );
+            }
+            return;
+        }
+        {
+            let mut round = self.shared.0.round.lock().unwrap();
+            round.tasks.clear();
+            round.tasks.extend(tasks.iter_mut().map(|t| RawTask {
+                channel: &mut *t.channel as *mut Channel,
+                now: t.now,
+                horizon: t.horizon,
+            }));
+            round.next = 0;
+            round.unfinished = round.tasks.len();
+            round.epoch += 1;
+            self.shared.0.work_cv.notify_all();
+        }
+        // Participate instead of idling while the workers run.
+        let mut scratch = Vec::new();
+        self.shared.0.drain_round(&mut scratch);
+        // Barrier: tasks this thread did not claim may still be running.
+        let mut round = self.shared.0.round.lock().unwrap();
+        while round.unfinished > 0 {
+            round = self.shared.0.done_cv.wait(round).unwrap();
+        }
+        round.tasks.clear();
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        {
+            let mut round = self.shared.0.round.lock().unwrap();
+            round.shutdown = true;
+            self.shared.0.work_cv.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DramConfig;
+    use crate::request::{DramLocation, DramRequest, TrafficClass};
+
+    #[test]
+    fn parse_accepts_sane_values() {
+        assert_eq!(parse_sim_threads("1").unwrap(), 1);
+        assert_eq!(parse_sim_threads(" 4 ").unwrap(), 4);
+        assert_eq!(parse_sim_threads("64").unwrap(), 64);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_with_typed_error() {
+        for bad in ["", "zero", "1.5", "-2", "0", "65", "4 threads"] {
+            let err = parse_sim_threads(bad).unwrap_err();
+            assert_eq!(err.kind(), "config", "{bad:?} must be a config error");
+            assert!(
+                format!("{err}").contains(SIM_THREADS_ENV),
+                "{bad:?} error must name the variable"
+            );
+        }
+    }
+
+    fn loaded_channels(n: usize) -> Vec<Channel> {
+        let cfg = DramConfig::stacked_cache_8x();
+        (0..n)
+            .map(|i| {
+                let mut ch = Channel::new(cfg);
+                for id in 0..6u64 {
+                    ch.try_enqueue(DramRequest::read(
+                        i as u64 * 100 + id,
+                        DramLocation {
+                            channel: 0,
+                            rank: 0,
+                            bank: (id % 4) as u32,
+                            row: id * 3 + i as u64,
+                        },
+                        5,
+                        TrafficClass(0),
+                        Cycle(0),
+                    ))
+                    .unwrap();
+                }
+                ch
+            })
+            .collect()
+    }
+
+    /// Advance the same workload serially per cycle and via the pool;
+    /// every observable (debug state, stats, completions afterwards) must
+    /// match bit for bit regardless of thread count.
+    #[test]
+    fn pool_matches_per_cycle_ticking_for_any_thread_count() {
+        for threads in [1, 2, 4, 7] {
+            let mut reference = loaded_channels(5);
+            let mut sharded = loaded_channels(5);
+            let mut pool = ShardPool::new(threads);
+            let mut now = Cycle(0);
+            let mut ref_done = Vec::new();
+            let mut shard_done = Vec::new();
+            // Alternate span advances with dense ticking until drained.
+            for _ in 0..200 {
+                let horizon = sharded
+                    .iter()
+                    .map(|c| c.completion_horizon(now))
+                    .min()
+                    .unwrap();
+                if horizon > now + 1 && horizon != Cycle::NEVER {
+                    // Span: reference ticks densely, sharded jumps.
+                    let mut t = now;
+                    while t < horizon {
+                        for ch in &mut reference {
+                            ch.tick(t, &mut ref_done);
+                        }
+                        t += 1;
+                    }
+                    let mut tasks: Vec<SpanTask<'_>> = sharded
+                        .iter_mut()
+                        .map(|channel| SpanTask {
+                            channel,
+                            now,
+                            horizon,
+                        })
+                        .collect();
+                    pool.run(&mut tasks);
+                    now = horizon;
+                } else {
+                    for ch in &mut reference {
+                        ch.tick(now, &mut ref_done);
+                    }
+                    for ch in &mut sharded {
+                        ch.tick(now, &mut shard_done);
+                    }
+                    now += 1;
+                }
+                if sharded.iter().all(|c| c.pending() == 0) {
+                    break;
+                }
+            }
+            assert!(
+                sharded.iter().all(|c| c.pending() == 0),
+                "workload must drain"
+            );
+            for (r, s) in reference.iter().zip(&sharded) {
+                assert_eq!(
+                    format!("{r:?}"),
+                    format!("{s:?}"),
+                    "threads={threads}: channel state diverged"
+                );
+            }
+            let ref_ids: Vec<_> = ref_done.iter().map(|c| (c.request.id, c.finish)).collect();
+            let shard_ids: Vec<_> = shard_done
+                .iter()
+                .map(|c| (c.request.id, c.finish))
+                .collect();
+            assert_eq!(
+                ref_ids, shard_ids,
+                "threads={threads}: completions diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_single_task_rounds_are_fine() {
+        let mut pool = ShardPool::new(4);
+        pool.run(&mut []);
+        let mut chans = loaded_channels(1);
+        let horizon = chans[0].completion_horizon(Cycle(0));
+        assert!(horizon > Cycle(0));
+        let mut tasks = vec![SpanTask {
+            channel: &mut chans[0],
+            now: Cycle(0),
+            horizon,
+        }];
+        pool.run(&mut tasks);
+    }
+
+    #[test]
+    fn pool_survives_many_rounds() {
+        let mut pool = ShardPool::new(3);
+        for round in 0..50 {
+            let mut chans = loaded_channels(4);
+            let horizon = chans
+                .iter()
+                .map(|c| c.completion_horizon(Cycle(0)))
+                .min()
+                .unwrap();
+            let mut tasks: Vec<SpanTask<'_>> = chans
+                .iter_mut()
+                .map(|channel| SpanTask {
+                    channel,
+                    now: Cycle(0),
+                    horizon,
+                })
+                .collect();
+            pool.run(&mut tasks);
+            assert!(round < 50);
+        }
+    }
+}

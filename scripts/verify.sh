@@ -110,12 +110,33 @@ echo "==> metrics smoke (live beard registry scrape + exposition parse)"
 # the daemon's own status counters; telemetry lines carry trace ids.
 cargo test -q -p bear-bench --offline --test metrics
 
-echo "==> run-loop speedup record (BENCH_core.json)"
-# The event-driven-vs-polling microbench asserts bit-identical results
-# between run-loop modes and records per-cell wall clock + the gmean
-# speedup at the repo root.
-cargo build -q --release -p bear-bench --bin loop_speedup --offline
-BEAR_QUICK=1 ./target/release/loop_speedup --bench-json BENCH_core.json
-test -s BENCH_core.json
+echo "==> SALP elision audit (BEAR_GATE_DIAG=1, multi-subarray banks)"
+# The gate-diagnostic mode re-executes every elided tick and asserts it
+# was a no-op. Running the span-equivalence suite under it audits the
+# subarray-aware busy hints (per-subarray open rows and timing state)
+# on top of the polled-vs-spanned and thread-invariance equalities.
+BEAR_GATE_DIAG=1 cargo test -q -p bear-core --offline --test span_equivalence
 
-echo "OK: fmt, clippy, tests, fault injection, resume, chaos smoke, fuzz smoke, daemon smoke, telemetry smoke, ledger property, metrics smoke, and the run-loop speedup record all passed offline."
+echo "==> run-loop speedup record (BENCH_core.json, serial + threaded)"
+# The event-driven-vs-polling microbench asserts bit-identical results
+# between run-loop modes (including the 2- and 4-thread sharded sweeps)
+# and records per-cell wall clock + the gmean speedups at the repo root.
+# The committed record's serial gmean is a perf-regression floor: the
+# fresh run must clear 85% of it (head-room for machine noise).
+cargo build -q --release -p bear-bench --bin loop_speedup --offline
+FLOOR=$(awk -F': ' '/"speedup_gmean"/ {gsub(/,/, "", $2); print $2; exit}' \
+  BENCH_core.json 2>/dev/null || true)
+BEAR_QUICK=1 ./target/release/loop_speedup --bench-json BENCH_core.json --threads 2,4
+test -s BENCH_core.json
+NEW=$(awk -F': ' '/"speedup_gmean"/ {gsub(/,/, "", $2); print $2; exit}' BENCH_core.json)
+if [ -n "${FLOOR:-}" ]; then
+  awk -v new="$NEW" -v floor="$FLOOR" 'BEGIN {
+    if (new + 0 < 0.85 * floor) {
+      printf "ERROR: run-loop speedup regressed: gmean %.3f < 0.85 x committed floor %.3f\n",
+        new, floor
+      exit 1
+    }
+  }' >&2
+fi
+
+echo "OK: fmt, clippy, tests, fault injection, resume, chaos smoke, fuzz smoke, daemon smoke, telemetry smoke, ledger property, metrics smoke, elision audit, and the run-loop speedup record all passed offline."
